@@ -1,0 +1,36 @@
+"""Benchmark-suite fixtures.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one table or figure of the paper and prints
+it; assertions pin the *shape* the paper reports (who wins, rough
+factors, crossovers). Absolute speedups depend on the host machine —
+see EXPERIMENTS.md for the recorded reference run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # benchmarks print their tables; -s is implied by how we report
+    config.option.verbose = max(config.option.verbose, 0)
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing.
+
+    These experiments measure *simulated* systems; repeating them adds
+    wall time without statistical benefit (they are deterministic), so
+    every benchmark uses a single round.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,50 @@
+"""Collective-algorithm study on SDT: pairwise vs Bruck all-to-all.
+
+The kind of experiment SDT exists to host: compare two MPI algorithm
+choices on a real (projected) fabric. Classic result reproduced —
+Bruck's log-step exchange wins for small messages (fewer, larger
+messages amortize per-message latency) while pairwise exchange wins for
+large messages (Bruck moves each block log(p)/2 times).
+"""
+
+from repro.mpi import MpiJob, alltoall, alltoall_bruck
+from repro.netsim import build_logical_network
+from repro.routing import routes_for
+from repro.topology import fat_tree
+from repro.util import format_table
+
+RANKS = 16
+MSGLENS = [64, 512, 4096, 32768, 262144]
+
+
+def run_sweep():
+    topo = fat_tree(4)
+    routes = routes_for(topo)
+    addrs = {r: topo.hosts[r] for r in range(RANKS)}
+    rows = []
+    for msglen in MSGLENS:
+        acts = {}
+        for label, algo in (("pairwise", alltoall), ("bruck", alltoall_bruck)):
+            net = build_logical_network(topo, routes)
+            res = MpiJob(net, addrs, algo(RANKS, msglen)).run()
+            acts[label] = res.act
+        rows.append((msglen, acts["pairwise"], acts["bruck"]))
+    return rows
+
+
+def test_alltoall_algorithms(once):
+    rows = once(run_sweep)
+    print("\n" + format_table(
+        ["msglen (B)", "pairwise ACT", "Bruck ACT", "winner"],
+        [[m, f"{p * 1e6:.1f} us", f"{b * 1e6:.1f} us",
+          "bruck" if b < p else "pairwise"] for m, p, b in rows],
+        title=f"All-to-all algorithm study, {RANKS} ranks on Fat-Tree k=4",
+    ))
+    by_len = {m: (p, b) for m, p, b in rows}
+    # small messages: Bruck's ceil(log p) rounds beat 15 pairwise rounds
+    p, b = by_len[64]
+    assert b < p
+    # large messages: pairwise's minimal byte volume wins
+    p, b = by_len[262144]
+    assert p < b
+    # i.e. there is a crossover, the textbook shape

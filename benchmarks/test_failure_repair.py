@@ -1,0 +1,70 @@
+"""Fault-tolerance on SDT: live link failures repaired by rerouting.
+
+A capability demo of the kind the paper's intro motivates ("routing
+algorithms, deadlock avoidance functions"): kill torus links one by one
+on a live deployment; the controller installs up*/down* detours (which
+stay PFC-deadlock-free — plain shortest-path repair does not, see
+tests/core/test_failures.py) and traffic keeps flowing at a modest ACT
+penalty. Repair time is pure control-plane work, in the same band as a
+full reconfiguration.
+"""
+
+from repro.core import SDTController, build_cluster_for
+from repro.hardware import EVAL_256x10G
+from repro.mpi import MpiJob
+from repro.netsim import build_sdt_network
+from repro.topology import torus2d
+from repro.util import format_table
+from repro.workloads import workload
+
+RANKS = 8
+
+
+def run_scenario():
+    topo = torus2d(4, 4)
+    cluster = build_cluster_for([topo], 2, EVAL_256x10G)
+    controller = SDTController(cluster)
+    deployment = controller.deploy(topo)
+    hosts = topo.hosts[:RANKS]
+    w = workload("imb-alltoall", msglen=8192, repetitions=1)
+    programs = w.build(RANKS)
+
+    def act() -> float:
+        net = build_sdt_network(cluster, deployment)
+        addrs = {
+            r: deployment.projection.host_map[hosts[r]] for r in range(RANKS)
+        }
+        return MpiJob(net, addrs, programs).run().act
+
+    rows = [("intact", act(), 0.0)]
+    to_fail = [
+        topo.link_between("s0-0", "s1-0"),
+        topo.link_between("s1-1", "s2-1"),
+        topo.link_between("s2-2", "s3-2"),
+    ]
+    for i, link in enumerate(to_fail, start=1):
+        repair_time = controller.fail_link(deployment, link.index)
+        rows.append((f"{i} link(s) failed", act(), repair_time))
+    restore_time = controller.restore_links(deployment)
+    rows.append(("restored", act(), restore_time))
+    return rows
+
+
+def test_failure_repair(once):
+    rows = once(run_scenario)
+    print("\n" + format_table(
+        ["State", "Alltoall ACT", "Repair/restore time (modeled)"],
+        [[state, f"{a * 1e3:.3f} ms", f"{t * 1e3:.1f} ms"]
+         for state, a, t in rows],
+        title="Fault tolerance: live link failures on a 4x4 Torus "
+              "deployment (up*/down* repair)",
+    ))
+    intact = rows[0][1]
+    restored = rows[-1][1]
+    # traffic survives every failure, with bounded degradation
+    for state, a, t in rows[1:-1]:
+        assert a > 0
+        assert a < 4 * intact, state
+        assert 0 < t < 2.0  # repair is sub-2s control-plane work
+    # restoring the original strategy recovers the intact ACT
+    assert abs(restored - intact) / intact < 0.01

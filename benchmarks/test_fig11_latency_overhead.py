@@ -1,0 +1,65 @@
+"""Fig. 11 — SDT's extra latency vs the full testbed.
+
+The paper's rig: the 8-switch chain (Fig. 10), IMB Pingpong between the
+end nodes over RoCEv2, message lengths swept; overhead = (l_sdt -
+l_full) / l_full. Published result: <= 1.6-2 % and shrinking as the
+message grows.
+"""
+
+from repro.core import SDTController, build_cluster_for
+from repro.hardware import H3C_S6861
+from repro.mpi import MpiJob
+from repro.netsim import build_logical_network, build_sdt_network
+from repro.routing import routes_for
+from repro.topology import chain
+from repro.util import format_series
+from repro.workloads import workload
+
+MSG_LENGTHS = [0, 128, 1024, 4096, 16384, 65536, 262144, 1048576]
+REPS = 20
+
+
+def pingpong_latency(net, addr_a, addr_b, msglen):
+    w = workload("imb-pingpong", msglen=msglen, repetitions=REPS)
+    res = MpiJob(net, {0: addr_a, 1: addr_b}, w.build(2)).run()
+    return res.act / REPS / 2  # one-way
+
+
+def run_sweep():
+    topo = chain(8)
+    routes = routes_for(topo)
+    rows = {"full_us": [], "sdt_us": [], "overhead_pct": []}
+    for msglen in MSG_LENGTHS:
+        net_full = build_logical_network(topo, routes)
+        lat_full = pingpong_latency(net_full, "h0", "h7", msglen)
+
+        cluster = build_cluster_for([topo], 2, H3C_S6861)
+        dep = SDTController(cluster).deploy(topo, routes=routes)
+        net_sdt = build_sdt_network(cluster, dep)
+        lat_sdt = pingpong_latency(
+            net_sdt,
+            dep.projection.host_map["h0"],
+            dep.projection.host_map["h7"],
+            msglen,
+        )
+        rows["full_us"].append(lat_full * 1e6)
+        rows["sdt_us"].append(lat_sdt * 1e6)
+        rows["overhead_pct"].append(100 * (lat_sdt - lat_full) / lat_full)
+    return rows
+
+
+def test_fig11_latency_overhead(once):
+    rows = once(run_sweep)
+    print("\n" + format_series(
+        "msglen_B", MSG_LENGTHS,
+        {k: [f"{v:.4g}" for v in vals] for k, vals in rows.items()},
+        title="Fig. 11: SDT latency overhead on the 8-switch chain "
+              "(10-hop RoCE pingpong)",
+    ))
+    overheads = rows["overhead_pct"]
+    # paper band: positive, bounded by ~2%
+    assert all(0.0 < o < 2.5 for o in overheads)
+    # overhead shrinks with message length (paper: "with the increment
+    # of message lengths, the overhead ... is getting smaller")
+    assert overheads[-1] < overheads[0] / 10
+    assert overheads[-1] < 0.1

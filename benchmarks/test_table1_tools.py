@@ -1,0 +1,14 @@
+"""Table I — qualitative comparison of network evaluation tools."""
+
+from repro.analysis import TABLE1, render_table1
+
+
+def test_table1(once):
+    text = once(render_table1)
+    print("\n" + text)
+    # the paper's verdict: SDT combines testbed-grade scalability and
+    # efficiency with simulator-grade cost and reconfigurability
+    assert TABLE1["Scalability"]["SDT"] == TABLE1["Scalability"]["Testbed"]
+    assert TABLE1["Efficiency"]["SDT"] == TABLE1["Efficiency"]["Testbed"]
+    assert TABLE1["(Re)configuration"]["SDT"] == TABLE1["(Re)configuration"]["Simulator"]
+    assert TABLE1["Manpower"]["SDT"] == "Low"

@@ -1,0 +1,58 @@
+"""Table II — SP / SP-OS / TurboNet / SDT comparison.
+
+Regenerates every row (reconfiguration, hardware, cost, per-topology
+max link rate, WAN zoo counts) from the feasibility model and checks
+the paper-matching cells. The three Torus rows are arithmetically
+inconsistent in the paper itself (see EXPERIMENTS.md "Known
+deviations"); the benchmark prints both and asserts only the
+self-consistent rows.
+"""
+
+from repro.costmodel import (
+    PAPER_TABLE2_CELLS,
+    TABLE2_COLUMNS,
+    dc_topology_rows,
+    render_table2,
+    wan_zoo_counts,
+)
+
+
+def build_table():
+    return {
+        "text": render_table2(),
+        "rows": {f"{r.family} {r.variant}": r.cells for r in dc_topology_rows()},
+        "wan": wan_zoo_counts(),
+    }
+
+
+def _norm(cell: str) -> str:
+    return cell.replace("Link ", "").replace(" ", "")
+
+
+def test_table2(once):
+    table = once(build_table)
+    print("\n" + table["text"])
+
+    # paper-exact rows: Fat-Tree (all k) and Dragonfly
+    for row_name in ("Fat-Tree k=4", "Fat-Tree k=6", "Fat-Tree k=8",
+                     "Dragonfly a=4,g=9,h=2"):
+        ours = tuple(_norm(c) for c in table["rows"][row_name])
+        paper = tuple(_norm(c) for c in PAPER_TABLE2_CELLS[row_name])
+        assert ours == paper, (row_name, ours, paper)
+
+    # WAN zoo counts: paper-exact
+    wan = table["wan"]
+    paper_wan = PAPER_TABLE2_CELLS["WAN"]
+    for (label, _m), expect in zip(TABLE2_COLUMNS, paper_wan):
+        assert wan[label] == int(expect), label
+
+    # qualitative relations the paper's narrative rests on:
+    # SDT most cost-effective, more scalable than TurboNet at equal cost
+    from repro.costmodel import SDT_128, SDT_64, SP_128, SPOS_128, TURBONET_128
+
+    assert SDT_64.hardware_cost < TURBONET_128.hardware_cost
+    assert SPOS_128.hardware_cost > SP_128.hardware_cost
+    for links in (32, 90, 108, 128, 200, 256):
+        sdt = SDT_128.max_link_rate(links) or 0
+        turbo = TURBONET_128.max_link_rate(links) or 0
+        assert sdt >= turbo  # SDT never worse than TurboNet at equal ports

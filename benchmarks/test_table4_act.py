@@ -1,0 +1,100 @@
+"""Table IV — ACT on SDT vs the detailed simulator, 4 topologies x 7
+application columns.
+
+Cell format mirrors the paper: speedup "Ax" (simulator evaluation time
+over SDT evaluation time, deployment included) and ACT deviation "B%".
+Problem sizes are scaled down so the whole table regenerates in minutes
+(EXPERIMENTS.md records the scaling); the asserted *shape*:
+
+* ACT deviations stay within a few percent (paper: max 3 %);
+* per-application speedups order IMB-Alltoall > miniFE > miniGhost >
+  {HPCG, HPL} on every topology (the paper's 2440-2899x >> 651-935x >>
+  349-411x >> 33-52x ladder);
+* the pure-communication IMB columns dominate every HPC app.
+"""
+
+import pytest
+
+from repro.testbed import Experiment, compare_arms, select_nodes
+from repro.topology import dragonfly, fat_tree, torus2d, torus3d
+from repro.util import format_table
+from repro.workloads import workload
+
+RANKS = 16  # scaled from the paper's 32 to keep the suite fast
+
+TOPOLOGIES = [
+    ("Dragonfly", lambda: dragonfly(4, 9, 2)),
+    ("Fat-Tree k=4", lambda: fat_tree(4)),
+    ("5x5 2D-Torus", lambda: torus2d(5, 5)),
+    ("4x4x4 3D-Torus", lambda: torus3d(4, 4, 4)),
+]
+
+WORKLOADS = [
+    ("HPCG", "hpcg", dict(scale=0.5, iterations=3)),
+    ("HPL", "hpl", dict(n=1024, nb=256)),
+    ("miniGhost", "minighost", dict(scale=0.35, timesteps=3)),
+    ("miniFE 264^3", "minife", dict(scale=0.3, cg_iterations=4)),
+    ("miniFE 264x512x512", "minife",
+     dict(nx=264, ny=512, nz=512, scale=0.3, cg_iterations=4)),
+    ("IMB Alltoall", "imb-alltoall", dict(msglen=16384, repetitions=1)),
+    # large messages like the upper end of IMB's msglen sweep: the
+    # flit-level simulator pays heavily per RTT there
+    ("IMB Pingpong", "imb-pingpong", dict(msglen=262144, repetitions=30)),
+]
+
+
+def run_cell(topo_builder, wname, params):
+    topo = topo_builder()
+    hosts = select_nodes(topo, RANKS)
+    w = workload(wname, **params)
+    exp = Experiment(topo, w.build(len(hosts)), hosts)
+    return compare_arms(exp)
+
+
+def run_table():
+    cells = {}
+    for tlabel, builder in TOPOLOGIES:
+        for wlabel, wname, params in WORKLOADS:
+            cells[(tlabel, wlabel)] = run_cell(builder, wname, params)
+    return cells
+
+
+def test_table4(once):
+    cells = once(run_table)
+
+    rows = []
+    for tlabel, _b in TOPOLOGIES:
+        row = [tlabel]
+        for wlabel, _n, _p in WORKLOADS:
+            c = cells[(tlabel, wlabel)]
+            row.append(
+                f"{c.speedup_asymptotic:.0f}x ({c.act_deviation * 100:+.1f}%)"
+            )
+        rows.append(row)
+    print("\n" + format_table(
+        ["Topology", *(w for w, _n, _p in WORKLOADS)],
+        rows,
+        title=f"Table IV: SDT vs simulator, {RANKS} ranks "
+              "(Ax = amortized eval-time speedup, B% = ACT deviation; "
+              "the paper's multi-second ACTs amortize deployment, ours "
+              "are scaled down - Fig. 13 shows the deploy-inclusive view)",
+    ))
+
+    for (tlabel, wlabel), c in cells.items():
+        # ACT agreement: paper reports max 3% deviation
+        assert abs(c.act_deviation) < 0.04, (tlabel, wlabel, c.act_deviation)
+        # SDT always beats simulating once deployment is amortized
+        assert c.speedup_asymptotic > 1.0, (tlabel, wlabel)
+
+    for tlabel, _b in TOPOLOGIES:
+        def speed(wlabel):
+            return cells[(tlabel, wlabel)].speedup_asymptotic
+
+        # the paper's per-application ladder
+        assert speed("IMB Alltoall") > speed("miniFE 264^3"), tlabel
+        assert speed("miniFE 264^3") > speed("miniGhost"), tlabel
+        assert speed("miniGhost") > speed("HPCG"), tlabel
+        assert speed("miniGhost") > speed("HPL"), tlabel
+        # pure-communication benchmarks dominate every HPC app
+        hpc_max = max(speed(w) for w, _n, _p in WORKLOADS[:5])
+        assert speed("IMB Alltoall") > hpc_max, tlabel

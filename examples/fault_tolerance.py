@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fault-tolerance research on SDT: live link failures.
+
+Kills torus links one at a time on a live deployment. The controller
+installs up*/down* detour routes — provably PFC-deadlock-free, unlike
+naive shortest-path repair — and the same alltoall keeps completing.
+Also shows a server-centric BCube running on the simulator arm with
+hosts forwarding transit traffic.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.core import SDTController, build_cluster_for
+from repro.hardware import EVAL_256x10G
+from repro.mpi import MpiJob, alltoall
+from repro.netsim import build_logical_network, build_sdt_network
+from repro.routing import routes_for
+from repro.topology import bcube, torus2d
+from repro.util import format_table, time_str
+
+
+def main() -> None:
+    # --- live failures on a deployed 4x4 torus -------------------------
+    topo = torus2d(4, 4)
+    cluster = build_cluster_for([topo], 2, EVAL_256x10G)
+    controller = SDTController(cluster)
+    deployment = controller.deploy(topo)
+    hosts = topo.hosts[:8]
+    programs = alltoall(8, 8192)
+
+    def act() -> float:
+        net = build_sdt_network(cluster, deployment)
+        addrs = {r: deployment.projection.host_map[hosts[r]] for r in range(8)}
+        return MpiJob(net, addrs, programs).run().act
+
+    rows = [["intact", f"{act() * 1e3:.3f} ms", "-"]]
+    for link_name in (("s0-0", "s1-0"), ("s1-1", "s2-1")):
+        link = topo.link_between(*link_name)
+        repair = controller.fail_link(deployment, link.index)
+        rows.append([
+            f"failed {link_name[0]}--{link_name[1]}",
+            f"{act() * 1e3:.3f} ms",
+            time_str(repair),
+        ])
+    restore = controller.restore_links(deployment)
+    rows.append(["restored", f"{act() * 1e3:.3f} ms", time_str(restore)])
+    print(format_table(
+        ["State", "Alltoall ACT (8 ranks)", "Repair time"],
+        rows, title="Live link failures on a projected 4x4 Torus",
+    ))
+
+    # --- server-centric BCube on the simulator arm ----------------------
+    bc = bcube(4, 1)
+    routes = routes_for(bc)
+    net = build_logical_network(bc, routes)
+    addrs = {r: bc.hosts[r] for r in range(16)}
+    result = MpiJob(net, addrs, alltoall(16, 8192)).run()
+    transit = sum(h.forwarded for h in net.hosts.values())
+    print(f"\nBCube(4,1) alltoall, 16 ranks: ACT={result.act * 1e3:.3f} ms, "
+          f"{transit} packets forwarded *by servers* (server-centric)")
+
+
+if __name__ == "__main__":
+    main()

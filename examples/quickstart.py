@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up an SDT rig, deploy a Fat-Tree from a config
+file, run an RoCE pingpong through the projected data plane, then
+reconfigure to a 2D-Torus with one call — no rewiring.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import SDTController, TopologyConfig, build_cluster_for
+from repro.hardware import H3C_S6861
+from repro.mpi import MpiJob
+from repro.netsim import build_sdt_network
+from repro.topology import fat_tree, torus2d
+from repro.util import time_str
+from repro.workloads import workload
+
+
+def run_pingpong(controller: SDTController, deployment) -> float:
+    """IMB-style pingpong between the first two hosts; returns mean RTT."""
+    net = build_sdt_network(controller.cluster, deployment)
+    topo = deployment.topology
+    reps = 50
+    w = workload("imb-pingpong", msglen=1024, repetitions=reps)
+    hosts = topo.hosts[:2]
+    addresses = {
+        r: deployment.projection.host_map[hosts[r]] for r in range(2)
+    }
+    result = MpiJob(net, addresses, w.build(2)).run()
+    return result.act / reps  # one RTT per repetition
+
+
+def main() -> None:
+    # 1. Plan and "cable" the physical rig once, sized for both
+    #    topologies we intend to run (the §IV-B reservation step).
+    planned = [fat_tree(4), torus2d(4, 4)]
+    cluster = build_cluster_for(planned, num_switches=2, spec=H3C_S6861)
+    controller = SDTController(cluster)
+    print(f"cluster: {len(cluster.switches)}x {cluster.spec.model}, "
+          f"{len(cluster.hosts)} hosts wired")
+
+    # 2. Deploy a Fat-Tree purely via flow tables.
+    config = TopologyConfig(kind="fat-tree", params={"k": 4})
+    problems = controller.check(config)
+    assert not problems, problems
+    deployment = controller.deploy(config)
+    print(f"deployed {deployment.name}: "
+          f"{deployment.rules.count()} flow entries, "
+          f"install time {time_str(deployment.deployment_time)}")
+
+    rtt = run_pingpong(controller, deployment)
+    print(f"fat-tree pingpong RTT (1 KiB): {time_str(rtt)}")
+
+    # 3. Reconfigure to a Torus — one call, no manual rewiring.
+    new_config = TopologyConfig(kind="torus2d", params={"x": 4, "y": 4})
+    deployment2, reconfig_time = controller.reconfigure(new_config)
+    print(f"reconfigured to {deployment2.name} in "
+          f"{time_str(reconfig_time)} (modeled control-plane time)")
+
+    rtt2 = run_pingpong(controller, deployment2)
+    print(f"torus pingpong RTT (1 KiB): {time_str(rtt2)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — a full reproduction of "SDT: A Low-cost and
+Topology-reconfigurable Testbed for Network Research" (CLUSTER 2023).
+
+Subpackages (see ``DESIGN.md`` for the complete inventory):
+
+* :mod:`repro.topology` — logical topology graph + generators
+* :mod:`repro.partition` — balanced min-cut graph partitioning (§IV-C)
+* :mod:`repro.openflow` — emulated OpenFlow switch substrate
+* :mod:`repro.hardware` — physical switch specs, wiring, clusters
+* :mod:`repro.core` — Topology Projection engines + the SDT controller
+* :mod:`repro.routing` — Table III routing strategies + deadlock analysis
+* :mod:`repro.netsim` — event-driven RoCE/PFC/DCQCN network simulator
+* :mod:`repro.mpi` — rank programs and collectives over the simulator
+* :mod:`repro.workloads` — HPC application trace generators
+* :mod:`repro.testbed` — full-testbed / SDT / simulator harnesses
+* :mod:`repro.costmodel` — Table II cost & feasibility model
+* :mod:`repro.analysis` — experiment records and table rendering
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

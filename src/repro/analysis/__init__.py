@@ -1,0 +1,14 @@
+"""Result records and table rendering for the experiment suite."""
+
+from repro.analysis.table1 import RATIONALE, TABLE1, TOOLS, render_table1
+from repro.analysis.table3 import TABLE3_CASES, build_table3, render_table3
+
+__all__ = [
+    "RATIONALE",
+    "TABLE1",
+    "TOOLS",
+    "render_table1",
+    "TABLE3_CASES",
+    "build_table3",
+    "render_table3",
+]

@@ -1,0 +1,65 @@
+"""Table III assembly — routing + deadlock scheme per topology family.
+
+Shared by the benchmark (`benchmarks/test_table3_routing.py`) and the
+CLI so the table has one source of truth.
+"""
+
+from __future__ import annotations
+
+from repro.routing.deadlock import find_cycle, required_vcs
+from repro.routing.strategies import (
+    dragonfly_minimal_routes,
+    fattree_updown_routes,
+    mesh_dimension_order_routes,
+    torus_dateline_routes,
+)
+from repro.topology import dragonfly, fat_tree, mesh2d, mesh3d, torus2d, torus3d
+from repro.util.tables import format_table
+
+TABLE3_CASES = [
+    ("Fat-Tree k=4", lambda: fat_tree(4), fattree_updown_routes,
+     "up/down (DFS)", "no need (up-down)"),
+    ("Dragonfly(4,9,2)", lambda: dragonfly(4, 9, 2), dragonfly_minimal_routes,
+     "minimal l-g-l", "changing VC on global hop"),
+    ("2D-Mesh 4x4", lambda: mesh2d(4, 4), mesh_dimension_order_routes,
+     "X-Y", "by routing"),
+    ("3D-Mesh 3x3x3", lambda: mesh3d(3, 3, 3), mesh_dimension_order_routes,
+     "X-Y-Z", "by routing"),
+    ("2D-Torus 5x5", lambda: torus2d(5, 5),
+     lambda t: torus_dateline_routes(t, (5, 5)),
+     "dimension-order + dateline", "by routing and changing VC"),
+    ("3D-Torus 4x4x4", lambda: torus3d(4, 4, 4),
+     lambda t: torus_dateline_routes(t, (4, 4, 4)),
+     "dimension-order + dateline", "by routing and changing VC"),
+]
+
+
+def build_table3(*, validate_pairs: bool = True) -> list[dict]:
+    """Compile every Table III strategy and gather its facts."""
+    rows = []
+    for name, build, strategy, route_label, deadlock_label in TABLE3_CASES:
+        topo = build()
+        table = strategy(topo)
+        if validate_pairs:
+            table.validate_all_pairs()
+        rows.append({
+            "name": name,
+            "routing": route_label,
+            "deadlock": deadlock_label,
+            "vcs": table.num_vcs,
+            "vcs_used": required_vcs(table),
+            "entries": len(table),
+            "cycle_free": find_cycle(table) is None,
+        })
+    return rows
+
+
+def render_table3(rows: list[dict] | None = None) -> str:
+    rows = rows if rows is not None else build_table3()
+    return format_table(
+        ["Topology", "Routing strategy", "Deadlock avoidance", "VCs",
+         "Entries", "CDG acyclic"],
+        [[r["name"], r["routing"], r["deadlock"], r["vcs"], r["entries"],
+          r["cycle_free"]] for r in rows],
+        title="Table III: routing + deadlock avoidance per topology",
+    )

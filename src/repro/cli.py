@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror what an SDT operator does with the real controller:
+
+* ``check``   — validate a topology config against an auto-sized rig
+* ``deploy``  — project + install, report rules and deployment time
+* ``run``     — deploy and execute a workload, report the ACT
+* ``tables``  — regenerate the paper's Table I / II / III as text
+* ``zoo``     — the synthetic Internet Topology Zoo summary
+* ``list``    — available topology kinds and workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import build_table3, render_table1, render_table3
+from repro.core import SDTController, TopologyConfig, build_cluster_for
+from repro.costmodel import render_table2
+from repro.hardware import EVAL_256x10G, H3C_S6861, SwitchSpec
+from repro.mpi import MpiJob
+from repro.netsim import build_sdt_network
+from repro.testbed import select_nodes
+from repro.topology import zoo_catalog, zoo_link_histogram
+from repro.util import format_table, time_str
+from repro.util.errors import ReproError
+from repro.workloads import registered_workloads, workload
+
+_SPECS: dict[str, SwitchSpec] = {
+    "h3c": H3C_S6861,
+    "eval256": EVAL_256x10G,
+}
+
+
+def _load_config(path: str) -> TopologyConfig:
+    return TopologyConfig.load(path)
+
+
+def _make_controller(config: TopologyConfig, args) -> SDTController:
+    topology = config.build()
+    cluster = build_cluster_for(
+        [topology], args.switches, _SPECS[args.spec],
+        spare_hosts=args.spare_hosts,
+    )
+    return SDTController(cluster)
+
+
+def cmd_check(args) -> int:
+    config = _load_config(args.config)
+    controller = _make_controller(config, args)
+    problems = controller.check(config)
+    if problems:
+        print("NOT deployable:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(f"deployable on {args.switches}x {_SPECS[args.spec].model}")
+    return 0
+
+
+def cmd_deploy(args) -> int:
+    config = _load_config(args.config)
+    controller = _make_controller(config, args)
+    deployment = controller.deploy(config)
+    stats = deployment.projection.stats()
+    print(f"deployed {deployment.name}")
+    print(f"  flow entries : {deployment.rules.count()} "
+          f"({deployment.rules.per_switch_counts()})")
+    print(f"  self-links   : {stats['self_links_used']}")
+    print(f"  inter-switch : {stats['inter_switch_links_used']}")
+    print(f"  host ports   : {stats['host_ports_used']}")
+    print(f"  install time : {time_str(deployment.deployment_time)} (modeled)")
+    return 0
+
+
+def _coerce(value: str):
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
+
+
+def cmd_run(args) -> int:
+    config = _load_config(args.config)
+    controller = _make_controller(config, args)
+    topology = config.build()
+    hosts = select_nodes(topology, args.ranks)
+    params = {}
+    for kv in args.param:
+        key, _, value = kv.partition("=")
+        params[key] = _coerce(value)
+    w = workload(args.workload, **params)
+    deployment = controller.deploy(config, active_hosts=hosts)
+    net = build_sdt_network(controller.cluster, deployment)
+    addresses = {
+        r: deployment.projection.host_map[hosts[r]] for r in range(len(hosts))
+    }
+    result = MpiJob(net, addresses, w.build(len(hosts))).run()
+    print(f"{w.name} on {deployment.name} ({len(hosts)} ranks)")
+    print(f"  ACT          : {time_str(result.act)}")
+    print(f"  bytes sent   : {result.bytes_sent}")
+    print(f"  sim events   : {result.events}")
+    print(f"  deploy time  : {time_str(deployment.deployment_time)}")
+    return 0
+
+
+def cmd_tables(args) -> int:
+    which = args.table
+    if which in ("1", "all"):
+        print(render_table1())
+        print()
+    if which in ("2", "all"):
+        print(render_table2())
+        print()
+    if which in ("3", "all"):
+        print(render_table3(build_table3()))
+    return 0
+
+
+def cmd_zoo(_args) -> int:
+    hist = zoo_link_histogram()
+    print(format_table(
+        ["Band", "Topologies"],
+        [[k, v] for k, v in hist.items()],
+        title="Synthetic Internet Topology Zoo",
+    ))
+    big = sorted(zoo_catalog(), key=lambda e: -e.num_links)[:8]
+    print("\nlargest entries:")
+    for e in big:
+        print(f"  {e.name:12s} {e.num_switches:4d} switches "
+              f"{e.num_links:4d} links")
+    return 0
+
+
+def cmd_list(_args) -> int:
+    from repro.core.controller.config import _GENERATORS
+
+    print("topology kinds :", ", ".join(sorted(_GENERATORS)), "+ custom")
+    print("workloads      :", ", ".join(registered_workloads()))
+    print("switch specs   :", ", ".join(
+        f"{k} ({v.model})" for k, v in _SPECS.items()
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SDT (CLUSTER 2023) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p) -> None:
+        p.add_argument("--switches", type=int, default=3,
+                       help="physical switches in the rig (default 3)")
+        p.add_argument("--spec", choices=sorted(_SPECS), default="eval256",
+                       help="switch model (default eval256)")
+        p.add_argument("--spare-hosts", type=int, default=0)
+
+    p = sub.add_parser("check", help="validate a topology config")
+    p.add_argument("config")
+    common(p)
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("deploy", help="project + install a topology")
+    p.add_argument("config")
+    common(p)
+    p.set_defaults(fn=cmd_deploy)
+
+    p = sub.add_parser("run", help="deploy and run a workload")
+    p.add_argument("config")
+    p.add_argument("--workload", default="imb-alltoall",
+                   choices=registered_workloads())
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="workload parameter override (repeatable)")
+    common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("tables", help="regenerate paper tables")
+    p.add_argument("table", choices=["1", "2", "3", "all"], default="all",
+                   nargs="?")
+    p.set_defaults(fn=cmd_tables)
+
+    p = sub.add_parser("zoo", help="synthetic Topology Zoo summary")
+    p.set_defaults(fn=cmd_zoo)
+
+    p = sub.add_parser("list", help="available kinds/workloads/specs")
+    p.set_defaults(fn=cmd_list)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # output piped into head etc.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""SDT core: Topology Projection engines, rule synthesis, controller."""
+
+from repro.core.autobuild import build_cluster_for
+from repro.core.controller import Deployment, SDTController, TopologyConfig
+from repro.core.projection import (
+    LinkProjection,
+    ProjectionResult,
+    SwitchProjection,
+    plan_inter_switch_reservation,
+    turbonet_project,
+)
+from repro.core.rules import RuleSet, flow_override, synthesize_rules
+
+__all__ = [
+    "build_cluster_for",
+    "Deployment",
+    "SDTController",
+    "TopologyConfig",
+    "LinkProjection",
+    "ProjectionResult",
+    "SwitchProjection",
+    "plan_inter_switch_reservation",
+    "turbonet_project",
+    "RuleSet",
+    "flow_override",
+    "synthesize_rules",
+]

@@ -1,0 +1,62 @@
+"""Cluster auto-sizing: wire an SDT rig for a set of planned topologies.
+
+Implements the §IV-B deployment procedure: partition every topology the
+user plans to run, reserve the **max** per-pair inter-switch links, the
+max per-switch host ports, and check the leftover ports cover the max
+self-link demand. Raises a :class:`CapacityError` that names the exact
+shortfall (how many more ports or switches are needed).
+"""
+
+from __future__ import annotations
+
+from repro.core.projection.linkproj import plan_inter_switch_reservation
+from repro.hardware.cluster import PhysicalCluster
+from repro.hardware.spec import SwitchSpec
+from repro.topology.graph import Topology
+from repro.util.errors import CapacityError
+
+
+def build_cluster_for(
+    topologies: list[Topology],
+    num_switches: int,
+    spec: SwitchSpec,
+    *,
+    partition_method: str = "multilevel",
+    seed: int = 0,
+    spare_hosts: int = 0,
+    usages: list | None = None,
+) -> PhysicalCluster:
+    """Build a cluster whose fixed wiring accommodates every topology.
+
+    ``spare_hosts`` adds extra host ports per switch beyond the computed
+    demand (useful when later experiments attach more nodes). ``usages``
+    parallels ``topologies`` with optional
+    :class:`~repro.core.projection.pruning.UsageSet` entries so pruned
+    deployments are planned at their pruned size.
+    """
+    budget = plan_inter_switch_reservation(
+        topologies,
+        num_switches,
+        partition_method=partition_method,
+        seed=seed,
+        usages=usages,
+    )
+    hosts_per_switch = budget["hosts_per_switch"] + spare_hosts
+    inter_per_pair = budget["inter_links_per_pair"]
+    self_needed = budget["self_links_per_switch"]
+
+    inter_ports = inter_per_pair * (num_switches - 1)
+    needed = hosts_per_switch + inter_ports + 2 * self_needed
+    if needed > spec.num_ports:
+        raise CapacityError(
+            f"{spec.model}: needs {needed} ports per switch "
+            f"({hosts_per_switch} host + {inter_ports} inter-switch + "
+            f"{2 * self_needed} self-link) but has {spec.num_ports}; "
+            f"add switches or use a larger switch"
+        )
+    return PhysicalCluster.build(
+        num_switches,
+        spec,
+        hosts_per_switch=hosts_per_switch,
+        inter_links_per_pair=inter_per_pair,
+    )

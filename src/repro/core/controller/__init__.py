@@ -1,0 +1,13 @@
+"""The SDT controller and its four §V modules."""
+
+from repro.core.controller.config import TopologyConfig
+from repro.core.controller.controller import Deployment, SDTController
+from repro.core.controller.monitor import NetworkMonitor, PortSample
+
+__all__ = [
+    "TopologyConfig",
+    "Deployment",
+    "SDTController",
+    "NetworkMonitor",
+    "PortSample",
+]

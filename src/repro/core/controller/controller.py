@@ -1,0 +1,361 @@
+"""The SDT controller (§V).
+
+Four modules, mirroring Fig. 9:
+
+* **Topology Customization** — :meth:`SDTController.check` (the
+  checking function) and :meth:`SDTController.deploy` (the deployment
+  function): logical topology in, flow tables out, fully automated.
+* **Routing Strategy** — pluggable strategies (Table III) compiled into
+  table-1 rules; per-flow overrides for active routing.
+* **Deadlock Avoidance** — CDG acyclicity verified before any lossless
+  deployment (refusing to install a deadlockable configuration).
+* **Network Monitor** — :class:`~repro.core.controller.monitor.NetworkMonitor`.
+
+Several topologies can coexist (disjoint wiring resources + disjoint
+metadata tags + disjoint cookies) — the hardware-isolation experiment
+of §VI-B deploys two and shows no packet leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller.config import TopologyConfig
+from repro.core.controller.monitor import NetworkMonitor
+from repro.core.projection.base import ProjectionResult
+from repro.core.projection.hybrid import HybridLinkProjection, HybridPlan
+from repro.core.projection.linkproj import LinkProjection
+from repro.core.projection.pruning import route_usage
+from repro.core.rules import RuleSet, flow_override, synthesize_rules
+from repro.hardware.cluster import PhysicalCluster
+from repro.hardware.optical import OpticalCircuitSwitch
+from repro.openflow.channel import BarrierRequest, FlowDelete
+from repro.routing.deadlock import assert_deadlock_free
+from repro.routing.repair import reroute_avoiding
+from repro.routing.strategies import (
+    dragonfly_minimal_routes,
+    fattree_updown_routes,
+    mesh_dimension_order_routes,
+    routes_for,
+    shortest_path_routes,
+    torus_dateline_routes,
+)
+from repro.routing.table import RouteTable
+from repro.topology.graph import Topology
+from repro.util.errors import CapacityError, ConfigurationError
+
+_STRATEGIES = {
+    "auto": routes_for,
+    "shortest-path": shortest_path_routes,
+    "fat-tree-updown": fattree_updown_routes,
+    "dragonfly-minimal": dragonfly_minimal_routes,
+    "dimension-order": mesh_dimension_order_routes,
+}
+
+
+@dataclass
+class Deployment:
+    """A live projected topology."""
+
+    config: TopologyConfig | None
+    topology: Topology
+    projection: ProjectionResult
+    routes: RouteTable
+    rules: RuleSet
+    cookie: int
+    deployment_time: float  # modeled control-plane time to install
+    #: optical circuits minted for this deployment (hybrid SDT-OS only)
+    hybrid_plan: "HybridPlan | None" = None
+    #: logical links currently marked failed (indices into topology.links)
+    failed_links: set[int] = field(default_factory=set)
+
+    @property
+    def name(self) -> str:
+        return self.topology.name
+
+
+@dataclass
+class SDTController:
+    """Drives one physical cluster; owns deployments and their resources."""
+
+    cluster: PhysicalCluster
+    partition_method: str = "multilevel"
+    seed: int = 0
+    #: optional optical circuit switch for §VII-A flex links; when set,
+    #: deployments that outgrow the fixed wiring mint optical links
+    #: instead of failing
+    optical: OpticalCircuitSwitch | None = None
+    deployments: list[Deployment] = field(default_factory=list)
+    _next_cookie: int = 1
+    _next_metadata: int = 1
+    monitor: NetworkMonitor = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.monitor = NetworkMonitor(
+            self.cluster.control, port_rate=self.cluster.spec.port_rate
+        )
+
+    # --- resource bookkeeping ------------------------------------------
+    def _occupied(self) -> set:
+        used: set = set()
+        for d in self.deployments:
+            used.update(d.projection.link_realization.values())
+        return used
+
+    def _projector(self) -> LinkProjection:
+        return LinkProjection(
+            self.cluster,
+            partition_method=self.partition_method,
+            seed=self.seed,
+            exclude=self._occupied(),
+            metadata_base=self._next_metadata,
+        )
+
+    # --- Topology Customization: checking function ----------------------
+    def check(self, config: TopologyConfig) -> list[str]:
+        """Validate a config against the wiring; returns deficiency
+        messages (empty = deployable)."""
+        topology = config.build()
+        _partition, problems = self._projector().check(topology)
+        problems.extend(self._flow_capacity_problems(topology, config))
+        return problems
+
+    def _flow_capacity_problems(
+        self, topology: Topology, config: TopologyConfig
+    ) -> list[str]:
+        """§VII-C: pre-estimate flow-entry demand against switch TCAMs."""
+        routes = self._routes_for(topology, config.routing)
+        try:
+            projection = self._projector().project(topology)
+        except CapacityError:
+            return []  # port problems already reported by check()
+        rules = synthesize_rules(projection, routes, cookie=0)
+        problems = []
+        for name, count in rules.per_switch_counts().items():
+            sw = self.cluster.switches[name]
+            if count > sw.free_entries:
+                problems.append(
+                    f"{name}: needs {count} flow entries, only "
+                    f"{sw.free_entries} free (capacity "
+                    f"{sw.flow_table_capacity}) — merge entries, split the "
+                    f"topology, or add switches"
+                )
+        return problems
+
+    # --- Routing Strategy module ------------------------------------------
+    def _routes_for(self, topology: Topology, strategy: str) -> RouteTable:
+        if strategy in _STRATEGIES:
+            return _STRATEGIES[strategy](topology)
+        if strategy.startswith("torus-dateline"):
+            dims = tuple(int(x) for x in topology.name.split("-")[1].split("x"))
+            return torus_dateline_routes(topology, dims)
+        raise ConfigurationError(
+            f"unknown routing strategy {strategy!r}; choose from "
+            f"{sorted(_STRATEGIES)} or 'torus-dateline'"
+        )
+
+    # --- Topology Customization: deployment function ------------------------
+    def deploy(
+        self,
+        config: TopologyConfig | Topology,
+        *,
+        routes: RouteTable | None = None,
+        active_hosts: list[str] | None = None,
+    ) -> Deployment:
+        """Project, verify, and install a topology. Returns the live
+        deployment; its modeled install time feeds Fig. 13.
+
+        ``active_hosts`` enables route-usage pruning: only links on
+        routes between those hosts receive hardware (how the paper fits
+        a 4x4x4 Torus with 32 selected nodes onto 3 switches).
+        """
+        if isinstance(config, Topology):
+            topology, cfg = config, None
+            strategy = "auto"
+            lossless = True
+        else:
+            topology, cfg = config.build(), config
+            strategy = config.routing
+            lossless = config.lossless
+
+        if routes is None:
+            routes = self._routes_for(topology, strategy)
+        if lossless:
+            # Deadlock Avoidance module: refuse deadlockable lossless nets
+            assert_deadlock_free(routes)
+
+        usage = (
+            route_usage(topology, routes, active_hosts)
+            if active_hosts is not None
+            else None
+        )
+        hybrid_plan = None
+        optical_time = 0.0
+        if self.optical is not None:
+            hybrid = HybridLinkProjection(
+                self.cluster,
+                self.optical,
+                partition_method=self.partition_method,
+                seed=self.seed,
+                exclude=self._occupied(),
+                metadata_base=self._next_metadata,
+            )
+            projection, hybrid_plan, optical_time = hybrid.project(
+                topology, usage=usage
+            )
+        else:
+            projection = self._projector().project(topology, usage=usage)
+        cookie = self._next_cookie
+        rules = synthesize_rules(projection, routes, cookie=cookie)
+
+        # capacity check before touching hardware
+        for name, count in rules.per_switch_counts().items():
+            sw = self.cluster.switches[name]
+            if count > sw.free_entries:
+                raise CapacityError(
+                    f"{name}: {count} entries needed, {sw.free_entries} free"
+                )
+
+        before = {
+            n: c.stats.modeled_time
+            for n, c in self.cluster.control.channels.items()
+        }
+        for name, mods in rules.mods.items():
+            channel = self.cluster.control.channel(name)
+            for mod in mods:
+                channel.send(mod)
+            channel.send(BarrierRequest())
+        deployment_time = optical_time + max(
+            c.stats.modeled_time - before[n]
+            for n, c in self.cluster.control.channels.items()
+        )
+
+        deployment = Deployment(
+            config=cfg,
+            topology=topology,
+            projection=projection,
+            routes=routes,
+            rules=rules,
+            cookie=cookie,
+            deployment_time=deployment_time,
+            hybrid_plan=hybrid_plan,
+        )
+        self.deployments.append(deployment)
+        self._next_cookie += 1
+        self._next_metadata += len(topology.switches)
+        return deployment
+
+    def undeploy(self, deployment: Deployment) -> float:
+        """Remove a deployment's rules; returns modeled removal time."""
+        if deployment not in self.deployments:
+            raise ConfigurationError(f"{deployment.name!r} is not deployed")
+        before = {
+            n: c.stats.modeled_time
+            for n, c in self.cluster.control.channels.items()
+        }
+        for name in deployment.rules.mods:
+            channel = self.cluster.control.channel(name)
+            channel.send(FlowDelete(cookie=deployment.cookie))
+            channel.send(BarrierRequest())
+        self.deployments.remove(deployment)
+        optical_time = 0.0
+        if deployment.hybrid_plan is not None and self.optical is not None:
+            hybrid = HybridLinkProjection(self.cluster, self.optical)
+            optical_time = hybrid.release(deployment.hybrid_plan)
+        return optical_time + max(
+            c.stats.modeled_time - before[n]
+            for n, c in self.cluster.control.channels.items()
+        )
+
+    def reconfigure(
+        self,
+        config: TopologyConfig | Topology,
+        *,
+        active_hosts: list[str] | None = None,
+    ) -> tuple[Deployment, float]:
+        """Tear down everything and deploy ``config`` — the one-command
+        topology swap of Fig. 2. Returns (deployment, total modeled
+        reconfiguration time): no rewiring, no optics, just flow tables.
+        """
+        removal = 0.0
+        for d in list(self.deployments):
+            removal += self.undeploy(d)
+        deployment = self.deploy(config, active_hosts=active_hosts)
+        return deployment, removal + deployment.deployment_time
+
+    # --- failure handling ----------------------------------------------------
+    def update_routes(self, deployment: Deployment, routes: RouteTable) -> float:
+        """Swap a live deployment's routing in place (same projection,
+        fresh flow tables). Returns the modeled control-plane time."""
+        if deployment not in self.deployments:
+            raise ConfigurationError(f"{deployment.name!r} is not deployed")
+        before = {
+            n: c.stats.modeled_time
+            for n, c in self.cluster.control.channels.items()
+        }
+        for name in deployment.rules.mods:
+            channel = self.cluster.control.channel(name)
+            channel.send(FlowDelete(cookie=deployment.cookie))
+        cookie = self._next_cookie
+        self._next_cookie += 1
+        rules = synthesize_rules(deployment.projection, routes, cookie=cookie)
+        for name, mods in rules.mods.items():
+            channel = self.cluster.control.channel(name)
+            for mod in mods:
+                channel.send(mod)
+            channel.send(BarrierRequest())
+        deployment.routes = routes
+        deployment.rules = rules
+        deployment.cookie = cookie
+        return max(
+            c.stats.modeled_time - before[n]
+            for n, c in self.cluster.control.channels.items()
+        )
+
+    def fail_link(self, deployment: Deployment, link_index: int) -> float:
+        """Mark a logical link failed and reroute around it.
+
+        Repair routes are generic shortest paths that avoid every failed
+        link; the Deadlock Avoidance module vets them before install
+        (lossless deployments refuse deadlockable repairs). Returns the
+        modeled repair time — the figure of merit for fault-tolerance
+        experiments on SDT.
+        """
+        deployment.failed_links.add(link_index)
+        routes = reroute_avoiding(
+            deployment.topology, deployment.failed_links
+        )
+        return self.update_routes(deployment, routes)
+
+    def restore_links(self, deployment: Deployment) -> float:
+        """Clear all failures and reinstall the original strategy."""
+        deployment.failed_links.clear()
+        strategy = (
+            deployment.config.routing if deployment.config else "auto"
+        )
+        routes = self._routes_for(deployment.topology, strategy)
+        return self.update_routes(deployment, routes)
+
+    # --- active routing support (§VI-E) -----------------------------------
+    def install_flow_override(
+        self,
+        deployment: Deployment,
+        logical_switch: str,
+        *,
+        src: str,
+        dst: str,
+        out_port_index: int,
+        vc: int = 0,
+    ) -> None:
+        """Steer one (src, dst) flow at one logical switch — the
+        controller-side half of active routing."""
+        phys, mod = flow_override(
+            deployment.projection,
+            logical_switch,
+            src=src,
+            dst=dst,
+            out_port_index=out_port_index,
+            vc=vc,
+            cookie=deployment.cookie,
+        )
+        self.cluster.control.channel(phys).send(mod)

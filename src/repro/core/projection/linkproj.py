@@ -1,0 +1,265 @@
+"""Link Projection — the SDT method (§IV).
+
+SP projects *switches* first and then asks for cables matching the
+logical links; LP inverts that: the physical cabling (self-links,
+inter-switch links, host ports) is **fixed**, logical links are
+projected onto physical links, and the sub-switch partition *follows*
+from where the link endpoints landed. Reconfiguration therefore needs
+no rewiring — only new flow tables.
+
+Multi-switch LP (§IV-B) first partitions the logical topology so that
+each part's internal links fit the owning switch's self-links and each
+part pair's crossing links fit the reserved inter-switch links.
+"""
+
+from __future__ import annotations
+
+from repro.core.projection.base import (
+    PhysPort,
+    ProjectionResult,
+    SubSwitch,
+    host_port_demand,
+    inter_switch_link_demand,
+    self_link_demand,
+)
+from repro.hardware.cluster import PhysicalCluster
+from repro.partition import Partition, partition_topology
+from repro.topology.graph import Topology
+from repro.util.errors import CapacityError, ProjectionError
+
+
+class LinkProjection:
+    """Projects logical topologies onto a fixed-wired SDT cluster."""
+
+    def __init__(
+        self,
+        cluster: PhysicalCluster,
+        *,
+        partition_method: str = "multilevel",
+        seed: int = 0,
+        exclude: set | None = None,
+        metadata_base: int = 1,
+    ) -> None:
+        """``exclude`` holds wiring resources (SelfLink / InterSwitchLink
+        / HostPort objects) already claimed by a coexisting deployment;
+        ``metadata_base`` offsets sub-switch metadata ids so coexisting
+        topologies never share a tag (§VI-B isolation)."""
+        self.cluster = cluster
+        self.partition_method = partition_method
+        self.seed = seed
+        self.exclude = exclude or set()
+        self.metadata_base = metadata_base
+
+    def _available(self, items: list) -> list:
+        return [i for i in items if i not in self.exclude]
+
+    # --- feasibility (the controller's "checking function", §V-1) -------
+    def check(
+        self,
+        topology: Topology,
+        partition: Partition | None = None,
+        usage=None,
+    ) -> tuple[Partition, list[str]]:
+        """Partition (if needed) and verify resource fit.
+
+        Returns the partition and a list of human-readable deficiencies;
+        an empty list means the topology is deployable as-is. The
+        deficiency strings name the exact wiring modification required
+        (the paper: "the module will inform the user of the necessary
+        link modification").
+        """
+        topology.validate()
+        for h in topology.hosts:
+            if topology.radix(h) > 1:
+                raise ProjectionError(
+                    f"host {h!r} is multi-homed ({topology.radix(h)} NICs); "
+                    "projection currently supports single-homed hosts "
+                    "(server-centric topologies like BCube run on the "
+                    "logical simulator arm)"
+                )
+        num_phys = len(self.cluster.switch_names)
+        if partition is None:
+            parts = min(num_phys, len(topology.switches))
+            partition = partition_topology(
+                topology, parts, method=self.partition_method, seed=self.seed
+            )
+        problems: list[str] = []
+        wiring = self.cluster.wiring
+        names = self.cluster.switch_names
+
+        selfd = self_link_demand(topology, partition, usage)
+        for part, needed in sorted(selfd.items()):
+            have = len(self._available(wiring.self_links_of(names[part])))
+            if needed > have:
+                problems.append(
+                    f"{names[part]}: needs {needed} self-links, wired {have} "
+                    f"(add {needed - have} loop cables)"
+                )
+
+        interd = inter_switch_link_demand(topology, partition, usage)
+        for (pa, pb), needed in sorted(interd.items()):
+            have = len(self._available(wiring.inter_links_between(names[pa], names[pb])))
+            if needed > have:
+                problems.append(
+                    f"{names[pa]}<->{names[pb]}: needs {needed} inter-switch "
+                    f"links, wired {have} (add {needed - have} cables)"
+                )
+
+        hostd = host_port_demand(topology, partition, usage)
+        for part, needed in sorted(hostd.items()):
+            have = len(self._available(wiring.hosts_of(names[part])))
+            if needed > have:
+                problems.append(
+                    f"{names[part]}: needs {needed} host ports, wired {have} "
+                    f"(attach {needed - have} more hosts)"
+                )
+        return partition, problems
+
+    # --- projection ---------------------------------------------------
+    def project(
+        self,
+        topology: Topology,
+        partition: Partition | None = None,
+        usage=None,
+    ) -> ProjectionResult:
+        """Run LP; raises :class:`CapacityError` naming every deficiency
+        when the wiring cannot host the topology. ``usage`` (from
+        :func:`~repro.core.projection.pruning.route_usage`) restricts
+        the projection to the links/hosts a workload can reach."""
+        partition, problems = self.check(topology, partition, usage)
+        if problems:
+            raise CapacityError(
+                f"cannot project {topology.name!r}: " + "; ".join(problems)
+            )
+
+        names = self.cluster.switch_names
+        wiring = self.cluster.wiring
+        part_to_phys = {p: names[p] for p in range(partition.num_parts)}
+
+        # free-resource pools, consumed as links are realized
+        self_pool = {n: self._available(wiring.self_links_of(n)) for n in names}
+        inter_pool = {
+            (a, b): self._available(wiring.inter_links_between(a, b))
+            for i, a in enumerate(names)
+            for b in names[i + 1 :]
+        }
+        host_pool = {n: self._available(wiring.hosts_of(n)) for n in names}
+
+        subswitches = {
+            sw: SubSwitch(
+                logical_switch=sw,
+                phys_switch=part_to_phys[partition.part_of(sw)],
+                metadata_id=self.metadata_base + i,  # 0 = unclassified
+            )
+            for i, sw in enumerate(topology.switches)
+        }
+        port_map: dict = {}
+        host_map: dict[str, str] = {}
+        link_realization: dict = {}
+
+        def bind(logical_port, phys_port: PhysPort) -> None:
+            port_map[logical_port] = phys_port
+            subswitches[logical_port.node].ports[logical_port.index] = phys_port
+
+        for link in topology.switch_links:
+            if usage is not None and not usage.uses_link(link.index):
+                continue
+            pa = partition.part_of(link.a.node)
+            pb = partition.part_of(link.b.node)
+            if pa == pb:
+                phys = part_to_phys[pa]
+                if not self_pool[phys]:
+                    raise CapacityError(f"{phys}: ran out of self-links")
+                cable = self_pool[phys].pop(0)
+                bind(link.a, PhysPort(phys, cable.port_a))
+                bind(link.b, PhysPort(phys, cable.port_b))
+                link_realization[link.index] = cable
+            else:
+                a_name, b_name = part_to_phys[pa], part_to_phys[pb]
+                key = (a_name, b_name) if (a_name, b_name) in inter_pool else (
+                    b_name,
+                    a_name,
+                )
+                pool = inter_pool.get(key, [])
+                if not pool:
+                    raise CapacityError(
+                        f"{a_name}<->{b_name}: ran out of inter-switch links"
+                    )
+                cable = pool.pop(0)
+                bind(link.a, PhysPort(a_name, cable.endpoint_on(a_name)))
+                bind(link.b, PhysPort(b_name, cable.endpoint_on(b_name)))
+                link_realization[link.index] = cable
+
+        for link in topology.host_links:
+            if usage is not None and not usage.uses_link(link.index):
+                continue
+            if topology.is_switch(link.a.node):
+                sw_port, host_end = link.a, link.b
+            else:
+                sw_port, host_end = link.b, link.a
+            host = host_end.node
+            phys = part_to_phys[partition.part_of(sw_port.node)]
+            if not host_pool[phys]:
+                raise CapacityError(f"{phys}: ran out of host ports")
+            hp = host_pool[phys].pop(0)
+            bind(sw_port, PhysPort(phys, hp.port))
+            host_map[host] = hp.host
+            link_realization[link.index] = hp
+
+        result = ProjectionResult(
+            topology=topology,
+            partition=partition,
+            part_to_phys=part_to_phys,
+            subswitches=subswitches,
+            port_map=port_map,
+            host_map=host_map,
+            link_realization=link_realization,
+            usage=usage,
+        )
+        result.validate()
+        return result
+
+
+def plan_inter_switch_reservation(
+    topologies: list[Topology],
+    num_switches: int,
+    *,
+    partition_method: str = "multilevel",
+    seed: int = 0,
+    usages: list | None = None,
+) -> dict[str, int]:
+    """§IV-B's wiring-reservation rule: partition every topology the
+    user intends to run and reserve the *maximum* per-pair inter-switch
+    links, max per-switch self-links and host ports across all of them.
+
+    Returns the wiring budget: ``{"inter_links_per_pair": n,
+    "self_links_per_switch": m, "hosts_per_switch": h}``.
+    """
+    if num_switches < 1:
+        raise ProjectionError("need at least one physical switch")
+    if usages is None:
+        usages = [None] * len(topologies)
+    if len(usages) != len(topologies):
+        raise ProjectionError("usages list must parallel topologies list")
+    max_inter = 0
+    max_self = 0
+    max_hosts = 0
+    for topo, usage in zip(topologies, usages):
+        parts = min(num_switches, len(topo.switches))
+        partition = partition_topology(
+            topo, parts, method=partition_method, seed=seed
+        )
+        interd = inter_switch_link_demand(topo, partition, usage)
+        if interd:
+            max_inter = max(max_inter, max(interd.values()))
+        selfd = self_link_demand(topo, partition, usage)
+        if selfd:
+            max_self = max(max_self, max(selfd.values()))
+        hostd = host_port_demand(topo, partition, usage)
+        if hostd:
+            max_hosts = max(max_hosts, max(hostd.values()))
+    return {
+        "inter_links_per_pair": max_inter,
+        "self_links_per_switch": max_self,
+        "hosts_per_switch": max_hosts,
+    }

@@ -1,0 +1,158 @@
+"""Switch Projection (SP) and SP-OS — the manual/optical baselines (§III).
+
+SP divides each physical switch into sub-switches *first* (contiguous
+port blocks sized by the logical radix), projects logical switches onto
+the blocks, and then asks a human to run one cable per logical link
+between the corresponding ports (Fig. 3). A topology change therefore
+re-runs the cabling: :func:`recabling_moves` diffs two cable plans and
+the cost model turns moves into hours.
+
+SP-OS (Fig. 4) patches every physical port into a MEMS optical switch
+once; a reconfiguration reprograms the optical crossbar instead of
+moving cables. The projection math is identical — only the *realizer*
+of each cable changes — so :class:`SwitchProjection` serves both, and
+:func:`optical_crossbar_config` emits the crossbar state for SP-OS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.projection.base import PhysPort, ProjectionResult, SubSwitch
+from repro.partition.objective import Partition
+from repro.topology.graph import Topology
+from repro.util.errors import CapacityError, ProjectionError
+
+
+@dataclass(frozen=True)
+class Cable:
+    """A manual cable (SP) or an optical crossbar circuit (SP-OS)."""
+
+    a: PhysPort
+    b: PhysPort
+
+    def normalized(self) -> "Cable":
+        ka, kb = (self.a.switch, self.a.port), (self.b.switch, self.b.port)
+        return self if ka <= kb else Cable(self.b, self.a)
+
+
+@dataclass
+class CablePlan:
+    """All cables one SP deployment needs, plus host attachments."""
+
+    cables: list[Cable] = field(default_factory=list)
+    host_cables: dict[str, PhysPort] = field(default_factory=dict)  # host->port
+
+    def normalized_set(self) -> set[Cable]:
+        return {c.normalized() for c in self.cables}
+
+
+class SwitchProjection:
+    """SP: sub-switch blocks first, cables second."""
+
+    def __init__(self, phys_switches: dict[str, int]) -> None:
+        """``phys_switches`` maps physical switch name -> port count."""
+        if not phys_switches:
+            raise ProjectionError("SP needs at least one physical switch")
+        self.phys_switches = dict(phys_switches)
+
+    def project(self, topology: Topology) -> tuple[ProjectionResult, CablePlan]:
+        """Project ``topology``; returns the port mapping and the cable
+        plan a technician must execute."""
+        topology.validate()
+        names = list(self.phys_switches)
+
+        # walk physical ports block by block, one block per logical switch
+        cursor = {n: 1 for n in names}
+        current = 0  # index into names
+
+        assignment: dict[str, int] = {}
+        subswitches: dict[str, SubSwitch] = {}
+        port_map: dict = {}
+
+        for meta, sw in enumerate(topology.switches, start=1):
+            radix = topology.radix(sw)
+            # advance to a switch with enough contiguous free ports
+            while (
+                current < len(names)
+                and cursor[names[current]] + radix - 1
+                > self.phys_switches[names[current]]
+            ):
+                current += 1
+            if current >= len(names):
+                raise CapacityError(
+                    f"SP: out of physical ports while placing {sw!r} "
+                    f"(radix {radix})"
+                )
+            phys = names[current]
+            sub = SubSwitch(logical_switch=sw, phys_switch=phys, metadata_id=meta)
+            for lp in topology.ports_of(sw):
+                sub.ports[lp.index] = PhysPort(phys, cursor[phys])
+                port_map[lp] = sub.ports[lp.index]
+                cursor[phys] += 1
+            subswitches[sw] = sub
+            assignment[sw] = current
+
+        partition = Partition(assignment, num_parts=len(names))
+        part_to_phys = {i: n for i, n in enumerate(names)}
+
+        plan = CablePlan()
+        host_map: dict[str, str] = {}
+        link_realization: dict = {}
+        host_idx = 0
+        for link in topology.links:
+            a_node, b_node = link.a.node, link.b.node
+            if topology.is_switch(a_node) and topology.is_switch(b_node):
+                cable = Cable(port_map[link.a], port_map[link.b])
+                plan.cables.append(cable)
+                link_realization[link.index] = cable
+            else:
+                sw_port = link.a if topology.is_switch(a_node) else link.b
+                host = link.other(sw_port.node)
+                phys_port = port_map[sw_port]
+                phys_host = f"node{host_idx}"
+                host_idx += 1
+                plan.host_cables[host] = phys_port
+                host_map[host] = phys_host
+                link_realization[link.index] = Cable(phys_port, phys_port)
+
+        result = ProjectionResult(
+            topology=topology,
+            partition=partition,
+            part_to_phys=part_to_phys,
+            subswitches=subswitches,
+            port_map=port_map,
+            host_map=host_map,
+            link_realization=link_realization,
+        )
+        return result, plan
+
+
+def recabling_moves(old: CablePlan, new: CablePlan) -> int:
+    """Manual cable operations to go from ``old`` to ``new``:
+    every removed cable plus every added cable counts one move."""
+    old_set, new_set = old.normalized_set(), new.normalized_set()
+    return len(old_set - new_set) + len(new_set - old_set)
+
+
+def optical_crossbar_config(plan: CablePlan) -> dict[PhysPort, PhysPort]:
+    """SP-OS: the optical crossbar state realizing a cable plan.
+
+    Every packet-switch port is patched into the optical switch; each
+    required cable becomes a bidirectional circuit between the two
+    ports. Reconfiguration rewrites this mapping in ~one MEMS settling
+    time (the ~100 ms Table II cites) instead of hours of recabling.
+    """
+    config: dict[PhysPort, PhysPort] = {}
+    for cable in plan.cables:
+        if cable.a in config or cable.b in config:
+            raise ProjectionError(f"port reused in optical config: {cable}")
+        config[cable.a] = cable.b
+        config[cable.b] = cable.a
+    return config
+
+
+def optical_ports_required(plan: CablePlan) -> int:
+    """Optical switch ports consumed by a plan (2 per circuit; host
+    cables bypass the optical switch in SP-OS deployments)."""
+    return 2 * len(plan.cables)

@@ -1,0 +1,86 @@
+"""TurboNet-style projection (loopback ports on a P4 switch) [34].
+
+TurboNet emulates a topology inside one Tofino by sending packets that
+traverse an emulated link out through a *loopback* port and straight
+back in. Every emulated-link crossing therefore consumes the port's
+bandwidth **twice** (out + in), which is the "halved bandwidth" penalty
+the paper leans on in Table II, and changing the emulated topology
+means recompiling the P4 program (tens of seconds).
+
+We model the Port Mapper (PM) variant the paper compares against: one
+loopback port pair per emulated link. (Queue Mapper packs multiple
+links per port at even lower per-link bandwidth; the paper excludes it
+for DC-class experiments, and so do we.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.projection.base import PhysPort
+from repro.topology.graph import Topology
+from repro.util.errors import CapacityError
+
+
+@dataclass(frozen=True)
+class LoopbackAssignment:
+    """The loopback port pair realizing one emulated link."""
+
+    link_index: int
+    port_a: PhysPort
+    port_b: PhysPort
+
+
+@dataclass
+class TurboNetProjection:
+    """A compiled TurboNet emulation."""
+
+    topology: Topology
+    assignments: list[LoopbackAssignment]
+    effective_link_rate: float  # bytes/s per emulated link
+
+    @property
+    def ports_used(self) -> int:
+        return 2 * len(self.assignments)
+
+
+def turbonet_project(
+    topology: Topology,
+    *,
+    phys_switch: str = "tofino0",
+    num_ports: int = 64,
+    port_rate: float = 0.0,
+) -> TurboNetProjection:
+    """Map every logical switch-to-switch link onto a loopback pair.
+
+    Host links terminate on front-panel ports and are not loopbacked,
+    matching TurboNet PM. Raises :class:`CapacityError` when links +
+    host attachments exceed the port budget.
+    """
+    topology.validate()
+    switch_links = topology.switch_links
+    host_links = topology.host_links
+    ports_needed = 2 * len(switch_links) + len(host_links)
+    if ports_needed > num_ports:
+        raise CapacityError(
+            f"TurboNet: {topology.name!r} needs {ports_needed} ports "
+            f"({len(switch_links)} loopback pairs + {len(host_links)} host "
+            f"ports) but the switch has {num_ports}"
+        )
+    assignments: list[LoopbackAssignment] = []
+    cursor = 1 + len(host_links)  # hosts take the first ports
+    for link in switch_links:
+        assignments.append(
+            LoopbackAssignment(
+                link_index=link.index,
+                port_a=PhysPort(phys_switch, cursor),
+                port_b=PhysPort(phys_switch, cursor + 1),
+            )
+        )
+        cursor += 2
+    return TurboNetProjection(
+        topology=topology,
+        assignments=assignments,
+        # out + in on the same port budget: emulated links run at half rate
+        effective_link_rate=port_rate / 2.0,
+    )

@@ -1,0 +1,178 @@
+"""OpenFlow rule synthesis for a projected topology.
+
+The SDT pipeline on every physical switch uses two tables:
+
+* **Table 0 — classification.** One rule per in-use physical port:
+  tag the packet with its sub-switch's ``metadata_id`` and continue to
+  table 1. This is what *partitions* the physical switch (§IV-A):
+  a port's sub-switch membership is pure flow-table state.
+* **Table 1 — routing.** One rule per (sub-switch, destination host
+  [, incoming VC]): match the metadata tag plus the packet's
+  destination, emit on the physical port that realizes the logical
+  next-hop, optionally rewriting VC/queue for deadlock avoidance.
+
+A table miss anywhere drops the packet — the default-deny that gives
+SDT its hardware isolation (§VI-B). Rule counts stay small because
+routing is destination-based: the paper's ~300 entries/switch for a
+k=4 Fat-Tree on two switches falls out of this synthesis (see the
+``test_flowtable_usage`` benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.projection.base import ProjectionResult
+from repro.openflow.actions import (
+    ApplyActions,
+    GotoTable,
+    Output,
+    SetQueue,
+    SetVC,
+    WriteMetadata,
+)
+from repro.openflow.channel import FlowMod
+from repro.openflow.match import Match
+from repro.routing.table import RouteTable
+from repro.util.errors import ProjectionError
+
+CLASSIFY_TABLE = 0
+ROUTE_TABLE = 1
+
+#: Priorities: exact-VC routing beats wildcard-VC routing; per-flow
+#: overrides (active routing) use PRIORITY_OVERRIDE.
+PRIORITY_CLASSIFY = 100
+PRIORITY_ROUTE_EXACT = 60
+PRIORITY_ROUTE_WILD = 50
+PRIORITY_OVERRIDE = 200
+
+
+@dataclass
+class RuleSet:
+    """FlowMods per physical switch, plus provenance counters."""
+
+    cookie: int
+    mods: dict[str, list[FlowMod]] = field(default_factory=dict)
+
+    def add(self, phys_switch: str, mod: FlowMod) -> None:
+        self.mods.setdefault(phys_switch, []).append(mod)
+
+    def count(self, phys_switch: str | None = None) -> int:
+        if phys_switch is not None:
+            return len(self.mods.get(phys_switch, []))
+        return sum(len(v) for v in self.mods.values())
+
+    def per_switch_counts(self) -> dict[str, int]:
+        return {s: len(v) for s, v in self.mods.items()}
+
+
+def synthesize_rules(
+    projection: ProjectionResult,
+    routes: RouteTable,
+    *,
+    cookie: int = 1,
+) -> RuleSet:
+    """Compile a projection + route table into per-switch FlowMods."""
+    if routes.topology is not projection.topology:
+        # allow equal-by-structure tables but insist on matching names
+        if routes.topology.name != projection.topology.name:
+            raise ProjectionError(
+                f"route table is for {routes.topology.name!r}, projection is "
+                f"for {projection.topology.name!r}"
+            )
+    rules = RuleSet(cookie=cookie)
+    topo = projection.topology
+
+    # --- table 0: port -> sub-switch classification ---
+    for sw in topo.switches:
+        sub = projection.subswitches[sw]
+        for _idx, phys_port in sorted(sub.ports.items()):
+            rules.add(
+                phys_port.switch,
+                FlowMod(
+                    table_id=CLASSIFY_TABLE,
+                    priority=PRIORITY_CLASSIFY,
+                    match=Match(in_port=phys_port.port),
+                    instructions=(
+                        WriteMetadata(sub.metadata_id),
+                        GotoTable(ROUTE_TABLE),
+                    ),
+                    cookie=cookie,
+                ),
+            )
+
+    # --- table 1: destination-based routing within each sub-switch ---
+    for sw, dst, in_vc, hop in routes.entries():
+        sub = projection.subswitches[sw]
+        if dst not in projection.host_map or hop.port.index not in sub.ports:
+            # route-usage pruning: this destination or port got no
+            # hardware, so no packet can ever need the rule
+            continue
+        phys_out = sub.phys_port_of(hop.port)
+        actions: list = []
+        if in_vc is None:
+            match = Match(metadata=sub.metadata_id, dst=projection.host_map[dst])
+            priority = PRIORITY_ROUTE_WILD
+            if hop.vc != 0:
+                actions.append(SetVC(hop.vc))
+        else:
+            match = Match(
+                metadata=sub.metadata_id,
+                dst=projection.host_map[dst],
+                vc=in_vc,
+            )
+            priority = PRIORITY_ROUTE_EXACT
+            if hop.vc != in_vc:
+                actions.append(SetVC(hop.vc))
+        actions.append(SetQueue(hop.vc))
+        actions.append(Output(phys_out.port))
+        rules.add(
+            phys_out.switch,
+            FlowMod(
+                table_id=ROUTE_TABLE,
+                priority=priority,
+                match=match,
+                instructions=(ApplyActions(actions),),
+                cookie=cookie,
+            ),
+        )
+    return rules
+
+
+def flow_override(
+    projection: ProjectionResult,
+    logical_switch: str,
+    *,
+    src: str,
+    dst: str,
+    out_port_index: int,
+    vc: int = 0,
+    cookie: int = 1,
+) -> tuple[str, FlowMod]:
+    """A per-flow high-priority override rule (active routing, §VI-E).
+
+    Matches (sub-switch, src, dst) and steers the flow out of logical
+    port ``out_port_index`` instead of the table route. Returns the
+    physical switch to install on plus the FlowMod.
+    """
+    sub = projection.subswitches[logical_switch]
+    try:
+        phys_out = sub.ports[out_port_index]
+    except KeyError:
+        raise ProjectionError(
+            f"{logical_switch!r} has no projected port {out_port_index}"
+        ) from None
+    mod = FlowMod(
+        table_id=ROUTE_TABLE,
+        priority=PRIORITY_OVERRIDE,
+        match=Match(
+            metadata=sub.metadata_id,
+            src=projection.host_map.get(src, src),
+            dst=projection.host_map.get(dst, dst),
+        ),
+        instructions=(
+            ApplyActions((SetVC(vc), SetQueue(vc), Output(phys_out.port))),
+        ),
+        cookie=cookie,
+    )
+    return phys_out.switch, mod

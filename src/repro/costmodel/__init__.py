@@ -1,0 +1,41 @@
+"""Cost & feasibility models for the TP methods (Table II)."""
+
+from repro.costmodel.model import (
+    MIN_LINK_RATE,
+    SDT_128,
+    SDT_64,
+    SP_128,
+    SPOS_128,
+    TABLE2_COLUMNS,
+    TURBONET_128,
+    TURBONET_64,
+    TpMethod,
+    rate_label,
+)
+from repro.costmodel.table2 import (
+    PAPER_TABLE2_CELLS,
+    Table2Row,
+    dc_topology_rows,
+    header_rows,
+    render_table2,
+    wan_zoo_counts,
+)
+
+__all__ = [
+    "MIN_LINK_RATE",
+    "SDT_128",
+    "SDT_64",
+    "SP_128",
+    "SPOS_128",
+    "TABLE2_COLUMNS",
+    "TURBONET_128",
+    "TURBONET_64",
+    "TpMethod",
+    "rate_label",
+    "PAPER_TABLE2_CELLS",
+    "Table2Row",
+    "dc_topology_rows",
+    "header_rows",
+    "render_table2",
+    "wan_zoo_counts",
+]

@@ -1,0 +1,153 @@
+"""Table II's cost/feasibility model for the four TP methods.
+
+The feasibility rule, reverse-engineered from the table's Fat-Tree and
+Dragonfly rows and §III/IV's descriptions:
+
+* A topology needs ``2 x (switch-to-switch links)`` physical ports
+  (each logical link occupies two sub-switch ports; host attachments
+  ride separate host-facing ports and are not budgeted here, matching
+  the table's arithmetic).
+* Ports can be **split** 1/2/4-way (100G -> 2x50G / 4x25G breakouts),
+  multiplying the count and dividing the per-port rate.
+* **TurboNet** additionally halves the usable rate: every emulated-link
+  crossing passes a loopback port twice ("the use of loopback ports
+  results in a reduction in the available bandwidth" [34], [35]).
+* A configuration supports the topology at rate ``r`` iff some split
+  yields ``ports >= needed`` with effective rate >= r; the table
+  reports the best rate in {100G, 50G, 25G} (below 25G counts as
+  infeasible — "x").
+
+The same rule with a 25G floor reproduces the WAN Topology Zoo counts
+(260/249/248). The paper's three Torus rows are *inconsistent* with
+its own Fat-Tree/Dragonfly arithmetic (a 4x4x4 torus needs 384 ports
+yet is listed "<=100G" on 128 ports); our model reports the
+arithmetically consistent values and EXPERIMENTS.md flags the delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import (
+    MEMS_OPTICAL_128,
+    OPENFLOW_128x100G,
+    OPENFLOW_64x100G,
+    TOFINO_128x100G,
+    TOFINO_64x100G,
+    SwitchSpec,
+)
+from repro.util.units import Gbps, gbps
+
+#: rates Table II quotes, best first
+_RATE_LADDER = (gbps(100), gbps(50), gbps(25))
+MIN_LINK_RATE = gbps(25)
+
+
+@dataclass(frozen=True)
+class TpMethod:
+    """One column of Table II."""
+
+    name: str  # "SP" | "SP-OS" | "TurboNet" | "SDT"
+    switch: SwitchSpec
+    rate_penalty: float = 1.0  # TurboNet: 0.5 (loopback halving)
+    optical: SwitchSpec | None = None  # SP-OS: the MEMS crossbar
+    reconfiguration: str = ""  # human-readable reconfig time band
+    reconfig_seconds: float = 0.0  # modeled typical reconfiguration
+
+    @property
+    def hardware_cost(self) -> float:
+        cost = self.switch.price_usd
+        if self.optical is not None:
+            cost += self.optical.price_usd
+        return cost
+
+    @property
+    def hardware_requirement(self) -> str:
+        if self.optical is not None:
+            return "Switch+OS"
+        if self.switch.kind == "p4":
+            return "P4 Switch"
+        return "OpenFlow Switch"
+
+    def max_link_rate(self, switch_links: int) -> float | None:
+        """Best supported link rate for a topology with that many
+        switch-to-switch links, or None if infeasible at >= 25G."""
+        ports_needed = 2 * switch_links
+        best: float | None = None
+        for split in (1, 2, 4):
+            spec = self.switch.split(split)
+            if spec.num_ports < ports_needed:
+                continue
+            rate = spec.port_rate * self.rate_penalty
+            # quantize down to the table's ladder
+            for ladder_rate in _RATE_LADDER:
+                if rate >= ladder_rate:
+                    rate = ladder_rate
+                    break
+            else:
+                continue  # below 25G: infeasible
+            if best is None or rate > best:
+                best = rate
+        return best
+
+    def supports(self, switch_links: int) -> bool:
+        return self.max_link_rate(switch_links) is not None
+
+
+def rate_label(rate: float | None) -> str:
+    """Table II cell text for a feasibility result."""
+    if rate is None:
+        return "x"
+    return f"Link <= {Gbps(rate):.0f}G"
+
+
+# --- the eight Table II columns -------------------------------------------
+
+SP_128 = TpMethod(
+    name="SP",
+    switch=OPENFLOW_128x100G,
+    reconfiguration="More than 1 hour",
+    reconfig_seconds=3600.0,
+)
+SPOS_128 = TpMethod(
+    name="SP-OS",
+    switch=OPENFLOW_128x100G,
+    optical=MEMS_OPTICAL_128,
+    reconfiguration="100ms~1s",
+    reconfig_seconds=0.3,
+)
+TURBONET_64 = TpMethod(
+    name="TurboNet",
+    switch=TOFINO_64x100G,
+    rate_penalty=0.5,
+    reconfiguration="10s~",
+    reconfig_seconds=30.0,
+)
+TURBONET_128 = TpMethod(
+    name="TurboNet",
+    switch=TOFINO_128x100G,
+    rate_penalty=0.5,
+    reconfiguration="10s~",
+    reconfig_seconds=30.0,
+)
+SDT_64 = TpMethod(
+    name="SDT",
+    switch=OPENFLOW_64x100G,
+    reconfiguration="100ms~1s",
+    reconfig_seconds=0.3,
+)
+SDT_128 = TpMethod(
+    name="SDT",
+    switch=OPENFLOW_128x100G,
+    reconfiguration="100ms~1s",
+    reconfig_seconds=0.3,
+)
+
+TABLE2_COLUMNS: list[tuple[str, TpMethod]] = [
+    ("SP 128x100G", SP_128),
+    ("SP-OS 128x100G", SPOS_128),
+    ("TurboNet 64x100G", TURBONET_64),
+    ("TurboNet 128x100G", TURBONET_128),
+    ("SDT 64x100G", SDT_64),
+    ("SDT 128x100G", SDT_128),
+]

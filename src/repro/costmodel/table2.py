@@ -1,0 +1,105 @@
+"""Table II generation: DC topology rows + WAN zoo counts.
+
+Row inventory follows the paper exactly: Fat-Tree k=4/6/8,
+Dragonfly(a=4, g=9, h=2), Torus 4^3 / 5^3 / 6^3, and the 261 Internet
+Topology Zoo WANs (our synthetic zoo, see :mod:`repro.topology.zoo`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.model import TABLE2_COLUMNS, TpMethod, rate_label
+from repro.topology.dragonfly import dragonfly_stats
+from repro.topology.fattree import fat_tree_stats
+from repro.topology.torus import torus_stats
+from repro.topology.zoo import zoo_catalog
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One DC-topology feasibility row."""
+
+    family: str
+    variant: str
+    switch_links: int
+    cells: tuple[str, ...]  # one per TABLE2_COLUMNS entry
+
+
+def dc_topology_rows() -> list[Table2Row]:
+    """The seven DC-topology rows of Table II."""
+    inventory: list[tuple[str, str, int]] = [
+        ("Fat-Tree", "k=4", fat_tree_stats(4)["switch_links"]),
+        ("Fat-Tree", "k=6", fat_tree_stats(6)["switch_links"]),
+        ("Fat-Tree", "k=8", fat_tree_stats(8)["switch_links"]),
+        ("Dragonfly", "a=4,g=9,h=2", dragonfly_stats(4, 9, 2)["switch_links"]),
+        ("Torus", "4x4x4", torus_stats((4, 4, 4))["switch_links"]),
+        ("Torus", "5x5x5", torus_stats((5, 5, 5))["switch_links"]),
+        ("Torus", "6x6x6", torus_stats((6, 6, 6))["switch_links"]),
+    ]
+    rows = []
+    for family, variant, links in inventory:
+        cells = tuple(
+            rate_label(method.max_link_rate(links))
+            for _label, method in TABLE2_COLUMNS
+        )
+        rows.append(Table2Row(family, variant, links, cells))
+    return rows
+
+
+def wan_zoo_counts() -> dict[str, int]:
+    """How many of the 261 zoo WANs each configuration can project."""
+    catalog = zoo_catalog()
+    counts = {}
+    for label, method in TABLE2_COLUMNS:
+        counts[label] = sum(
+            1 for entry in catalog if method.supports(entry.num_links)
+        )
+    return counts
+
+
+def header_rows() -> list[tuple[str, tuple[str, ...]]]:
+    """The qualitative header block (reconfig time / hardware / cost)."""
+
+    def cells(fn) -> tuple[str, ...]:
+        return tuple(fn(method) for _l, method in TABLE2_COLUMNS)
+
+    return [
+        ("Reconfiguration time", cells(lambda m: m.reconfiguration)),
+        ("Hardware requirement", cells(lambda m: m.hardware_requirement)),
+        ("Hardware cost", cells(lambda m: f">${m.hardware_cost / 1000:.0f}k")),
+    ]
+
+
+def render_table2() -> str:
+    """The full Table II as text."""
+    headers = ["Row", *(label for label, _m in TABLE2_COLUMNS)]
+    body: list[list[str]] = []
+    for name, cells in header_rows():
+        body.append([name, *cells])
+    for row in dc_topology_rows():
+        body.append([f"{row.family} {row.variant} ({row.switch_links} links)",
+                     *row.cells])
+    counts = wan_zoo_counts()
+    body.append(
+        ["WAN: 261 Internet topologies",
+         *(str(counts[label]) for label, _m in TABLE2_COLUMNS)]
+    )
+    return format_table(headers, body, title="Table II: TP method comparison")
+
+
+#: The paper's published cells for the same rows (for EXPERIMENTS.md
+#: diffing; None = "x"). Order matches TABLE2_COLUMNS.
+PAPER_TABLE2_CELLS: dict[str, tuple[str, ...]] = {
+    "Fat-Tree k=4": ("<=100G", "<=100G", "<=50G", "<=50G", "<=100G", "<=100G"),
+    "Fat-Tree k=6": ("<=50G", "<=50G", "x", "<=25G", "<=25G", "<=50G"),
+    "Fat-Tree k=8": ("<=25G", "<=25G", "x", "x", "x", "<=25G"),
+    "Dragonfly a=4,g=9,h=2": ("<=50G", "<=50G", "x", "<=25G", "<=25G", "<=50G"),
+    # the paper's torus rows disagree with its own port arithmetic; see
+    # EXPERIMENTS.md ("Known deviations")
+    "Torus 4x4x4": ("<=100G", "<=100G", "<=25G", "<=50G", "<=50G", "<=100G"),
+    "Torus 5x5x5": ("<=50G", "<=50G", "x", "<=25G", "<=25G", "<=50G"),
+    "Torus 6x6x6": ("<=25G", "<=25G", "x", "x", "x", "<=25G"),
+    "WAN": ("260", "260", "248", "249", "249", "260"),
+}

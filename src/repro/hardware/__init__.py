@@ -1,0 +1,45 @@
+"""Physical hardware models: switch specs, fixed wiring, clusters."""
+
+from repro.hardware.cluster import PhysicalCluster
+from repro.hardware.optical import OpticalCircuitSwitch
+from repro.hardware.spec import (
+    H3C_S6861,
+    EVAL_256x10G,
+    MEMS_OPTICAL_128,
+    MEMS_OPTICAL_320,
+    OPENFLOW_128x100G,
+    OPENFLOW_64x100G,
+    TOFINO_128x100G,
+    TOFINO_64x100G,
+    HostSpec,
+    SwitchSpec,
+)
+from repro.hardware.wiring import (
+    FlexPort,
+    HostPort,
+    InterSwitchLink,
+    SelfLink,
+    WiringPlan,
+    default_wiring,
+)
+
+__all__ = [
+    "PhysicalCluster",
+    "OpticalCircuitSwitch",
+    "FlexPort",
+    "H3C_S6861",
+    "EVAL_256x10G",
+    "MEMS_OPTICAL_128",
+    "MEMS_OPTICAL_320",
+    "OPENFLOW_128x100G",
+    "OPENFLOW_64x100G",
+    "TOFINO_128x100G",
+    "TOFINO_64x100G",
+    "HostSpec",
+    "SwitchSpec",
+    "HostPort",
+    "InterSwitchLink",
+    "SelfLink",
+    "WiringPlan",
+    "default_wiring",
+]

@@ -1,0 +1,110 @@
+"""The physical SDT cluster: switches + wiring + hosts.
+
+Binds :class:`~repro.openflow.switch.OpenFlowSwitch` instances to a
+:class:`~repro.hardware.wiring.WiringPlan` and a host pool, and exposes
+the control plane the SDT controller drives. This is the object a user
+deploys once; topologies then come and go purely via flow tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import HostSpec, SwitchSpec
+from repro.hardware.wiring import WiringPlan, default_wiring
+from repro.openflow.channel import ControlPlane
+from repro.openflow.switch import OpenFlowSwitch
+from repro.util.errors import WiringError
+
+
+@dataclass
+class PhysicalCluster:
+    """A deployed SDT rig: emulated switches, fixed cabling, hosts."""
+
+    spec: SwitchSpec
+    wiring: WiringPlan
+    switches: dict[str, OpenFlowSwitch]
+    hosts: dict[str, HostSpec]
+    control: ControlPlane
+
+    @classmethod
+    def build(
+        cls,
+        num_switches: int,
+        spec: SwitchSpec,
+        *,
+        hosts_per_switch: int = 0,
+        inter_links_per_pair: int = 0,
+        nic_rate: float | None = None,
+        wiring: WiringPlan | None = None,
+    ) -> "PhysicalCluster":
+        """Stand up a cluster with the paper's default wiring layout."""
+        names = [f"phys{i}" for i in range(num_switches)]
+        if wiring is None:
+            wiring = default_wiring(
+                names,
+                spec.num_ports,
+                hosts_per_switch=hosts_per_switch,
+                inter_links_per_pair=inter_links_per_pair,
+            )
+        else:
+            wiring.validate()
+            if sorted(wiring.switches) != sorted(names):
+                names = wiring.switches
+        switches = {
+            n: OpenFlowSwitch(
+                n,
+                wiring.num_ports[n],
+                flow_table_capacity=spec.flow_table_capacity,
+            )
+            for n in names
+        }
+        hosts = {
+            hp.host: HostSpec(hp.host, nic_rate=nic_rate or spec.port_rate)
+            for hp in wiring.host_ports
+        }
+        return cls(
+            spec=spec,
+            wiring=wiring,
+            switches=switches,
+            hosts=hosts,
+            control=ControlPlane(switches),
+        )
+
+    # --- convenience ----------------------------------------------------
+    @property
+    def switch_names(self) -> list[str]:
+        return list(self.switches)
+
+    def host_location(self, host: str) -> tuple[str, int]:
+        hp = self.wiring.host_port(host)
+        return (hp.switch, hp.port)
+
+    def hosts_on(self, switch: str) -> list[str]:
+        return [hp.host for hp in self.wiring.hosts_of(switch)]
+
+    def capacity_report(self) -> dict[str, dict[str, int]]:
+        """Per-switch resource usage (ports by role, flow entries)."""
+        report = {}
+        for name, sw in self.switches.items():
+            report[name] = {
+                "ports": self.wiring.num_ports[name],
+                "self_link_ports": 2 * len(self.wiring.self_links_of(name)),
+                "inter_link_ports": len(self.wiring.inter_links_of(name)),
+                "host_ports": len(self.wiring.hosts_of(name)),
+                "free_ports": len(self.wiring.free_ports(name)),
+                "flow_entries": sw.num_entries,
+                "flow_capacity": sw.flow_table_capacity,
+            }
+        return report
+
+    def wipe_flows(self) -> None:
+        """Clear every flow table (used between topology deployments)."""
+        for sw in self.switches.values():
+            sw.remove_flows()
+
+    def validate(self) -> None:
+        self.wiring.validate()
+        for name in self.wiring.switches:
+            if name not in self.switches:
+                raise WiringError(f"wiring names unknown switch {name!r}")

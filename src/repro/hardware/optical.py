@@ -1,0 +1,79 @@
+"""Optical circuit switch (MEMS OCS) device model.
+
+Used two ways in this repo:
+
+* **SP-OS** (§III-C): every packet-switch port patches into the OCS and
+  the whole inter-sub-switch cabling is optical circuits
+  (:func:`repro.core.projection.switchproj.optical_crossbar_config`).
+* **Hybrid SDT-OS** (§VII-A, the paper's "Flexibility Enhancement"
+  future work): only a small pool of *flex ports* patches into a small
+  OCS; the controller turns each flex pair into either a self-link or
+  an inter-switch link on demand when a new topology outgrows the fixed
+  reservation (:mod:`repro.core.projection.hybrid`).
+
+The model keeps a symmetric circuit map and charges the MEMS settling
+time (~25 ms per batch plus a per-circuit component) on every
+reconfiguration — the dominant term in SP-OS's "100ms~1s" band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import WiringError
+from repro.util.units import MILLISECONDS
+
+
+@dataclass
+class OpticalCircuitSwitch:
+    """A reconfigurable lossless optical crossbar."""
+
+    num_ports: int
+    #: MEMS mirror settling time for one reconfiguration batch
+    settle_time: float = 25 * MILLISECONDS
+    #: control/verify overhead per circuit changed
+    per_circuit_time: float = 1 * MILLISECONDS
+    circuits: dict[int, int] = field(default_factory=dict)
+    reconfigurations: int = 0
+    total_reconfig_time: float = 0.0
+
+    def _check_port(self, port: int) -> None:
+        if not 1 <= port <= self.num_ports:
+            raise WiringError(
+                f"OCS port {port} out of range 1..{self.num_ports}"
+            )
+
+    def connected_to(self, port: int) -> int | None:
+        self._check_port(port)
+        return self.circuits.get(port)
+
+    def configure(self, pairs: list[tuple[int, int]]) -> float:
+        """Replace the crossbar state with ``pairs``; returns the modeled
+        reconfiguration time. Pairs must be disjoint."""
+        new: dict[int, int] = {}
+        for a, b in pairs:
+            self._check_port(a)
+            self._check_port(b)
+            if a == b:
+                raise WiringError(f"OCS cannot loop port {a} to itself")
+            if a in new or b in new:
+                raise WiringError(f"OCS port reused in circuit ({a},{b})")
+            new[a] = b
+            new[b] = a
+        changed = sum(
+            1 for a, b in pairs
+            if self.circuits.get(a) != b
+        ) + sum(
+            1 for p in self.circuits
+            if p not in new and p < self.circuits[p]
+        )
+        self.circuits = new
+        self.reconfigurations += 1
+        cost = self.settle_time + changed * self.per_circuit_time
+        self.total_reconfig_time += cost
+        return cost
+
+    @property
+    def free_ports(self) -> list[int]:
+        return [p for p in range(1, self.num_ports + 1)
+                if p not in self.circuits]

@@ -1,0 +1,47 @@
+"""MPI layer: rank programs, collective expansion, execution engine."""
+
+from repro.mpi.collectives import (
+    allgather_ring,
+    allreduce,
+    alltoall,
+    alltoall_bruck,
+    barrier,
+    bcast,
+    gather,
+    merge_programs,
+    reduce_scatter,
+    scatter,
+)
+from repro.mpi.engine import MpiJob, MpiResult, RankState
+from repro.mpi.program import (
+    Compute,
+    ISend,
+    Op,
+    Recv,
+    Send,
+    WaitAllSent,
+    validate_program,
+)
+
+__all__ = [
+    "allgather_ring",
+    "allreduce",
+    "alltoall",
+    "alltoall_bruck",
+    "barrier",
+    "bcast",
+    "gather",
+    "merge_programs",
+    "reduce_scatter",
+    "scatter",
+    "MpiJob",
+    "MpiResult",
+    "RankState",
+    "Compute",
+    "ISend",
+    "Op",
+    "Recv",
+    "Send",
+    "WaitAllSent",
+    "validate_program",
+]

@@ -1,0 +1,267 @@
+"""Collective-operation expansion into point-to-point programs.
+
+Algorithms follow the classic MPI implementations (MPICH/Open MPI
+defaults at these scales):
+
+* ``alltoall`` — pairwise exchange: round ``i`` pairs rank ``r`` with
+  ``r XOR i`` (power-of-two) or shifts (general), every round moving
+  one personalized block.
+* ``allreduce`` — recursive doubling (power-of-two) with a
+  send-to-lower fallback for stragglers.
+* ``bcast`` — binomial tree from the root.
+* ``allgather`` — ring: P-1 rounds, each forwarding the freshest block.
+* ``barrier`` — dissemination (log P rounds of 0-byte tokens).
+
+Tags encode (collective id, round) so concurrent phases can't
+mismatch. Each expansion takes a ``tag_base`` and returns per-rank op
+lists that the engine appends to rank programs.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.program import Op, Recv, Send
+
+#: tag stride reserved per collective invocation
+TAG_STRIDE = 1 << 12
+
+
+def _pairwise_rounds(p: int) -> list[list[tuple[int, int]]]:
+    """For each round, the (send_to, recv_from) partner of every rank."""
+    rounds = []
+    if p & (p - 1) == 0:  # power of two: XOR pairing (perfect matching)
+        for i in range(1, p):
+            rounds.append([(r ^ i, r ^ i) for r in range(p)])
+    else:
+        for i in range(1, p):
+            rounds.append([((r + i) % p, (r - i) % p) for r in range(p)])
+    return rounds
+
+
+def alltoall(p: int, nbytes: int, *, tag_base: int = 0) -> dict[int, list[Op]]:
+    """Pairwise-exchange all-to-all: every rank sends ``nbytes`` to every
+    other rank."""
+    programs: dict[int, list[Op]] = {r: [] for r in range(p)}
+    for round_no, pairing in enumerate(_pairwise_rounds(p)):
+        tag = tag_base + round_no
+        for r in range(p):
+            send_to, recv_from = pairing[r]
+            # stagger send/recv by rank order to avoid artificial
+            # serialization: lower rank sends first, higher receives first
+            if r < send_to:
+                programs[r].append(Send(send_to, nbytes, tag))
+                programs[r].append(Recv(recv_from, tag))
+            else:
+                programs[r].append(Recv(recv_from, tag))
+                programs[r].append(Send(send_to, nbytes, tag))
+    return programs
+
+
+def allreduce(p: int, nbytes: int, *, tag_base: int = 0) -> dict[int, list[Op]]:
+    """Recursive-doubling allreduce (with pre/post folding when p is not
+    a power of two)."""
+    programs: dict[int, list[Op]] = {r: [] for r in range(p)}
+    pof2 = 1
+    while pof2 * 2 <= p:
+        pof2 *= 2
+    rem = p - pof2
+    tag = tag_base
+
+    # fold stragglers into the power-of-two core
+    for r in range(rem):
+        hi = pof2 + r
+        programs[hi].append(Send(r, nbytes, tag))
+        programs[r].append(Recv(hi, tag))
+    tag += 1
+
+    mask = 1
+    while mask < pof2:
+        for r in range(pof2):
+            partner = r ^ mask
+            if r < partner:
+                programs[r].append(Send(partner, nbytes, tag))
+                programs[r].append(Recv(partner, tag))
+            else:
+                programs[r].append(Recv(partner, tag))
+                programs[r].append(Send(partner, nbytes, tag))
+        mask *= 2
+        tag += 1
+
+    for r in range(rem):
+        hi = pof2 + r
+        programs[r].append(Send(hi, nbytes, tag))
+        programs[hi].append(Recv(r, tag))
+    return programs
+
+
+def bcast(p: int, nbytes: int, *, root: int = 0, tag_base: int = 0) -> dict[int, list[Op]]:
+    """Binomial-tree broadcast from ``root``."""
+    programs: dict[int, list[Op]] = {r: [] for r in range(p)}
+    # relative numbering with root at 0
+    mask = 1
+    while mask < p:
+        mask *= 2
+    mask //= 2
+    tag = tag_base
+    while mask >= 1:
+        for rel in range(p):
+            r = (rel + root) % p
+            if rel % (2 * mask) == 0 and rel + mask < p:
+                child = (rel + mask + root) % p
+                programs[r].append(Send(child, nbytes, tag))
+                programs[child].append(Recv(r, tag))
+        mask //= 2
+        tag += 1
+    return programs
+
+
+def allgather_ring(p: int, nbytes: int, *, tag_base: int = 0) -> dict[int, list[Op]]:
+    """Ring allgather: P-1 rounds, each rank forwarding one block."""
+    programs: dict[int, list[Op]] = {r: [] for r in range(p)}
+    for round_no in range(p - 1):
+        tag = tag_base + round_no
+        for r in range(p):
+            nxt, prev = (r + 1) % p, (r - 1) % p
+            if r % 2 == 0:
+                programs[r].append(Send(nxt, nbytes, tag))
+                programs[r].append(Recv(prev, tag))
+            else:
+                programs[r].append(Recv(prev, tag))
+                programs[r].append(Send(nxt, nbytes, tag))
+    return programs
+
+
+def barrier(p: int, *, tag_base: int = 0) -> dict[int, list[Op]]:
+    """Dissemination barrier (0-byte tokens, ceil(log2 p) rounds)."""
+    programs: dict[int, list[Op]] = {r: [] for r in range(p)}
+    step = 1
+    tag = tag_base
+    while step < p:
+        for r in range(p):
+            to = (r + step) % p
+            frm = (r - step) % p
+            programs[r].append(Send(to, 0, tag))
+            programs[r].append(Recv(frm, tag))
+        step *= 2
+        tag += 1
+    return programs
+
+
+def merge_programs(*parts: dict[int, list[Op]]) -> dict[int, list[Op]]:
+    """Concatenate per-rank programs phase by phase."""
+    ranks = set()
+    for part in parts:
+        ranks.update(part)
+    merged: dict[int, list[Op]] = {r: [] for r in sorted(ranks)}
+    for part in parts:
+        for r, ops in part.items():
+            merged[r].extend(ops)
+    return merged
+
+
+def alltoall_bruck(p: int, nbytes: int, *, tag_base: int = 0) -> dict[int, list[Op]]:
+    """Bruck's log-step all-to-all (the MPICH choice for small messages).
+
+    ceil(log2 p) rounds; in round ``r`` rank ``i`` sends to
+    ``(i + 2^r) mod p`` every data block whose relative index has bit
+    ``r`` set — each transfer carries up to ``p/2`` blocks, trading
+    bandwidth for far fewer messages than pairwise exchange.
+    """
+    programs: dict[int, list[Op]] = {r: [] for r in range(p)}
+    step = 1
+    tag = tag_base
+    while step < p:
+        blocks = sum(1 for j in range(p) if j & step)
+        payload = blocks * nbytes
+        for r in range(p):
+            dst = (r + step) % p
+            src = (r - step) % p
+            if (r // step) % 2 == 0:
+                programs[r].append(Send(dst, payload, tag))
+                programs[r].append(Recv(src, tag))
+            else:
+                programs[r].append(Recv(src, tag))
+                programs[r].append(Send(dst, payload, tag))
+        step *= 2
+        tag += 1
+    return programs
+
+
+def reduce_scatter(p: int, nbytes: int, *, tag_base: int = 0) -> dict[int, list[Op]]:
+    """Recursive-halving reduce-scatter (power-of-two ranks; general
+    counts fold the stragglers like :func:`allreduce`).
+
+    ``nbytes`` is the total vector size; each round exchanges half the
+    remaining data with a partner at distance p/2, p/4, ...
+    """
+    programs: dict[int, list[Op]] = {r: [] for r in range(p)}
+    pof2 = 1
+    while pof2 * 2 <= p:
+        pof2 *= 2
+    rem = p - pof2
+    tag = tag_base
+
+    for r in range(rem):  # fold stragglers in
+        hi = pof2 + r
+        programs[hi].append(Send(r, nbytes, tag))
+        programs[r].append(Recv(hi, tag))
+    tag += 1
+
+    distance = pof2 // 2
+    chunk = nbytes // 2 if pof2 > 1 else nbytes
+    while distance >= 1:
+        for r in range(pof2):
+            partner = r ^ distance
+            if r < partner:
+                programs[r].append(Send(partner, chunk, tag))
+                programs[r].append(Recv(partner, tag))
+            else:
+                programs[r].append(Recv(partner, tag))
+                programs[r].append(Send(partner, chunk, tag))
+        distance //= 2
+        chunk = max(1, chunk // 2)
+        tag += 1
+
+    for r in range(rem):  # hand the stragglers their shard
+        hi = pof2 + r
+        programs[r].append(Send(hi, max(1, nbytes // p), tag))
+        programs[hi].append(Recv(r, tag))
+    return programs
+
+
+def scatter(p: int, nbytes: int, *, root: int = 0, tag_base: int = 0) -> dict[int, list[Op]]:
+    """Binomial-tree scatter: the root sends each subtree its half of
+    the remaining data (``nbytes`` = per-rank block size)."""
+    programs: dict[int, list[Op]] = {r: [] for r in range(p)}
+    tag = tag_base
+
+    def descend(rel_root: int, size: int) -> None:
+        nonlocal tag
+        # split [rel_root, rel_root+size) into halves, send upper half
+        while size > 1:
+            half = size // 2
+            child = rel_root + (size - half)
+            abs_root = (rel_root + root) % p
+            abs_child = (child + root) % p
+            programs[abs_root].append(
+                Send(abs_child, half * nbytes, tag)
+            )
+            programs[abs_child].append(Recv(abs_root, tag))
+            tag += 1
+            descend(child, half)
+            size -= half
+
+    descend(0, p)
+    return programs
+
+
+def gather(p: int, nbytes: int, *, root: int = 0, tag_base: int = 0) -> dict[int, list[Op]]:
+    """Binomial-tree gather (scatter reversed)."""
+    scattered = scatter(p, nbytes, root=root, tag_base=tag_base)
+    programs: dict[int, list[Op]] = {r: [] for r in range(p)}
+    for r, ops in scattered.items():
+        for op in reversed(ops):
+            if isinstance(op, Send):
+                programs[op.dst].append(Send(r, op.nbytes, op.tag))
+            elif isinstance(op, Recv):
+                programs[op.src].append(Recv(r, op.tag))
+    return programs

@@ -1,0 +1,74 @@
+"""Rank programs: the operation sequences the MPI engine executes.
+
+A rank program is a list of ops; the engine runs each rank's list
+sequentially against the simulated network. Collectives are expanded
+into these primitives at build time by :mod:`repro.mpi.collectives`,
+mirroring how the paper's simulator replays traces collected from real
+MPI runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Local computation for ``seconds`` of simulated time."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Send:
+    """Blocking-until-sent message to ``dst`` rank (eager protocol:
+    completes when the last byte leaves the NIC)."""
+
+    dst: int
+    nbytes: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocks until a message with (``src``, ``tag``) has fully arrived."""
+
+    src: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class ISend:
+    """Non-blocking send: starts the transfer and continues immediately."""
+
+    dst: int
+    nbytes: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class WaitAllSent:
+    """Fence: block until every ISend issued so far has left the NIC."""
+
+
+Op = Compute | Send | Recv | ISend | WaitAllSent
+
+
+def validate_program(program: list[Op], num_ranks: int, rank: int) -> None:
+    """Static sanity checks (self-messaging, bad ranks, negative sizes)."""
+    for i, op in enumerate(program):
+        if isinstance(op, (Send, ISend)):
+            if not 0 <= op.dst < num_ranks:
+                raise ValueError(f"rank {rank} op {i}: bad dst {op.dst}")
+            if op.dst == rank:
+                raise ValueError(f"rank {rank} op {i}: send-to-self")
+            if op.nbytes < 0:
+                raise ValueError(f"rank {rank} op {i}: negative size")
+        elif isinstance(op, Recv):
+            if not 0 <= op.src < num_ranks:
+                raise ValueError(f"rank {rank} op {i}: bad src {op.src}")
+            if op.src == rank:
+                raise ValueError(f"rank {rank} op {i}: recv-from-self")
+        elif isinstance(op, Compute):
+            if op.seconds < 0:
+                raise ValueError(f"rank {rank} op {i}: negative compute")

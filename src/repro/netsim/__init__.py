@@ -1,0 +1,48 @@
+"""Event-driven network simulator: the fabric under both the "full
+testbed / simulator" arm (logical switches, route-table forwarding) and
+the "SDT" arm (physical switches, real OpenFlow pipelines)."""
+
+from repro.netsim.dcqcn import DcqcnParams, DcqcnRp
+from repro.netsim.engine import Simulator
+from repro.netsim.network import (
+    Network,
+    NetworkConfig,
+    build_logical_network,
+    build_sdt_network,
+)
+from repro.netsim.node import HostNode, Node, SwitchNode
+from repro.netsim.packet import Packet, next_flow_id
+from repro.netsim.port import OutPort, PortConfig
+from repro.netsim.sniffer import CaptureRecord, Sniffer
+from repro.netsim.stats import FlowRecord, FlowStats
+from repro.netsim.transport import (
+    WIRE_OVERHEAD,
+    Message,
+    RoceTransport,
+    TcpFlow,
+)
+
+__all__ = [
+    "DcqcnParams",
+    "DcqcnRp",
+    "Simulator",
+    "Network",
+    "NetworkConfig",
+    "build_logical_network",
+    "build_sdt_network",
+    "HostNode",
+    "Node",
+    "SwitchNode",
+    "Packet",
+    "next_flow_id",
+    "OutPort",
+    "PortConfig",
+    "CaptureRecord",
+    "Sniffer",
+    "FlowRecord",
+    "FlowStats",
+    "WIRE_OVERHEAD",
+    "Message",
+    "RoceTransport",
+    "TcpFlow",
+]

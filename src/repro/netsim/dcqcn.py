@@ -1,0 +1,81 @@
+"""DCQCN rate control (Zhu et al., SIGCOMM 2015) — sender side.
+
+The switch half (ECN marking) lives in :mod:`repro.netsim.port`; the
+NP half (CNP generation, at most one per interval per flow) lives in
+the RoCE transport. This module implements the RP (reaction point)
+state machine with the standard stages:
+
+* **rate cut** on CNP: ``target = current; current *= 1 - alpha/2``,
+  ``alpha`` EWMA-increases toward 1;
+* **alpha decay** every ``alpha_timer`` without CNPs;
+* **recovery/increase** every ``increase_timer``: fast recovery halves
+  the gap to ``target`` for the first five rounds, then additive
+  increase lifts ``target`` by ``rai``.
+
+Rates are bytes/s, clamped to [min_rate, line_rate].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MICROSECONDS, gbps
+
+
+@dataclass
+class DcqcnParams:
+    """Tunables (defaults scaled for 10G from the paper's tables)."""
+
+    line_rate: float = gbps(10)
+    min_rate: float = gbps(0.1)
+    g: float = 1.0 / 16.0  # alpha EWMA gain
+    alpha_timer: float = 55 * MICROSECONDS
+    increase_timer: float = 55 * MICROSECONDS
+    rai: float = gbps(0.4)  # additive increase step
+    fast_recovery_rounds: int = 5
+
+
+class DcqcnRp:
+    """Reaction-point state for one flow."""
+
+    __slots__ = (
+        "params", "current", "target", "alpha",
+        "_rounds_since_cut", "_last_cnp_time", "cnp_count",
+    )
+
+    def __init__(self, params: DcqcnParams) -> None:
+        self.params = params
+        self.current = params.line_rate
+        self.target = params.line_rate
+        self.alpha = 1.0
+        self._rounds_since_cut = 0
+        self._last_cnp_time = -1e18
+        self.cnp_count = 0
+
+    # --- events -----------------------------------------------------------
+    def on_cnp(self, now: float) -> None:
+        """Congestion notification arrived: cut the rate."""
+        p = self.params
+        self.cnp_count += 1
+        self.target = self.current
+        self.current = max(p.min_rate, self.current * (1 - self.alpha / 2))
+        self.alpha = (1 - p.g) * self.alpha + p.g
+        self._rounds_since_cut = 0
+        self._last_cnp_time = now
+
+    def on_alpha_timer(self, now: float) -> None:
+        """Periodic alpha decay while no CNPs arrive."""
+        if now - self._last_cnp_time >= self.params.alpha_timer:
+            self.alpha = (1 - self.params.g) * self.alpha
+
+    def on_increase_timer(self, now: float) -> None:
+        """Periodic rate recovery/increase."""
+        p = self.params
+        self._rounds_since_cut += 1
+        if self._rounds_since_cut > p.fast_recovery_rounds:
+            self.target = min(p.line_rate, self.target + p.rai)
+        self.current = min(p.line_rate, (self.current + self.target) / 2)
+
+    @property
+    def rate(self) -> float:
+        return self.current

@@ -1,0 +1,96 @@
+"""Packet capture — the simulator's Wireshark.
+
+§VI-B validates hardware isolation by sniffing a client port and
+checking that no packets from the *other* deployed topology ever
+arrive. :class:`Sniffer` reproduces that instrument: attach it to any
+host (or a switch's forwarding path) and it records per-packet
+metadata, filterable by source/destination/kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.network import Network
+from repro.netsim.packet import Packet
+
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One captured packet."""
+
+    time: float
+    node: str
+    src: str
+    dst: str
+    kind: str
+    size: int
+    vc: int
+    flow_id: int
+
+
+@dataclass
+class Sniffer:
+    """Capture packets arriving at selected hosts."""
+
+    records: list[CaptureRecord] = field(default_factory=list)
+
+    def attach_host(self, network: Network, address: str) -> None:
+        """Capture every packet delivered to ``address``."""
+        host = network.host(address)
+
+        def tap(packet: Packet) -> None:
+            self.records.append(
+                CaptureRecord(
+                    time=network.sim.now,
+                    node=address,
+                    src=packet.header.src,
+                    dst=packet.header.dst,
+                    kind=packet.kind,
+                    size=packet.size,
+                    vc=packet.header.vc,
+                    flow_id=packet.flow_id,
+                )
+            )
+
+        host.on_receive(tap)
+
+    def attach_switch(self, network: Network, switch: str) -> None:
+        """Capture every packet a switch forwards (port-mirror style)."""
+        node = network.switches[switch]
+        inner = node.forward_fn
+
+        def mirrored(name: str, in_port: int, packet: Packet):
+            self.records.append(
+                CaptureRecord(
+                    time=network.sim.now,
+                    node=switch,
+                    src=packet.header.src,
+                    dst=packet.header.dst,
+                    kind=packet.kind,
+                    size=packet.size,
+                    vc=packet.header.vc,
+                    flow_id=packet.flow_id,
+                )
+            )
+            return inner(name, in_port, packet)
+
+        node.forward_fn = mirrored
+
+    # --- queries --------------------------------------------------------
+    def packets_from(self, src: str) -> list[CaptureRecord]:
+        return [r for r in self.records if r.src == src]
+
+    def packets_not_from(self, allowed_srcs: set[str]) -> list[CaptureRecord]:
+        """Foreign packets — the isolation check's verdict."""
+        return [r for r in self.records if r.src not in allowed_srcs]
+
+    def count(self, **field_filters) -> int:
+        n = 0
+        for r in self.records:
+            if all(getattr(r, k) == v for k, v in field_filters.items()):
+                n += 1
+        return n
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,112 @@
+"""Flow/message completion statistics.
+
+FCT (flow completion time) is the standard figure of merit in
+data-center network research; experiments hosted on SDT want it beyond
+the coarse ACT. :class:`FlowStats` hooks the RoCE transports of a set
+of hosts and records one record per completed message: size, start
+(first byte handed to the NIC pump), completion (last byte delivered),
+and the derived slowdown against the ideal line-rate transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netsim.network import Network
+from repro.netsim.transport import RoceTransport
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One completed message."""
+
+    src: str
+    dst: str
+    tag: int
+    size: int
+    start: float
+    end: float
+
+    @property
+    def fct(self) -> float:
+        return self.end - self.start
+
+    def slowdown(self, line_rate: float, base_latency: float = 0.0) -> float:
+        """FCT over the ideal (serialization + base latency) transfer."""
+        ideal = self.size / line_rate + base_latency
+        return self.fct / ideal if ideal > 0 else float("inf")
+
+
+@dataclass
+class FlowStats:
+    """Collects per-message FCTs from instrumented transports."""
+
+    network: Network
+    records: list[FlowRecord] = field(default_factory=list)
+    _starts: dict = field(default_factory=dict)
+
+    def instrument(self, transport: RoceTransport) -> RoceTransport:
+        """Wrap a transport's send/receive paths with FCT bookkeeping."""
+        original_send = transport.send
+        sim = self.network.sim
+        starts = self._starts
+
+        def send(dst, nbytes, *, tag=0, on_sent=None):
+            msg_id = original_send(dst, nbytes, tag=tag, on_sent=on_sent)
+            starts[(transport.address, dst, msg_id)] = sim.now
+            return msg_id
+
+        transport.send = send  # type: ignore[method-assign]
+
+        def on_message(src, tag, size, now):
+            # match by (src, this-receiver): msg ids arrive in order per QP
+            for key in list(starts):
+                s_src, s_dst, _mid = key
+                if s_src == src and s_dst == transport.address:
+                    self.records.append(FlowRecord(
+                        src=src, dst=transport.address, tag=tag,
+                        size=size, start=starts.pop(key), end=now,
+                    ))
+                    break
+
+        transport.on_message(on_message)
+        return transport
+
+    def attach(self, addresses: list[str], **transport_kwargs) -> dict[str, RoceTransport]:
+        """Create + instrument one transport per address."""
+        return {
+            a: self.instrument(
+                RoceTransport(self.network, a, **transport_kwargs)
+            )
+            for a in addresses
+        }
+
+    # --- summaries ------------------------------------------------------
+    def fcts(self) -> np.ndarray:
+        return np.array([r.fct for r in self.records])
+
+    def percentile(self, q: float) -> float:
+        fcts = self.fcts()
+        return float(np.percentile(fcts, q)) if len(fcts) else 0.0
+
+    def mean_slowdown(self, *, base_latency: float = 0.0) -> float:
+        rate = self.network.config.link_rate
+        if not self.records:
+            return 0.0
+        return float(np.mean([
+            r.slowdown(rate, base_latency) for r in self.records
+        ]))
+
+    def summary(self) -> dict[str, float]:
+        fcts = self.fcts()
+        if not len(fcts):
+            return {"count": 0}
+        return {
+            "count": int(len(fcts)),
+            "mean": float(fcts.mean()),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": float(fcts.max()),
+        }

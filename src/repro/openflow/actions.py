@@ -1,0 +1,85 @@
+"""OpenFlow actions and instructions (the subset SDT uses).
+
+Instruction semantics follow OpenFlow 1.3: a matching entry's
+instruction list may write metadata, apply actions (output, set-queue,
+set-VC), and continue to a later table. Execution stops when no
+GotoTable instruction is present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Output:
+    """Emit the packet on physical port ``port``."""
+
+    port: int
+
+
+@dataclass(frozen=True)
+class SetQueue:
+    """Enqueue on priority queue ``queue`` at the output port."""
+
+    queue: int
+
+
+@dataclass(frozen=True)
+class SetVC:
+    """Rewrite the packet's virtual channel (deadlock avoidance)."""
+
+    vc: int
+
+
+@dataclass(frozen=True)
+class Drop:
+    """Explicitly discard the packet (isolation fences use this)."""
+
+
+@dataclass(frozen=True)
+class Group:
+    """Hand the packet to group ``group_id`` (SELECT = ECMP, ALL =
+    replicate); see :mod:`repro.openflow.groups`."""
+
+    group_id: int
+
+
+Action = Output | SetQueue | SetVC | Drop | Group
+
+
+@dataclass(frozen=True)
+class WriteMetadata:
+    """Write ``value`` (under ``mask``) into the pipeline metadata."""
+
+    value: int
+    mask: int = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class GotoTable:
+    """Continue matching at ``table`` (must be a later table)."""
+
+    table: int
+
+
+@dataclass(frozen=True)
+class ApplyActions:
+    """Apply ``actions`` immediately, in order."""
+
+    actions: tuple[Action, ...]
+
+    def __init__(self, actions: "tuple[Action, ...] | list[Action]") -> None:
+        object.__setattr__(self, "actions", tuple(actions))
+
+
+Instruction = WriteMetadata | GotoTable | ApplyActions
+
+
+def output_ports(instructions: tuple[Instruction, ...]) -> list[int]:
+    """All ports named by Output actions across the instruction list."""
+    ports: list[int] = []
+    for ins in instructions:
+        if isinstance(ins, ApplyActions):
+            ports.extend(a.port for a in ins.actions if isinstance(a, Output))
+    return ports

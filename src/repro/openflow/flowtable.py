@@ -1,0 +1,84 @@
+"""Flow tables: priority-ordered match/instruction entries with counters.
+
+A :class:`FlowTable` is one numbered table in the switch pipeline; the
+switch holds a list of them. Entry capacity is enforced at the *switch*
+level (hardware TCAM budgets are shared) — see
+:class:`repro.openflow.switch.OpenFlowSwitch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.openflow.actions import Instruction
+from repro.openflow.match import Match, PacketHeader
+
+
+@dataclass
+class FlowEntry:
+    """One flow-table entry."""
+
+    priority: int
+    match: Match
+    instructions: tuple[Instruction, ...]
+    cookie: int = 0
+    # counters
+    packet_count: int = 0
+    byte_count: int = 0
+
+    def hit(self, nbytes: int) -> None:
+        self.packet_count += 1
+        self.byte_count += nbytes
+
+
+@dataclass
+class FlowTable:
+    """A single numbered flow table."""
+
+    table_id: int
+    _entries: list[FlowEntry] = field(default_factory=list)
+
+    def add(self, entry: FlowEntry) -> None:
+        """Insert keeping descending priority; stable for equal priority
+        (later adds lose, matching OpenFlow's 'first added wins' among
+        equal-priority overlapping entries as commodity switches do)."""
+        idx = len(self._entries)
+        for i, e in enumerate(self._entries):
+            if entry.priority > e.priority:
+                idx = i
+                break
+        self._entries.insert(idx, entry)
+
+    def remove(self, *, cookie: int | None = None, match: Match | None = None) -> int:
+        """Remove entries by cookie and/or exact match; returns count."""
+        before = len(self._entries)
+        self._entries = [
+            e
+            for e in self._entries
+            if not (
+                (cookie is None or e.cookie == cookie)
+                and (match is None or e.match == match)
+            )
+        ]
+        return before - len(self._entries)
+
+    def clear(self) -> int:
+        n = len(self._entries)
+        self._entries.clear()
+        return n
+
+    def lookup(
+        self, in_port: int, metadata: int, header: PacketHeader
+    ) -> FlowEntry | None:
+        """Highest-priority matching entry, or None (table miss)."""
+        for e in self._entries:
+            if e.match.matches(in_port, metadata, header):
+                return e
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[FlowEntry]:
+        return iter(self._entries)

@@ -1,0 +1,75 @@
+"""OpenFlow group tables (SELECT / ALL).
+
+SELECT groups are how real OpenFlow deployments express ECMP: the
+switch hashes each flow onto one bucket, so a sub-switch can spread
+destinations over several equivalent uplinks without per-flow rules.
+ALL groups replicate to every bucket (flood/multicast); SDT itself does
+not need them, but the substrate supports them for user experiments.
+
+Hashing is by the flow 5-tuple (src, dst, proto, ports), stable across
+packets of one flow — the property that keeps per-flow packet ordering
+intact, which RoCE and TCP both rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.openflow.actions import Action, Output
+from repro.openflow.match import PacketHeader
+from repro.util.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One weighted action list of a group."""
+
+    actions: tuple[Action, ...]
+    weight: int = 1
+
+    def __init__(self, actions, weight: int = 1) -> None:
+        object.__setattr__(self, "actions", tuple(actions))
+        object.__setattr__(self, "weight", weight)
+
+
+@dataclass(frozen=True)
+class GroupEntry:
+    """A group-table entry."""
+
+    group_id: int
+    group_type: str  # "select" | "all"
+    buckets: tuple[Bucket, ...]
+
+    def __init__(self, group_id: int, group_type: str, buckets) -> None:
+        if group_type not in ("select", "all"):
+            raise SimulationError(f"unknown group type {group_type!r}")
+        if not buckets:
+            raise SimulationError(f"group {group_id} has no buckets")
+        object.__setattr__(self, "group_id", group_id)
+        object.__setattr__(self, "group_type", group_type)
+        object.__setattr__(self, "buckets", tuple(buckets))
+
+    def select_bucket(self, header: PacketHeader) -> Bucket:
+        """SELECT: weighted stable-hash of the flow 5-tuple."""
+        digest = hashlib.sha256(
+            f"{header.src}|{header.dst}|{header.proto}|"
+            f"{header.src_port}|{header.dst_port}".encode()
+        ).digest()
+        point = int.from_bytes(digest[:8], "little")
+        total = sum(b.weight for b in self.buckets)
+        point %= max(1, total)
+        acc = 0
+        for bucket in self.buckets:
+            acc += bucket.weight
+            if point < acc:
+                return bucket
+        return self.buckets[-1]  # pragma: no cover
+
+    def output_ports(self) -> list[int]:
+        return [
+            a.port
+            for b in self.buckets
+            for a in b.actions
+            if isinstance(a, Output)
+        ]

@@ -1,0 +1,240 @@
+"""The emulated OpenFlow switch data plane.
+
+Ports are numbered ``1..num_ports`` like real hardware. The pipeline
+starts at table 0; each lookup may write metadata, apply actions and
+jump to a strictly later table (OpenFlow 1.3 semantics). A table miss
+drops the packet — SDT relies on that default-deny for sub-switch
+isolation (§VI-B's Wireshark experiment).
+
+The switch enforces a total flow-entry budget across tables, modeling
+the TCAM limit that §VII-C identifies as SDT's scarcest resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.openflow.actions import (
+    ApplyActions,
+    Drop,
+    GotoTable,
+    Group,
+    Output,
+    SetQueue,
+    SetVC,
+    WriteMetadata,
+)
+from repro.openflow.groups import GroupEntry
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match, PacketHeader
+from repro.util.errors import CapacityError, SimulationError
+
+
+@dataclass(frozen=True)
+class ForwardDecision:
+    """Result of running a packet through the pipeline."""
+
+    out_ports: tuple[int, ...]  # empty = dropped
+    queue: int = 0
+    vc: int | None = None  # rewritten VC, if any
+    matched_tables: tuple[int, ...] = ()
+
+    @property
+    def dropped(self) -> bool:
+        return not self.out_ports
+
+
+@dataclass
+class PortStats:
+    """Per-port counters (the Network Monitor polls these)."""
+
+    rx_packets: int = 0
+    tx_packets: int = 0
+    rx_bytes: int = 0
+    tx_bytes: int = 0
+
+
+class OpenFlowSwitch:
+    """An emulated multi-table OpenFlow switch."""
+
+    def __init__(
+        self,
+        dpid: str,
+        num_ports: int,
+        *,
+        num_tables: int = 4,
+        flow_table_capacity: int = 4096,
+    ) -> None:
+        if num_ports < 1:
+            raise ValueError(f"switch needs >= 1 port, got {num_ports}")
+        if num_tables < 1:
+            raise ValueError(f"switch needs >= 1 table, got {num_tables}")
+        self.dpid = dpid
+        self.num_ports = num_ports
+        self.flow_table_capacity = flow_table_capacity
+        self.tables = [FlowTable(i) for i in range(num_tables)]
+        self.groups: dict[int, GroupEntry] = {}
+        self.port_stats: dict[int, PortStats] = {
+            p: PortStats() for p in range(1, num_ports + 1)
+        }
+
+    # --- control plane ------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        return sum(len(t) for t in self.tables)
+
+    @property
+    def free_entries(self) -> int:
+        return self.flow_table_capacity - self.num_entries
+
+    def add_flow(
+        self,
+        table_id: int,
+        priority: int,
+        match: Match,
+        instructions: tuple | list,
+        *,
+        cookie: int = 0,
+    ) -> FlowEntry:
+        """Install a flow entry; raises :class:`CapacityError` when the
+        switch TCAM budget is exhausted (§VII-C)."""
+        self._check_table(table_id)
+        self._check_instructions(table_id, instructions)
+        if self.num_entries >= self.flow_table_capacity:
+            raise CapacityError(
+                f"switch {self.dpid}: flow table full "
+                f"({self.flow_table_capacity} entries)"
+            )
+        entry = FlowEntry(priority, match, tuple(instructions), cookie=cookie)
+        self.tables[table_id].add(entry)
+        return entry
+
+    def add_group(self, entry: GroupEntry) -> None:
+        """Install (or replace) a group-table entry."""
+        for port in entry.output_ports():
+            if not 1 <= port <= self.num_ports:
+                raise SimulationError(
+                    f"switch {self.dpid}: group {entry.group_id} outputs "
+                    f"to bad port {port}"
+                )
+        self.groups[entry.group_id] = entry
+
+    def remove_group(self, group_id: int) -> bool:
+        return self.groups.pop(group_id, None) is not None
+
+    def remove_flows(self, *, cookie: int | None = None) -> int:
+        """Remove entries by cookie across all tables (None = all)."""
+        removed = 0
+        for t in self.tables:
+            removed += t.clear() if cookie is None else t.remove(cookie=cookie)
+        return removed
+
+    def _check_table(self, table_id: int) -> None:
+        if not 0 <= table_id < len(self.tables):
+            raise SimulationError(
+                f"switch {self.dpid}: no table {table_id} "
+                f"(have 0..{len(self.tables) - 1})"
+            )
+
+    def _check_instructions(self, table_id: int, instructions) -> None:
+        for ins in instructions:
+            if isinstance(ins, GotoTable):
+                if ins.table <= table_id:
+                    raise SimulationError(
+                        f"switch {self.dpid}: GotoTable({ins.table}) from "
+                        f"table {table_id} must go forward"
+                    )
+                self._check_table(ins.table)
+            elif isinstance(ins, ApplyActions):
+                for a in ins.actions:
+                    if isinstance(a, Output) and not 1 <= a.port <= self.num_ports:
+                        raise SimulationError(
+                            f"switch {self.dpid}: Output({a.port}) out of "
+                            f"range 1..{self.num_ports}"
+                        )
+                    if isinstance(a, Group) and a.group_id not in self.groups:
+                        raise SimulationError(
+                            f"switch {self.dpid}: rule references missing "
+                            f"group {a.group_id} (install the group first)"
+                        )
+
+    # --- data plane -----------------------------------------------------
+    def forward(
+        self, in_port: int, header: PacketHeader, nbytes: int = 0
+    ) -> ForwardDecision:
+        """Run one packet through the pipeline; updates counters."""
+        if not 1 <= in_port <= self.num_ports:
+            raise SimulationError(
+                f"switch {self.dpid}: packet on bad port {in_port}"
+            )
+        self.port_stats[in_port].rx_packets += 1
+        self.port_stats[in_port].rx_bytes += nbytes
+
+        metadata = 0
+        queue = 0
+        vc: int | None = None
+        out_ports: list[int] = []
+        matched: list[int] = []
+        table_id = 0
+        hdr = header
+        while True:
+            entry = self.tables[table_id].lookup(in_port, metadata, hdr)
+            if entry is None:
+                break  # table miss => drop (default-deny isolation)
+            entry.hit(nbytes)
+            matched.append(table_id)
+            next_table: int | None = None
+            for ins in entry.instructions:
+                if isinstance(ins, WriteMetadata):
+                    metadata = (metadata & ~ins.mask) | (ins.value & ins.mask)
+                elif isinstance(ins, GotoTable):
+                    next_table = ins.table
+                elif isinstance(ins, ApplyActions):
+                    for a in ins.actions:
+                        if isinstance(a, Output):
+                            out_ports.append(a.port)
+                        elif isinstance(a, Group):
+                            group_entry = self.groups.get(a.group_id)
+                            if group_entry is None:
+                                continue  # group removed: act like drop
+                            if group_entry.group_type == "select":
+                                chosen = [group_entry.select_bucket(hdr)]
+                            else:  # "all": replicate
+                                chosen = list(group_entry.buckets)
+                            for bucket in chosen:
+                                for ba in bucket.actions:
+                                    if isinstance(ba, Output):
+                                        out_ports.append(ba.port)
+                                    elif isinstance(ba, SetQueue):
+                                        queue = ba.queue
+                                    elif isinstance(ba, SetVC):
+                                        vc = ba.vc
+                                        hdr = hdr.with_vc(ba.vc)
+                        elif isinstance(a, SetQueue):
+                            queue = a.queue
+                        elif isinstance(a, SetVC):
+                            vc = a.vc
+                            hdr = hdr.with_vc(a.vc)
+                        elif isinstance(a, Drop):
+                            out_ports.clear()
+                            next_table = None
+                            break
+            if next_table is None:
+                break
+            table_id = next_table
+
+        for p in out_ports:
+            self.port_stats[p].tx_packets += 1
+            self.port_stats[p].tx_bytes += nbytes
+        return ForwardDecision(
+            out_ports=tuple(out_ports),
+            queue=queue,
+            vc=vc,
+            matched_tables=tuple(matched),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OpenFlowSwitch({self.dpid!r}, ports={self.num_ports}, "
+            f"entries={self.num_entries}/{self.flow_table_capacity})"
+        )

@@ -1,0 +1,93 @@
+"""Graph partitioning for multi-switch SDT (§IV-B/IV-C).
+
+`partition_topology` is the main entry point used by the SDT
+controller: it partitions a logical topology's switch graph across
+``num_parts`` physical switches, minimizing inter-switch links while
+balancing per-switch link counts.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.partition.greedy import greedy_partition
+from repro.partition.multilevel import multilevel_partition
+from repro.partition.objective import (
+    Partition,
+    PartitionQuality,
+    cut_edges_between,
+    objective,
+    quality,
+)
+from repro.partition.spectral import spectral_partition
+from repro.topology.graph import Topology
+from repro.util.errors import PartitionError
+
+_METHODS = {
+    "multilevel": multilevel_partition,
+    "spectral": lambda g, k, seed=0: spectral_partition(g, k, seed=seed),
+    "ncut": lambda g, k, seed=0: spectral_partition(g, k, method="ncut", seed=seed),
+    "greedy": greedy_partition,
+}
+
+
+def partition_topology(
+    topology: Topology,
+    num_parts: int,
+    *,
+    method: str = "multilevel",
+    seed: int = 0,
+) -> Partition:
+    """Partition ``topology``'s switches across ``num_parts`` physical
+    switches. Hosts follow their attached switch and are not partitioned.
+    """
+    try:
+        fn = _METHODS[method]
+    except KeyError:
+        raise PartitionError(
+            f"unknown partition method {method!r}; choose from {sorted(_METHODS)}"
+        ) from None
+    graph = topology.switch_graph()
+    # weight each switch by its total radix so port usage balances too
+    for s in graph.nodes:
+        graph.nodes[s]["weight"] = topology.radix(s)
+    return fn(graph, num_parts, seed=seed)
+
+
+def best_partition(
+    topology: Topology,
+    num_parts: int,
+    *,
+    methods: tuple[str, ...] = ("multilevel", "spectral", "greedy"),
+    seed: int = 0,
+    alpha: float = 1.0,
+    beta: float = 10.0,
+) -> tuple[Partition, str]:
+    """Run several methods and keep the best §IV-C objective value."""
+    graph = topology.switch_graph()
+    best: tuple[float, Partition, str] | None = None
+    for m in methods:
+        try:
+            p = partition_topology(topology, num_parts, method=m, seed=seed)
+        except PartitionError:
+            continue
+        score = objective(graph, p, alpha=alpha, beta=beta)
+        if best is None or score < best[0]:
+            best = (score, p, m)
+    if best is None:
+        raise PartitionError(f"no partition method produced a valid {num_parts}-way split")
+    return best[1], best[2]
+
+
+__all__ = [
+    "Partition",
+    "PartitionQuality",
+    "best_partition",
+    "cut_edges_between",
+    "greedy_partition",
+    "multilevel_partition",
+    "objective",
+    "partition_topology",
+    "quality",
+    "spectral_partition",
+]

@@ -1,0 +1,45 @@
+"""Routing strategies (Table III) and deadlock analysis."""
+
+from repro.routing.adaptive import (
+    AdaptiveDragonflyForwarder,
+    build_adaptive_network,
+)
+from repro.routing.bcube import bcube_routes, hyper_bcube_routes
+from repro.routing.deadlock import (
+    Channel,
+    assert_deadlock_free,
+    channel_dependency_graph,
+    find_cycle,
+    required_vcs,
+)
+from repro.routing.repair import reroute_avoiding
+from repro.routing.strategies import (
+    dragonfly_minimal_routes,
+    fattree_updown_routes,
+    mesh_dimension_order_routes,
+    routes_for,
+    shortest_path_routes,
+    torus_dateline_routes,
+)
+from repro.routing.table import Hop, RouteTable
+
+__all__ = [
+    "AdaptiveDragonflyForwarder",
+    "build_adaptive_network",
+    "bcube_routes",
+    "hyper_bcube_routes",
+    "Channel",
+    "assert_deadlock_free",
+    "channel_dependency_graph",
+    "find_cycle",
+    "required_vcs",
+    "reroute_avoiding",
+    "dragonfly_minimal_routes",
+    "fattree_updown_routes",
+    "mesh_dimension_order_routes",
+    "routes_for",
+    "shortest_path_routes",
+    "torus_dateline_routes",
+    "Hop",
+    "RouteTable",
+]

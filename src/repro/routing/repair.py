@@ -1,0 +1,188 @@
+"""Failure-repair routing: up*/down* on the surviving topology.
+
+One of the testbed use-cases the paper's intro motivates is evaluating
+fault tolerance. When a logical link fails, the controller must
+install detour routes that are still **deadlock-free on a lossless
+fabric** — and plain per-destination shortest paths are not: on a torus
+with one failed link, the BFS trees collectively wrap rings and the
+channel dependency graph acquires a cycle (see
+``tests/core/test_failures.py``).
+
+The classical fix (Autonet, InfiniBand) is **up*/down*** routing:
+
+1. order the surviving switches by BFS from a root; an edge's *up*
+   direction points toward the smaller (closer-to-root) order;
+2. legal paths climb zero or more up edges, then descend zero or more
+   down edges — never down-then-up;
+3. the CDG is acyclic because up channels only depend on up channels of
+   strictly smaller order (and down likewise in reverse).
+
+:func:`reroute_avoiding` computes destination-based up*/down* tables
+that avoid the failed links, so the repaired fabric stays PFC-safe with
+a single VC. The table it returns is verified cycle-free before the
+controller installs it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.routing.deadlock import find_cycle
+from repro.routing.table import Hop, RouteTable
+from repro.topology.graph import Topology
+from repro.util.errors import DeadlockError, RoutingError
+
+_INF = float("inf")
+
+
+def _switch_order(
+    topology: Topology, failed_links: set[int]
+) -> dict[str, int]:
+    """BFS rank (level, then name) from a deterministic root over the
+    surviving switch graph; disconnected switches get ranks afterwards."""
+    switches = sorted(topology.switches)
+    # root: the highest-degree surviving switch (shortest up paths),
+    # name-tiebroken for determinism
+    def degree(sw: str) -> int:
+        return sum(
+            1
+            for link in topology.links_of(sw)
+            if link.index not in failed_links
+            and topology.is_switch(link.other(sw))
+        )
+
+    root = max(switches, key=lambda s: (degree(s), s))
+    level: dict[str, int] = {root: 0}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for link in topology.links_of(u):
+            if link.index in failed_links:
+                continue
+            v = link.other(u)
+            if topology.is_switch(v) and v not in level:
+                level[v] = level[u] + 1
+                queue.append(v)
+    ranked = sorted(level, key=lambda s: (level[s], s))
+    order = {s: i for i, s in enumerate(ranked)}
+    # disconnected remainder (severed islands) ranks after everything
+    nxt = len(order)
+    for s in switches:
+        if s not in order:
+            order[s] = nxt
+            nxt += 1
+    return order
+
+
+def reroute_avoiding(
+    topology: Topology,
+    failed_links: set[int],
+    *,
+    require_deadlock_free: bool = True,
+) -> RouteTable:
+    """Destination-based up*/down* routes avoiding ``failed_links``.
+
+    Hosts whose attach link failed become unreachable and get no
+    entries (their traffic drops rather than blackholing the fabric).
+    Raises :class:`RoutingError` if some still-attached host pair has
+    no surviving path at all.
+    """
+    for idx in failed_links:
+        if not 0 <= idx < len(topology.links):
+            raise RoutingError(f"no link with index {idx}")
+
+    order = _switch_order(topology, failed_links)
+    table = RouteTable(topology, num_vcs=1)
+
+    # adjacency over surviving switch links
+    neighbors: dict[str, list[tuple[str, int]]] = {
+        s: [] for s in topology.switches
+    }
+    for link in topology.switch_links:
+        if link.index in failed_links:
+            continue
+        a, b = link.a.node, link.b.node
+        neighbors[a].append((b, link.index))
+        neighbors[b].append((a, link.index))
+
+    reachable_hosts = [
+        h
+        for h in topology.hosts
+        if topology.link_between(topology.host_switch(h), h).index
+        not in failed_links
+    ]
+
+    for dst in reachable_hosts:
+        root_sw = topology.host_switch(dst)
+
+        # down_dist[v]: shortest pure-down path v -> root_sw (every hop
+        # increases order, i.e. walks away from the up/down root)
+        down_dist: dict[str, float] = {root_sw: 0}
+        queue = deque([root_sw])
+        while queue:
+            v = queue.popleft()
+            for u, _li in neighbors[v]:
+                if order[u] < order[v] and u not in down_dist:
+                    down_dist[u] = down_dist[v] + 1
+                    queue.append(u)
+
+        # updown_dist[v]: shortest legal (up*, then down*) path length.
+        # Up moves strictly decrease order, so a DP in increasing order
+        # of rank sees every up-neighbor before v.
+        by_rank = sorted(topology.switches, key=lambda s: order[s])
+        updown: dict[str, float] = {}
+        for v in by_rank:
+            best = down_dist.get(v, _INF)
+            for u, _li in neighbors[v]:
+                if order[u] < order[v]:  # an up move from v to u
+                    best = min(best, updown.get(u, _INF) + 1)
+            updown[v] = best
+
+        for sw in topology.switches:
+            if sw == root_sw:
+                attach = topology.link_between(sw, dst)
+                table.set_hop(sw, dst, Hop(attach.port_on(sw), 0))
+                continue
+            if updown.get(sw, _INF) == _INF:
+                continue  # severed from dst
+            if down_dist.get(sw, _INF) == updown[sw]:
+                # descend: the down-neighbor one step closer to dst
+                cand = [
+                    (order[u], u, li)
+                    for u, li in neighbors[sw]
+                    if order[u] > order[sw]
+                    and down_dist.get(u, _INF) == down_dist[sw] - 1
+                ]
+            else:
+                # climb: the up-neighbor on a shortest legal path
+                cand = [
+                    (order[u], u, li)
+                    for u, li in neighbors[sw]
+                    if order[u] < order[sw]
+                    and updown.get(u, _INF) + 1 == updown[sw]
+                ]
+            if not cand:  # pragma: no cover - contradiction with updown
+                raise RoutingError(
+                    f"internal: no consistent up/down hop at {sw} for {dst}"
+                )
+            _rank, _u, link_index = min(cand)
+            link = topology.links[link_index]
+            table.set_hop(sw, dst, Hop(link.port_on(sw), 0))
+
+    # every mutually-reachable host pair must still route
+    for src in reachable_hosts:
+        src_sw = topology.host_switch(src)
+        for dst in reachable_hosts:
+            if src != dst and not table.has_route(src_sw, dst):
+                raise RoutingError(
+                    f"failure set severs {src}->{dst}: no surviving path"
+                )
+
+    if require_deadlock_free:
+        cycle = find_cycle(table)
+        if cycle is not None:  # pragma: no cover - up/down forbids this
+            raise DeadlockError(
+                "repair routes acquired a channel dependency cycle "
+                f"(cycle through {cycle[0]})"
+            )
+    return table

@@ -1,0 +1,321 @@
+"""Table III routing strategies.
+
+Every strategy compiles a :class:`~repro.routing.table.RouteTable` for
+its topology family:
+
+=============  ==========================  =============================
+Topology       Strategy                    Deadlock avoidance
+=============  ==========================  =============================
+Fat-Tree       up/down (paper: DFS)        none needed (up-down is acyclic)
+Dragonfly      minimal (l-g-l)             VC bump on the global hop [44]
+2D-Mesh        X-Y dimension order         by routing (turn-restricted)
+3D-Mesh        X-Y-Z dimension order       by routing
+2D/3D-Torus    dimension order + dateline  by routing and changing VC [47]
+any            BFS shortest path           none (lossy/WAN use)
+=============  ==========================  =============================
+
+All strategies are destination-based (see :mod:`repro.routing.table`),
+which is what keeps the synthesized OpenFlow rule count at the
+~300-entries-per-switch level the paper reports (§VII-C).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+
+from repro.routing.table import Hop, RouteTable
+from repro.topology.graph import Topology
+from repro.topology.torus import coords_of
+from repro.util.errors import RoutingError
+
+
+def _stable_hash(*parts: object) -> int:
+    h = hashlib.sha256("|".join(map(repr, parts)).encode()).digest()
+    return int.from_bytes(h[:8], "little")
+
+
+def _host_port_hop(topo: Topology, switch: str, host: str, vc: int = 0) -> Hop:
+    link = topo.link_between(switch, host)
+    return Hop(link.port_on(switch), vc)
+
+
+# ---------------------------------------------------------------------------
+# Generic shortest path (BFS)
+# ---------------------------------------------------------------------------
+
+def shortest_path_routes(topo: Topology) -> RouteTable:
+    """BFS shortest-path, destination-based. The WAN default and the
+    fallback for topologies without a dedicated strategy."""
+    table = RouteTable(topo, num_vcs=1)
+    for dst in topo.hosts:
+        root = topo.host_switch(dst)
+        # BFS tree rooted at the destination's switch; each switch's hop
+        # points along the tree toward the root.
+        parent: dict[str, str] = {root: root}
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for v in topo.neighbors(u):
+                if topo.is_switch(v) and v not in parent:
+                    parent[v] = u
+                    queue.append(v)
+        for sw in topo.switches:
+            if sw == root:
+                table.set_hop(sw, dst, _host_port_hop(topo, sw, dst))
+            elif sw in parent:
+                link = topo.link_between(sw, parent[sw])
+                table.set_hop(sw, dst, Hop(link.port_on(sw), 0))
+            # unreachable switches simply get no entry (table miss = drop)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Fat-Tree up/down
+# ---------------------------------------------------------------------------
+
+def _fattree_tier(switch: str) -> str:
+    for tier in ("core", "agg", "edge"):
+        if switch.startswith(tier):
+            return tier
+    raise RoutingError(f"{switch!r} is not a fat-tree switch name")
+
+
+def fattree_updown_routes(topo: Topology) -> RouteTable:
+    """Fat-Tree routing (the paper's "DFS" strategy).
+
+    Downward hops follow the unique path to the destination edge
+    switch; upward hops pick deterministically (destination hash) among
+    the up-links, which is the standard static load-spreading choice a
+    DFS over the fabric yields. Up-down paths cannot deadlock.
+    """
+    table = RouteTable(topo, num_vcs=1)
+
+    # downward reachability: which hosts live below each switch
+    below: dict[str, set[str]] = {s: set() for s in topo.switches}
+    for h in topo.hosts:
+        below[topo.host_switch(h)].add(h)
+    # edges feed aggs, aggs feed cores (2 sweeps are enough: 3 tiers)
+    for _ in range(2):
+        for sw in topo.switches:
+            tier = _fattree_tier(sw)
+            for nb in topo.neighbors(sw):
+                if topo.is_switch(nb):
+                    nb_tier = _fattree_tier(nb)
+                    if (tier, nb_tier) in (("agg", "edge"), ("core", "agg")):
+                        below[sw] |= below[nb]
+
+    for dst in topo.hosts:
+        for sw in topo.switches:
+            tier = _fattree_tier(sw)
+            if dst in topo.hosts_of_switch(sw):
+                table.set_hop(sw, dst, _host_port_hop(topo, sw, dst))
+                continue
+            # downward if some child subtree holds dst
+            down = [
+                nb
+                for nb in topo.neighbors(sw)
+                if topo.is_switch(nb)
+                and _fattree_tier(nb) == {"core": "agg", "agg": "edge"}.get(tier)
+                and dst in below[nb]
+            ]
+            if down:
+                link = topo.link_between(sw, down[0])
+                table.set_hop(sw, dst, Hop(link.port_on(sw), 0))
+                continue
+            if tier == "core":
+                raise RoutingError(f"core {sw} cannot reach {dst}")
+            ups = sorted(
+                nb
+                for nb in topo.neighbors(sw)
+                if topo.is_switch(nb)
+                and _fattree_tier(nb) == {"edge": "agg", "agg": "core"}[tier]
+            )
+            pick = ups[_stable_hash(dst, sw) % len(ups)]
+            link = topo.link_between(sw, pick)
+            table.set_hop(sw, dst, Hop(link.port_on(sw), 0))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Dragonfly minimal
+# ---------------------------------------------------------------------------
+
+def _dragonfly_group(switch: str) -> int:
+    # names are g{group}r{router} (see repro.topology.dragonfly)
+    if not switch.startswith("g") or "r" not in switch:
+        raise RoutingError(f"{switch!r} is not a dragonfly router name")
+    return int(switch[1 : switch.index("r")])
+
+
+def dragonfly_minimal_routes(topo: Topology) -> RouteTable:
+    """Minimal (local-global-local) dragonfly routing with the
+    VC-changing deadlock avoidance of Dally & Aoki [44]: the global hop
+    lifts packets to VC 1, local hops preserve the incoming VC.
+    """
+    table = RouteTable(topo, num_vcs=2)
+    switches = topo.switches
+    groups: dict[int, list[str]] = {}
+    for sw in switches:
+        groups.setdefault(_dragonfly_group(sw), []).append(sw)
+
+    # gateway map: for (router r, target group G): which neighbor takes
+    # us toward G — either r's own global link, or the local router
+    # owning a global link to G.
+    global_neighbors: dict[str, dict[int, str]] = {sw: {} for sw in switches}
+    for sw in switches:
+        for nb in topo.neighbors(sw):
+            if topo.is_switch(nb) and _dragonfly_group(nb) != _dragonfly_group(sw):
+                global_neighbors[sw][_dragonfly_group(nb)] = nb
+
+    for dst in topo.hosts:
+        dst_sw = topo.host_switch(dst)
+        dst_group = _dragonfly_group(dst_sw)
+        for sw in switches:
+            my_group = _dragonfly_group(sw)
+            if sw == dst_sw:
+                # deliver: preserve VC class on the host port
+                for vc in (0, 1):
+                    table.set_hop(sw, dst, _host_port_hop(topo, sw, dst, vc), in_vc=vc)
+                continue
+            if my_group == dst_group:
+                link = topo.link_between(sw, dst_sw)  # local full mesh
+                for vc in (0, 1):
+                    table.set_hop(sw, dst, Hop(link.port_on(sw), vc), in_vc=vc)
+                continue
+            # other group: do I own a global link to it?
+            target = global_neighbors[sw].get(dst_group)
+            if target is not None:
+                link = topo.link_between(sw, target)
+                table.set_hop(sw, dst, Hop(link.port_on(sw), 1))  # global hop: VC 1
+                continue
+            # find the local gateway router owning such a link
+            gateways = sorted(
+                r for r in groups[my_group] if dst_group in global_neighbors[r]
+            )
+            if not gateways:
+                raise RoutingError(
+                    f"group {my_group} has no global link to group {dst_group}"
+                )
+            gw = gateways[_stable_hash(dst, my_group) % len(gateways)]
+            link = topo.link_between(sw, gw)
+            table.set_hop(sw, dst, Hop(link.port_on(sw), 0))  # local hop: VC 0
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Mesh dimension-order (X-Y / X-Y-Z)
+# ---------------------------------------------------------------------------
+
+def _grid_switch_by_coords(topo: Topology) -> dict[tuple[int, ...], str]:
+    return {coords_of(sw): sw for sw in topo.switches}
+
+
+def mesh_dimension_order_routes(topo: Topology) -> RouteTable:
+    """X-Y (2D) / X-Y-Z (3D) dimension-order mesh routing [45], [46].
+
+    Deadlock-free by routing alone: dimension order forbids the turns
+    that close dependency cycles, so a single VC suffices.
+    """
+    table = RouteTable(topo, num_vcs=1)
+    by_coords = _grid_switch_by_coords(topo)
+
+    for dst in topo.hosts:
+        dst_sw = topo.host_switch(dst)
+        dst_c = coords_of(dst_sw)
+        for sw in topo.switches:
+            if sw == dst_sw:
+                table.set_hop(sw, dst, _host_port_hop(topo, sw, dst))
+                continue
+            c = coords_of(sw)
+            nxt = list(c)
+            for axis in range(len(c)):
+                if c[axis] != dst_c[axis]:
+                    nxt[axis] += 1 if dst_c[axis] > c[axis] else -1
+                    break
+            nb = by_coords[tuple(nxt)]
+            link = topo.link_between(sw, nb)
+            table.set_hop(sw, dst, Hop(link.port_on(sw), 0))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Torus dimension-order with datelines (Clue-style [47])
+# ---------------------------------------------------------------------------
+
+def torus_dateline_routes(topo: Topology, dims: tuple[int, ...]) -> RouteTable:
+    """Dimension-order torus routing, shortest wrap direction, with the
+    dateline VC scheme the paper groups under "by routing and changing
+    VC" (Table III; Clue [47] is the adaptive refinement of the same
+    channel discipline).
+
+    Each dimension ``i`` owns VC pair ``(2i, 2i+1)``: packets enter a
+    dimension on its even VC and move to the odd VC when crossing the
+    wraparound edge ("dateline"). Entering a new dimension resets to
+    that dimension's even VC, which keeps the channel-dependency graph
+    acyclic (verified by the deadlock tests).
+    """
+    ndims = len(dims)
+    table = RouteTable(topo, num_vcs=2 * ndims)
+    by_coords = _grid_switch_by_coords(topo)
+
+    for dst in topo.hosts:
+        dst_sw = topo.host_switch(dst)
+        dst_c = coords_of(dst_sw)
+        for sw in topo.switches:
+            if sw == dst_sw:
+                for vc in range(2 * ndims):
+                    table.set_hop(sw, dst, _host_port_hop(topo, sw, dst, vc), in_vc=vc)
+                continue
+            c = coords_of(sw)
+            axis = next(i for i in range(ndims) if c[i] != dst_c[i])
+            k = dims[axis]
+            fwd = (dst_c[axis] - c[axis]) % k
+            back = (c[axis] - dst_c[axis]) % k
+            step = 1 if fwd <= back else -1  # ties go forward
+            nxt_coord = (c[axis] + step) % k
+            crosses = (step == 1 and c[axis] == k - 1) or (
+                step == -1 and c[axis] == 0
+            )
+            nxt = list(c)
+            nxt[axis] = nxt_coord
+            link = topo.link_between(sw, by_coords[tuple(nxt)])
+            port = link.port_on(sw)
+            for in_vc in range(2 * ndims):
+                if in_vc // 2 == axis:
+                    crossed_bit = in_vc % 2
+                else:
+                    crossed_bit = 0  # fresh entry into this dimension
+                out_vc = 2 * axis + (1 if crosses else crossed_bit)
+                table.set_hop(sw, dst, Hop(port, out_vc), in_vc=in_vc)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Dispatcher
+# ---------------------------------------------------------------------------
+
+def routes_for(topo: Topology) -> RouteTable:
+    """Pick the Table III strategy for a generated topology by name."""
+    name = topo.name
+    if name.startswith("bcube"):
+        from repro.routing.bcube import bcube_routes
+
+        return bcube_routes(topo)
+    if name.startswith("hyperbcube"):
+        from repro.routing.bcube import hyper_bcube_routes
+
+        return hyper_bcube_routes(topo)
+    if name.startswith("fat-tree"):
+        return fattree_updown_routes(topo)
+    if name.startswith("dragonfly"):
+        return dragonfly_minimal_routes(topo)
+    if name.startswith("mesh"):
+        return mesh_dimension_order_routes(topo)
+    if name.startswith("torus2d"):
+        dims = tuple(int(x) for x in name.split("-")[1].split("x"))
+        return torus_dateline_routes(topo, dims)
+    if name.startswith("torus3d"):
+        dims = tuple(int(x) for x in name.split("-")[1].split("x"))
+        return torus_dateline_routes(topo, dims)
+    return shortest_path_routes(topo)

@@ -1,0 +1,120 @@
+"""Destination-based route tables.
+
+All Table III strategies are *destination-based*: at each logical
+switch, the (destination host, incoming virtual channel) pair decides
+the outgoing port and VC. That is exactly what compiles into compact
+OpenFlow rules (one per sub-switch x destination), so the route table
+is the common currency between :mod:`repro.routing` strategies, the
+SDT rule synthesizer, and the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.graph import Port, Topology
+from repro.util.errors import RoutingError
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One forwarding decision: leave via ``port`` on VC ``vc``."""
+
+    port: Port
+    vc: int = 0
+
+
+@dataclass
+class RouteTable:
+    """Maps (switch, dst host, in-VC) to a :class:`Hop`.
+
+    Entries with ``in_vc=None`` are VC wildcards (match any incoming
+    VC); exact-VC entries take precedence. ``num_vcs`` records how many
+    VCs the strategy needs (1 = no deadlock VCs).
+    """
+
+    topology: Topology
+    num_vcs: int = 1
+    #: server-centric topologies (BCube) let *hosts* forward transit
+    #: packets between their NICs; set to permit host entries
+    allow_host_forwarding: bool = False
+    _exact: dict[tuple[str, str, int], Hop] = field(default_factory=dict)
+    _wild: dict[tuple[str, str], Hop] = field(default_factory=dict)
+
+    def set_hop(
+        self, switch: str, dst: str, hop: Hop, *, in_vc: int | None = None
+    ) -> None:
+        if not self.topology.is_switch(switch) and not (
+            self.allow_host_forwarding and self.topology.is_host(switch)
+        ):
+            raise RoutingError(f"{switch!r} is not a switch")
+        if hop.port.node != switch:
+            raise RoutingError(
+                f"hop port {hop.port} does not belong to switch {switch!r}"
+            )
+        if not 0 <= hop.vc < self.num_vcs:
+            raise RoutingError(f"hop VC {hop.vc} out of range (num_vcs={self.num_vcs})")
+        if in_vc is None:
+            self._wild[(switch, dst)] = hop
+        else:
+            self._exact[(switch, dst, in_vc)] = hop
+
+    def next_hop(self, switch: str, dst: str, in_vc: int = 0) -> Hop:
+        hop = self._exact.get((switch, dst, in_vc))
+        if hop is None:
+            hop = self._wild.get((switch, dst))
+        if hop is None:
+            raise RoutingError(f"no route at {switch!r} for dst {dst!r} vc={in_vc}")
+        return hop
+
+    def has_route(self, switch: str, dst: str, in_vc: int = 0) -> bool:
+        return (switch, dst, in_vc) in self._exact or (switch, dst) in self._wild
+
+    def entries(self):
+        """Iterate (switch, dst, in_vc|None, hop) for rule synthesis."""
+        for (sw, dst), hop in self._wild.items():
+            yield sw, dst, None, hop
+        for (sw, dst, vc), hop in self._exact.items():
+            yield sw, dst, vc, hop
+
+    def __len__(self) -> int:
+        return len(self._exact) + len(self._wild)
+
+    # --- path tracing ----------------------------------------------------
+    def trace(self, src_host: str, dst_host: str, *, max_hops: int = 256) -> list[str]:
+        """The switch sequence a packet follows src->dst (for tests and
+        latency math). Raises RoutingError on loops or dead ends."""
+        topo = self.topology
+        if src_host == dst_host:
+            return []
+        current = (
+            src_host if self.allow_host_forwarding
+            else topo.host_switch(src_host)
+        )
+        vc = 0
+        path = [current]
+        for _ in range(max_hops):
+            hop = self.next_hop(current, dst_host, vc)
+            link = topo.link_of_port(hop.port)
+            nxt = link.other(current)
+            vc = hop.vc
+            if nxt == dst_host:
+                return path
+            if not topo.is_switch(nxt) and not self.allow_host_forwarding:
+                raise RoutingError(
+                    f"route at {current} for {dst_host} exits to wrong host {nxt}"
+                )
+            current = nxt
+            path.append(current)
+        raise RoutingError(
+            f"routing loop: {src_host}->{dst_host} exceeded {max_hops} hops "
+            f"(path so far: {path[:8]}...)"
+        )
+
+    def validate_all_pairs(self) -> None:
+        """Trace every host pair; raises on any loop/dead-end."""
+        hosts = self.topology.hosts
+        for src in hosts:
+            for dst in hosts:
+                if src != dst:
+                    self.trace(src, dst)

@@ -1,0 +1,28 @@
+"""Experiment harness: full-testbed / simulator / SDT arms."""
+
+from repro.testbed.emulator import EmulationEstimate, EmulationHost, estimate_emulation
+from repro.testbed.incast import IncastResult, run_incast
+from repro.testbed.harness import (
+    SIMULATOR_FLIT,
+    TESTBED_MTU,
+    ArmResult,
+    Comparison,
+    Experiment,
+    compare_arms,
+    select_nodes,
+)
+
+__all__ = [
+    "EmulationEstimate",
+    "EmulationHost",
+    "estimate_emulation",
+    "IncastResult",
+    "run_incast",
+    "SIMULATOR_FLIT",
+    "TESTBED_MTU",
+    "ArmResult",
+    "Comparison",
+    "Experiment",
+    "compare_arms",
+    "select_nodes",
+]

@@ -1,0 +1,80 @@
+"""Emulator cost model — Table I's "Emulator" column, quantified.
+
+Mininet/OVS-style emulators run every virtual switch's data plane on
+the host CPU: each packet costs per-hop software switching work, and
+all virtual switches share the machine's cores. §II-B: "the
+performance of emulators is poor in the high bandwidth environment
+(10Gbps+) or medium-scale topologies (containing 20+ switches)".
+
+The model: an emulation host with ``cores`` cores, each able to switch
+``pps_per_core`` packets per second through OVS. An experiment that
+needs ``offered_pps`` (aggregate packets/s x average hops) is *faithful*
+only if the host keeps up; otherwise it either slows down (time
+dilation factor) or mis-measures. This turns the paper's qualitative
+"Medium/poor at scale" into numbers a benchmark can check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.graph import Topology
+from repro.util.units import gbps
+
+
+@dataclass(frozen=True)
+class EmulationHost:
+    """The machine running the Mininet/OVS emulation."""
+
+    cores: int = 18  # the paper's E5-2695v4
+    pps_per_core: float = 1.2e6  # OVS kernel datapath, ~1-1.5 Mpps/core
+    #: virtual switches also burn a share of a core just existing
+    per_switch_overhead: float = 0.02
+
+
+@dataclass(frozen=True)
+class EmulationEstimate:
+    """Can this experiment run faithfully under emulation?"""
+
+    offered_pps: float
+    capacity_pps: float
+    slowdown: float  # 1.0 = real time; >1 = time-dilated
+    faithful: bool
+
+    @property
+    def effective_bandwidth_fraction(self) -> float:
+        return min(1.0, self.capacity_pps / max(self.offered_pps, 1.0))
+
+
+def estimate_emulation(
+    topology: Topology,
+    *,
+    host: EmulationHost = EmulationHost(),
+    link_rate: float = gbps(10),
+    load: float = 0.7,
+    avg_hops: float = 4.0,
+    avg_packet_bytes: int = 1500,
+) -> EmulationEstimate:
+    """Estimate emulator fidelity for driving ``topology`` at ``load``.
+
+    Offered work: every active host NIC pushes ``load x link_rate``;
+    each packet crosses ``avg_hops`` software switches.
+    """
+    num_hosts = max(1, len(topology.hosts))
+    offered_pps = (
+        num_hosts * load * link_rate / avg_packet_bytes * avg_hops
+    )
+    usable_cores = max(
+        0.5,
+        host.cores - host.per_switch_overhead * len(topology.switches),
+    )
+    capacity_pps = usable_cores * host.pps_per_core
+    slowdown = max(1.0, offered_pps / capacity_pps)
+    return EmulationEstimate(
+        offered_pps=offered_pps,
+        capacity_pps=capacity_pps,
+        slowdown=slowdown,
+        # faithful only with ~2x headroom: emulators near saturation
+        # distort latency long before they stop forwarding
+        faithful=offered_pps * 2 <= capacity_pps,
+    )

@@ -1,0 +1,87 @@
+"""Incast bandwidth experiments (Fig. 12).
+
+The paper's rig: the 8-switch chain, every other node runs iperf3 at a
+single target (node 4), PFC off (lossy TCP) vs PFC on (lossless). The
+interesting output is each sender's bandwidth share as a function of
+its hop count and the number of congestion points on its path.
+
+:func:`run_incast` measures per-sender goodput at the receiver over a
+fixed window on any built network — logical or SDT — so the same
+experiment compares the two arms, which is exactly Fig. 12's panel
+pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.network import Network
+from repro.netsim.transport import TcpFlow, WIRE_OVERHEAD, RoceTransport
+from repro.util.errors import SimulationError
+from repro.util.units import MIB
+
+
+@dataclass(frozen=True)
+class IncastResult:
+    """Per-sender receiver-side goodput (bytes/s) over the window."""
+
+    target: str
+    duration: float
+    goodput: dict[str, float]
+    drops: int
+
+    def share(self) -> dict[str, float]:
+        total = sum(self.goodput.values()) or 1.0
+        return {s: g / total for s, g in self.goodput.items()}
+
+
+def run_incast(
+    network: Network,
+    senders: list[str],
+    target: str,
+    *,
+    duration: float = 50e-3,
+    mode: str = "tcp",
+) -> IncastResult:
+    """All ``senders`` blast ``target`` for ``duration`` seconds.
+
+    ``mode="tcp"`` uses the Reno flows (PFC should be off in the
+    network config); ``mode="roce"`` uses rate-based RoCE messaging
+    (PFC on). Goodput is measured at the receiving host per source.
+    """
+    if target in senders:
+        raise SimulationError("target cannot also be a sender")
+    received: dict[str, int] = {s: 0 for s in senders}
+
+    # receiver-side per-source byte accounting
+    def count(packet) -> None:
+        if packet.kind == "data" and packet.header.dst == target:
+            src = packet.header.src
+            if src in received:
+                received[src] += max(0, packet.size - WIRE_OVERHEAD)
+
+    network.host(target).on_receive(count)
+
+    if mode == "tcp":
+        flows = [
+            TcpFlow(network, s, target, total_bytes=None) for s in senders
+        ]
+        for f in flows:
+            f.start()
+    elif mode == "roce":
+        RoceTransport(network, target)  # receiver endpoint
+        for s in senders:
+            tx = RoceTransport(network, s)
+            # a stream of large back-to-back messages for the window
+            for i in range(int(duration * network.config.link_rate / MIB) + 2):
+                tx.send(target, MIB, tag=i)
+    else:
+        raise SimulationError(f"unknown incast mode {mode!r}")
+
+    network.sim.run(until=duration)
+    return IncastResult(
+        target=target,
+        duration=duration,
+        goodput={s: received[s] / duration for s in senders},
+        drops=network.total_drops(),
+    )

@@ -1,0 +1,49 @@
+"""Logical topologies: the graph model plus generators for every
+topology family the paper uses (Fig. 1, Table II, §VI)."""
+
+from repro.topology.bcube import bcube, hyper_bcube
+from repro.topology.chain import chain
+from repro.topology.dragonfly import dragonfly, dragonfly_stats
+from repro.topology.fattree import fat_tree, fat_tree_stats
+from repro.topology.graph import Link, Port, Topology
+from repro.topology.torus import (
+    coords_of,
+    mesh2d,
+    mesh3d,
+    torus2d,
+    torus3d,
+    torus_stats,
+)
+from repro.topology.zoo import (
+    ZOO_SIZE,
+    ZooEntry,
+    build_zoo_topology,
+    zoo_catalog,
+    zoo_entry,
+    zoo_link_histogram,
+)
+
+__all__ = [
+    "Link",
+    "Port",
+    "Topology",
+    "bcube",
+    "hyper_bcube",
+    "chain",
+    "dragonfly",
+    "dragonfly_stats",
+    "fat_tree",
+    "fat_tree_stats",
+    "coords_of",
+    "mesh2d",
+    "mesh3d",
+    "torus2d",
+    "torus3d",
+    "torus_stats",
+    "ZOO_SIZE",
+    "ZooEntry",
+    "build_zoo_topology",
+    "zoo_catalog",
+    "zoo_entry",
+    "zoo_link_histogram",
+]

@@ -1,0 +1,76 @@
+"""BCube and HyperBCube generators.
+
+These appear in the paper's Fig. 1 as commonly-used DCN topologies. In
+BCube (Guo et al., SIGCOMM 2009) *servers* have multiple NICs and take
+part in forwarding; for Topology Projection purposes we model the
+server-side multi-homing faithfully (hosts with level-many ports) but
+keep hosts non-forwarding in the simulator, which matches how a testbed
+would attach multi-NIC servers to projected switches.
+
+``BCube(n, k)`` has ``n^(k+1)`` servers and ``(k+1) * n^k`` switches of
+radix ``n``. HyperBCube (Lin et al., ICC 2012) is included as the
+paper lists it; we implement its two-level variant where a (n, l)
+HyperBCube composes n-port switches into l dimensions sharing switch
+columns, following the published construction for l=2.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.topology.graph import Topology
+from repro.util.errors import TopologyError
+
+
+def bcube(n: int, k: int) -> Topology:
+    """Build ``BCube(n, k)``: levels 0..k of ``n``-port switches.
+
+    Server ``(a_k, ..., a_0)`` (digits base ``n``) connects at level
+    ``l`` to switch ``(l; a_k .. a_{l+1} a_{l-1} .. a_0)``.
+    """
+    if n < 2 or k < 0:
+        raise TopologyError(f"bcube requires n >= 2, k >= 0; got n={n} k={k}")
+    topo = Topology(name=f"bcube-n{n}k{k}")
+    digits = list(itertools.product(range(n), repeat=k + 1))
+
+    switch_names: dict[tuple[int, tuple[int, ...]], str] = {}
+    for level in range(k + 1):
+        for rest in itertools.product(range(n), repeat=k):
+            switch_names[(level, rest)] = topo.add_switch(
+                f"sw{level}-" + "".join(map(str, rest))
+            )
+
+    hosts = {
+        d: topo.add_host("h" + "".join(map(str, d))) for d in digits
+    }
+    for d in digits:
+        for level in range(k + 1):
+            # digits are (a_k, ..., a_0); position of a_level from the left:
+            pos = k - level
+            rest = d[:pos] + d[pos + 1 :]
+            topo.connect(hosts[d], switch_names[(level, rest)])
+
+    topo.validate()
+    return topo
+
+
+def hyper_bcube(n: int) -> Topology:
+    """Build a 2-level ``HyperBCube(n)``.
+
+    The 2D HyperBCube arranges ``n^2`` servers in an n-by-n grid; each
+    row and each column shares one n-port switch, so server (i, j)
+    connects to row switch i and column switch j. This halves the
+    switch count of BCube(n, 1) while keeping two disjoint paths.
+    """
+    if n < 2:
+        raise TopologyError(f"hyper-bcube requires n >= 2, got {n}")
+    topo = Topology(name=f"hyperbcube-n{n}")
+    rows = [topo.add_switch(f"row{i}") for i in range(n)]
+    cols = [topo.add_switch(f"col{j}") for j in range(n)]
+    for i in range(n):
+        for j in range(n):
+            h = topo.add_host(f"h{i}{j}")
+            topo.connect(h, rows[i])
+            topo.connect(h, cols[j])
+    topo.validate()
+    return topo

@@ -1,0 +1,29 @@
+"""Linear chain topology — the paper's latency/bandwidth rig (Fig. 10).
+
+Eight switches in a line, one host per switch, 10 Gbps everywhere. The
+pingpong between node 1 and node 8 crosses 8 switches: with the two
+host links that is the paper's "10-hop" path.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import Topology
+from repro.util.errors import TopologyError
+
+
+def chain(num_switches: int = 8, *, hosts_per_switch: int = 1) -> Topology:
+    """A line of ``num_switches`` switches with hosts attached."""
+    if num_switches < 1:
+        raise TopologyError(f"chain needs >= 1 switch, got {num_switches}")
+    topo = Topology(name=f"chain-{num_switches}")
+    switches = [topo.add_switch(f"s{i}") for i in range(num_switches)]
+    for a, b in zip(switches, switches[1:]):
+        topo.connect(a, b)
+    host_id = 0
+    for s in switches:
+        for _ in range(hosts_per_switch):
+            h = topo.add_host(f"h{host_id}")
+            topo.connect(s, h)
+            host_id += 1
+    topo.validate()
+    return topo

@@ -1,0 +1,114 @@
+"""Dragonfly topology generator (Kim et al., ISCA 2008).
+
+Parameters follow the paper's notation: ``a`` routers per group, ``g``
+groups, ``h`` global links per router, ``p`` hosts per router. Routers
+within a group are fully connected (``a-1`` local ports each); groups
+are connected by ``a*h`` global links per group spread evenly over the
+other groups. The paper evaluates ``a=4, g=9, h=2`` (the balanced
+maximum ``g = a*h + 1``, one global link between every group pair).
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import Topology
+from repro.util.errors import TopologyError
+
+
+def dragonfly(
+    a: int, g: int, h: int, *, p: int | None = None, with_hosts: bool = True
+) -> Topology:
+    """Build a Dragonfly(a, g, h) with ``p`` hosts per router.
+
+    ``p`` defaults to ``h`` (the paper's balanced recommendation
+    ``a = 2p = 2h`` gives p=h; for a=4,g=9,h=2 that yields 72 hosts, of
+    which the paper samples 32).
+    """
+    if a < 1 or g < 1 or h < 0:
+        raise TopologyError(f"bad dragonfly parameters a={a} g={g} h={h}")
+    if g > a * h + 1 and g > 1:
+        raise TopologyError(
+            f"dragonfly g={g} exceeds a*h+1={a * h + 1}: not enough global links"
+        )
+    if p is None:
+        p = h
+    topo = Topology(name=f"dragonfly-a{a}g{g}h{h}")
+
+    routers = [
+        [topo.add_switch(f"g{grp}r{r}") for r in range(a)] for grp in range(g)
+    ]
+
+    # intra-group: full mesh
+    for grp in range(g):
+        for i in range(a):
+            for j in range(i + 1, a):
+                topo.connect(routers[grp][i], routers[grp][j])
+
+    # inter-group: distribute the a*h global ports of each group over the
+    # other g-1 groups round-robin, pairing groups symmetrically. With
+    # g = a*h + 1 this is exactly one link per group pair.
+    per_pair = _global_links_per_pair(a, g, h)
+    for ga in range(g):
+        for gb in range(ga + 1, g):
+            for k in range(per_pair[(ga, gb)]):
+                ra = _pick_router(topo, routers[ga], a, h)
+                rb = _pick_router(topo, routers[gb], a, h)
+                topo.connect(ra, rb)
+
+    if with_hosts:
+        host_id = 0
+        for grp in range(g):
+            for r in range(a):
+                for _ in range(p):
+                    hname = topo.add_host(f"h{host_id}")
+                    topo.connect(routers[grp][r], hname)
+                    host_id += 1
+
+    topo.validate()
+    return topo
+
+
+def _global_links_per_pair(a: int, g: int, h: int) -> dict[tuple[int, int], int]:
+    """How many global links connect each group pair.
+
+    Total global links = g*a*h/2, spread as evenly as possible over the
+    g*(g-1)/2 pairs, deterministically (lexicographic order).
+    """
+    pairs = [(i, j) for i in range(g) for j in range(i + 1, g)]
+    total = g * a * h // 2
+    counts = dict.fromkeys(pairs, 0)
+    if not pairs:
+        return counts
+    base, extra = divmod(total, len(pairs))
+    for idx, pair in enumerate(pairs):
+        counts[pair] = base + (1 if idx < extra else 0)
+    return counts
+
+
+def _pick_router(topo: Topology, group: list[str], a: int, h: int) -> str:
+    """The router in ``group`` with the fewest global links assigned so
+    far (ties broken by index), keeping per-router global degree <= h."""
+    local = a - 1
+
+    def global_degree(r: str) -> int:
+        return topo.radix(r) - local
+
+    best = min(group, key=lambda r: (global_degree(r), group.index(r)))
+    if global_degree(best) >= h:
+        raise TopologyError("global link budget exhausted; g too large for a*h")
+    return best
+
+
+def dragonfly_stats(a: int, g: int, h: int, p: int | None = None) -> dict[str, int]:
+    """Closed-form size (for the cost model)."""
+    if p is None:
+        p = h
+    switches = a * g
+    hosts = p * switches
+    local_links = g * a * (a - 1) // 2
+    global_links = g * a * h // 2
+    return {
+        "switches": switches,
+        "hosts": hosts,
+        "switch_links": local_links + global_links,
+        "switch_ports": 2 * (local_links + global_links) + hosts,
+    }

@@ -1,0 +1,82 @@
+"""Fat-Tree topology generator (Al-Fares et al., SIGCOMM 2008).
+
+A ``k``-ary Fat-Tree has ``(k/2)^2`` core switches and ``k`` pods, each
+pod holding ``k/2`` aggregation and ``k/2`` edge switches; each edge
+switch serves ``k/2`` hosts. For ``k=4`` this is the paper's running
+example: 20 switches, 16 hosts, 48 links (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import Topology
+from repro.util.errors import TopologyError
+
+
+def fat_tree(k: int, *, with_hosts: bool = True) -> Topology:
+    """Build a ``k``-ary Fat-Tree.
+
+    Parameters
+    ----------
+    k:
+        Switch radix; must be even and >= 2.
+    with_hosts:
+        Attach ``(k^3)/4`` hosts to the edge switches. Disable for pure
+        switch-fabric studies (e.g. Table II port accounting counts
+        switch-to-switch ports only by dropping hosts).
+    """
+    if k < 2 or k % 2:
+        raise TopologyError(f"fat-tree requires even k >= 2, got {k}")
+    half = k // 2
+    topo = Topology(name=f"fat-tree-k{k}")
+
+    cores = [
+        topo.add_switch(f"core{i}-{j}") for i in range(half) for j in range(half)
+    ]
+    aggs: list[list[str]] = []
+    edges: list[list[str]] = []
+    for pod in range(k):
+        aggs.append([topo.add_switch(f"agg{pod}-{i}") for i in range(half)])
+        edges.append([topo.add_switch(f"edge{pod}-{i}") for i in range(half)])
+
+    # core <-> aggregation: core (i, j) connects to aggregation switch i
+    # of every pod.
+    for i in range(half):
+        for j in range(half):
+            core = cores[i * half + j]
+            for pod in range(k):
+                topo.connect(aggs[pod][i], core)
+
+    # aggregation <-> edge: full bipartite inside each pod.
+    for pod in range(k):
+        for agg in aggs[pod]:
+            for edge in edges[pod]:
+                topo.connect(agg, edge)
+
+    if with_hosts:
+        host_id = 0
+        for pod in range(k):
+            for edge in edges[pod]:
+                for _ in range(half):
+                    h = topo.add_host(f"h{host_id}")
+                    topo.connect(edge, h)
+                    host_id += 1
+
+    topo.validate()
+    return topo
+
+
+def fat_tree_stats(k: int) -> dict[str, int]:
+    """Closed-form size of a ``k``-ary Fat-Tree (used by the cost model
+    without materializing large graphs)."""
+    if k < 2 or k % 2:
+        raise TopologyError(f"fat-tree requires even k >= 2, got {k}")
+    half = k // 2
+    switches = half * half + k * k  # cores + (agg+edge) per pod
+    hosts = k * half * half
+    switch_links = half * half * k + k * half * half  # core-agg + agg-edge
+    return {
+        "switches": switches,
+        "hosts": hosts,
+        "switch_links": switch_links,
+        "switch_ports": 2 * switch_links + hosts,
+    }

@@ -1,0 +1,281 @@
+"""Logical topology graph.
+
+A *logical topology* (§III-B of the paper) is the user-defined network
+the researcher wants to evaluate: logical switches, hosts ("computing
+nodes"), and links. Every link endpoint occupies a numbered *port* on
+its node — the port numbering is what Topology Projection maps onto
+physical switch ports, so :class:`Topology` assigns port indices
+deterministically in insertion order.
+
+Nodes are identified by strings. Switch and host namespaces are
+disjoint; :meth:`Topology.connect` accepts any mix of the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import networkx as nx
+
+from repro.util.errors import TopologyError
+
+
+@dataclass(frozen=True, order=True)
+class Port:
+    """A numbered port on a logical node (``node``, 0-based ``index``)."""
+
+    node: str
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.node}.p{self.index}"
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected logical link between two ports.
+
+    ``a`` and ``b`` are :class:`Port` objects; the link is identified by
+    its ``index`` (insertion order) which generators and tests use as a
+    stable handle.
+    """
+
+    index: int
+    a: Port
+    b: Port
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        return (self.a.node, self.b.node)
+
+    def other(self, node: str) -> str:
+        """The endpoint node opposite ``node``."""
+        if node == self.a.node:
+            return self.b.node
+        if node == self.b.node:
+            return self.a.node
+        raise TopologyError(f"{node!r} is not an endpoint of link {self.index}")
+
+    def port_on(self, node: str) -> Port:
+        """The port this link occupies on ``node``."""
+        if node == self.a.node:
+            return self.a
+        if node == self.b.node:
+            return self.b
+        raise TopologyError(f"{node!r} is not an endpoint of link {self.index}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"L{self.index}({self.a}--{self.b})"
+
+
+@dataclass
+class Topology:
+    """A logical topology: switches, hosts, and port-numbered links."""
+
+    name: str = "topology"
+    _switches: dict[str, None] = field(default_factory=dict)
+    _hosts: dict[str, None] = field(default_factory=dict)
+    _links: list[Link] = field(default_factory=list)
+    _ports: dict[str, list[Port]] = field(default_factory=dict)
+    # port -> link resolution for routing/projection lookups
+    _port_link: dict[Port, Link] = field(default_factory=dict)
+
+    # --- construction -------------------------------------------------
+    def add_switch(self, name: str) -> str:
+        """Register a logical switch; returns its name for chaining."""
+        self._check_fresh(name)
+        self._switches[name] = None
+        self._ports[name] = []
+        return name
+
+    def add_host(self, name: str) -> str:
+        """Register a host (computing node)."""
+        self._check_fresh(name)
+        self._hosts[name] = None
+        self._ports[name] = []
+        return name
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self._switches or name in self._hosts:
+            raise TopologyError(f"node {name!r} already exists in {self.name!r}")
+
+    def connect(self, a: str, b: str) -> Link:
+        """Add an undirected link between nodes ``a`` and ``b``.
+
+        Each endpoint is assigned the next free port index on its node.
+        Parallel links and self-loops are rejected: none of the
+        topologies in the paper use them and they complicate projection
+        for no benefit.
+        """
+        if a == b:
+            raise TopologyError(f"self-loop on {a!r} not supported")
+        for node in (a, b):
+            if node not in self._ports:
+                raise TopologyError(f"unknown node {node!r} in {self.name!r}")
+        if b in self.neighbors(a):
+            raise TopologyError(f"parallel link {a!r}--{b!r} not supported")
+        pa = Port(a, len(self._ports[a]))
+        pb = Port(b, len(self._ports[b]))
+        link = Link(len(self._links), pa, pb)
+        self._ports[a].append(pa)
+        self._ports[b].append(pb)
+        self._links.append(link)
+        self._port_link[pa] = link
+        self._port_link[pb] = link
+        return link
+
+    # --- accessors ----------------------------------------------------
+    @property
+    def switches(self) -> list[str]:
+        return list(self._switches)
+
+    @property
+    def hosts(self) -> list[str]:
+        return list(self._hosts)
+
+    @property
+    def nodes(self) -> list[str]:
+        return [*self._switches, *self._hosts]
+
+    @property
+    def links(self) -> list[Link]:
+        return list(self._links)
+
+    def is_switch(self, node: str) -> bool:
+        return node in self._switches
+
+    def is_host(self, node: str) -> bool:
+        return node in self._hosts
+
+    @property
+    def switch_links(self) -> list[Link]:
+        """Links with both endpoints on switches (E_s + E_a material)."""
+        return [
+            l
+            for l in self._links
+            if self.is_switch(l.a.node) and self.is_switch(l.b.node)
+        ]
+
+    @property
+    def host_links(self) -> list[Link]:
+        """Links attaching hosts to switches (E_n in §IV-B)."""
+        return [
+            l
+            for l in self._links
+            if self.is_host(l.a.node) or self.is_host(l.b.node)
+        ]
+
+    def ports_of(self, node: str) -> list[Port]:
+        try:
+            return list(self._ports[node])
+        except KeyError:
+            raise TopologyError(f"unknown node {node!r}") from None
+
+    def radix(self, node: str) -> int:
+        """Number of ports in use on ``node``."""
+        return len(self.ports_of(node))
+
+    def link_of_port(self, port: Port) -> Link:
+        try:
+            return self._port_link[port]
+        except KeyError:
+            raise TopologyError(f"port {port} has no link") from None
+
+    def links_of(self, node: str) -> list[Link]:
+        return [self._port_link[p] for p in self.ports_of(node)]
+
+    def neighbors(self, node: str) -> list[str]:
+        return [l.other(node) for l in self.links_of(node)]
+
+    def link_between(self, a: str, b: str) -> Link:
+        for l in self.links_of(a):
+            if l.other(a) == b:
+                return l
+        raise TopologyError(f"no link {a!r}--{b!r} in {self.name!r}")
+
+    def host_switch(self, host: str) -> str:
+        """The switch a host is attached to (hosts are single-homed here)."""
+        if not self.is_host(host):
+            raise TopologyError(f"{host!r} is not a host")
+        neighbors = self.neighbors(host)
+        if len(neighbors) != 1:
+            raise TopologyError(
+                f"host {host!r} has {len(neighbors)} attachments, expected 1"
+            )
+        return neighbors[0]
+
+    def hosts_of_switch(self, switch: str) -> list[str]:
+        return [n for n in self.neighbors(switch) if self.is_host(n)]
+
+    # --- aggregate properties ------------------------------------------
+    @property
+    def total_switch_ports(self) -> int:
+        """Total ports across logical switches (the TP feasibility metric:
+        a projection fits iff this is <= physical ports available)."""
+        return sum(self.radix(s) for s in self._switches)
+
+    @property
+    def num_switch_links(self) -> int:
+        return len(self.switch_links)
+
+    @property
+    def num_host_links(self) -> int:
+        return len(self.host_links)
+
+    # --- interop -------------------------------------------------------
+    def switch_graph(self) -> nx.Graph:
+        """The switch-to-switch graph (hosts dropped) as networkx."""
+        g = nx.Graph()
+        g.add_nodes_from(self._switches)
+        for l in self.switch_links:
+            g.add_edge(l.a.node, l.b.node, index=l.index)
+        return g
+
+    def to_networkx(self) -> nx.Graph:
+        """Full graph including hosts; node attr ``kind`` in {switch,host}."""
+        g = nx.Graph()
+        for s in self._switches:
+            g.add_node(s, kind="switch")
+        for h in self._hosts:
+            g.add_node(h, kind="host")
+        for l in self._links:
+            g.add_edge(l.a.node, l.b.node, index=l.index)
+        return g
+
+    # --- validation ----------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`TopologyError` on structural inconsistencies."""
+        if not self._switches:
+            raise TopologyError(f"{self.name!r} has no switches")
+        for h in self._hosts:
+            neighbors = self.neighbors(h)
+            if not neighbors:
+                raise TopologyError(f"host {h!r} is not attached to anything")
+            for n in neighbors:
+                if not self.is_switch(n):
+                    raise TopologyError(
+                        f"host {h!r} attaches to non-switch {n!r}"
+                    )
+        # port indices must be dense and unique per node
+        for node, ports in self._ports.items():
+            indices = [p.index for p in ports]
+            if indices != list(range(len(ports))):
+                raise TopologyError(f"non-dense port numbering on {node!r}")
+        if self._hosts and not self.is_connected():
+            raise TopologyError(f"{self.name!r} is not connected")
+
+    def is_connected(self) -> bool:
+        g = self.to_networkx()
+        return nx.is_connected(g) if g.number_of_nodes() else False
+
+    # --- iteration helpers ----------------------------------------------
+    def switch_pairs(self) -> Iterator[tuple[str, str]]:
+        for l in self.switch_links:
+            yield l.a.node, l.b.node
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology({self.name!r}: {len(self._switches)} switches, "
+            f"{len(self._hosts)} hosts, {len(self._links)} links)"
+        )

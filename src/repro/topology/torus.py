@@ -1,0 +1,98 @@
+"""Mesh and Torus generators (2D and 3D).
+
+Tori follow the Blue Gene/L convention (Adiga et al.): every switch has
+a wraparound link per dimension, so a ``k x k`` 2D-Torus switch has
+radix 4 (+hosts) and a 3D-Torus switch radix 6 (+hosts). Meshes omit
+the wraparound. The paper evaluates 5x5 2D-Torus and 4x4x4 3D-Torus
+with one host per switch.
+
+Dimension-order coordinates are embedded in switch names (``s2-1`` /
+``s1-2-3``) and exposed via :func:`coords_of` so routing strategies
+(X-Y, X-Y-Z, Clue-style dateline) can recover them.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.topology.graph import Topology
+from repro.util.errors import TopologyError
+
+
+def _grid(
+    dims: tuple[int, ...], wrap: bool, name: str, hosts_per_switch: int
+) -> Topology:
+    for d in dims:
+        if d < 2:
+            raise TopologyError(f"each dimension must be >= 2, got {dims}")
+    if wrap and any(d < 3 for d in dims):
+        # k=2 wraparound would create parallel links (both neighbors equal)
+        raise TopologyError(f"torus dimensions must be >= 3, got {dims}")
+    topo = Topology(name=name)
+    coords = list(itertools.product(*(range(d) for d in dims)))
+    names = {c: topo.add_switch("s" + "-".join(map(str, c))) for c in coords}
+
+    for c in coords:
+        for axis, size in enumerate(dims):
+            nxt = list(c)
+            nxt[axis] += 1
+            if nxt[axis] == size:
+                if not wrap:
+                    continue
+                nxt[axis] = 0
+            topo.connect(names[c], names[tuple(nxt)])
+
+    host_id = 0
+    for c in coords:
+        for _ in range(hosts_per_switch):
+            h = topo.add_host(f"h{host_id}")
+            topo.connect(names[c], h)
+            host_id += 1
+
+    topo.validate()
+    return topo
+
+
+def mesh2d(x: int, y: int, *, hosts_per_switch: int = 1) -> Topology:
+    """An ``x`` by ``y`` 2D mesh (no wraparound)."""
+    return _grid((x, y), False, f"mesh2d-{x}x{y}", hosts_per_switch)
+
+
+def mesh3d(x: int, y: int, z: int, *, hosts_per_switch: int = 1) -> Topology:
+    """An ``x`` by ``y`` by ``z`` 3D mesh."""
+    return _grid((x, y, z), False, f"mesh3d-{x}x{y}x{z}", hosts_per_switch)
+
+
+def torus2d(x: int, y: int, *, hosts_per_switch: int = 1) -> Topology:
+    """An ``x`` by ``y`` 2D torus (wraparound links in both dimensions)."""
+    return _grid((x, y), True, f"torus2d-{x}x{y}", hosts_per_switch)
+
+
+def torus3d(x: int, y: int, z: int, *, hosts_per_switch: int = 1) -> Topology:
+    """An ``x`` by ``y`` by ``z`` 3D torus."""
+    return _grid((x, y, z), True, f"torus3d-{x}x{y}x{z}", hosts_per_switch)
+
+
+def coords_of(switch: str) -> tuple[int, ...]:
+    """Recover grid coordinates from a mesh/torus switch name."""
+    if not switch.startswith("s"):
+        raise TopologyError(f"{switch!r} is not a mesh/torus switch name")
+    try:
+        return tuple(int(part) for part in switch[1:].split("-"))
+    except ValueError:
+        raise TopologyError(f"{switch!r} is not a mesh/torus switch name") from None
+
+
+def torus_stats(dims: tuple[int, ...], hosts_per_switch: int = 1) -> dict[str, int]:
+    """Closed-form size of a torus (for the cost model)."""
+    switches = 1
+    for d in dims:
+        switches *= d
+    switch_links = switches * len(dims)  # one +axis link per switch per dim
+    hosts = switches * hosts_per_switch
+    return {
+        "switches": switches,
+        "hosts": hosts,
+        "switch_links": switch_links,
+        "switch_ports": 2 * switch_links + hosts,
+    }

@@ -1,0 +1,64 @@
+"""Shared utilities: units, errors, deterministic RNG, text tables.
+
+Everything in :mod:`repro` measures time in **seconds** and data in
+**bytes** internally; this package provides readable constructors and
+formatters for those quantities so magic numbers never appear inline.
+"""
+
+from repro.util.errors import (
+    CapacityError,
+    ConfigurationError,
+    DeadlockError,
+    PartitionError,
+    ProjectionError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+    WiringError,
+)
+from repro.util.rng import derive_seed, make_rng
+from repro.util.tables import format_series, format_table
+from repro.util.units import (
+    GBPS,
+    GIB,
+    KIB,
+    MIB,
+    MICROSECONDS,
+    MILLISECONDS,
+    NANOSECONDS,
+    Gbps,
+    bytes_str,
+    gbps,
+    rate_str,
+    time_str,
+)
+
+__all__ = [
+    "CapacityError",
+    "ConfigurationError",
+    "DeadlockError",
+    "PartitionError",
+    "ProjectionError",
+    "ReproError",
+    "RoutingError",
+    "SimulationError",
+    "TopologyError",
+    "WiringError",
+    "derive_seed",
+    "make_rng",
+    "format_series",
+    "format_table",
+    "GBPS",
+    "GIB",
+    "KIB",
+    "MIB",
+    "MICROSECONDS",
+    "MILLISECONDS",
+    "NANOSECONDS",
+    "Gbps",
+    "bytes_str",
+    "gbps",
+    "rate_str",
+    "time_str",
+]

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the SDT reproduction.
+
+Every package raises a subclass of :class:`ReproError` so callers can
+catch reproduction-specific failures without swallowing programming
+errors (``TypeError`` etc. propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError):
+    """A logical topology is malformed or a generator got bad parameters."""
+
+
+class PartitionError(ReproError):
+    """Graph partitioning failed or produced an invalid partition."""
+
+
+class WiringError(ReproError):
+    """A physical wiring plan is inconsistent (dangling port, double use)."""
+
+
+class ProjectionError(ReproError):
+    """Topology projection cannot map the logical topology onto hardware."""
+
+
+class CapacityError(ProjectionError):
+    """A hardware resource limit (ports, flow-table entries) is exceeded."""
+
+
+class ConfigurationError(ReproError):
+    """A controller configuration file or object is invalid."""
+
+
+class RoutingError(ReproError):
+    """No route exists or a routing strategy was misapplied."""
+
+
+class DeadlockError(ReproError):
+    """A routing configuration admits a channel-dependency cycle, or the
+    simulator watchdog detected an actual deadlock at runtime."""
+
+
+class SimulationError(ReproError):
+    """The event-driven simulator reached an inconsistent state."""

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for benchmark/report output.
+
+The benchmark harness reproduces the paper's tables and figure series as
+text; this module renders them with aligned columns so the output can be
+diffed between runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[object],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    str_head = [_cell(h) for h in headers]
+    ncols = len(str_head)
+    for i, row in enumerate(str_rows):
+        if len(row) != ncols:
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+    widths = [
+        max(len(str_head[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(str_head[c])
+        for c in range(ncols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(str_head, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render figure-style data: one x column plus one column per series."""
+    headers = [x_label, *series.keys()]
+    columns = list(series.values())
+    for name, col in series.items():
+        if len(col) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(col)} points, expected {len(x_values)}"
+            )
+    rows = [
+        [x, *(col[i] for col in columns)] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

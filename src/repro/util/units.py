@@ -1,0 +1,62 @@
+"""Units and formatting.
+
+Internal conventions (used consistently across :mod:`repro`):
+
+* time     — seconds (float)
+* data     — bytes (int)
+* bandwidth — bytes per second (float)
+
+The constructors below exist so call sites read like the paper
+(``gbps(10)``, ``4 * KIB``) instead of raw powers of ten.
+"""
+
+from __future__ import annotations
+
+# --- data sizes (bytes) ---
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# --- time (seconds) ---
+NANOSECONDS = 1e-9
+MICROSECONDS = 1e-6
+MILLISECONDS = 1e-3
+
+# --- bandwidth ---
+GBPS = 1e9 / 8.0  # bytes per second carried by a 1 Gbit/s link
+
+
+def gbps(value: float) -> float:
+    """Bandwidth of ``value`` Gbit/s in bytes per second."""
+    return value * GBPS
+
+
+def Gbps(byte_rate: float) -> float:
+    """Inverse of :func:`gbps`: bytes/s expressed in Gbit/s."""
+    return byte_rate / GBPS
+
+
+def bytes_str(n: float) -> str:
+    """Human-readable byte count (``1.5 MiB``)."""
+    n = float(n)
+    for unit, size in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= size:
+            return f"{n / size:.4g} {unit}"
+    return f"{n:.4g} B"
+
+
+def time_str(seconds: float) -> str:
+    """Human-readable duration (``12.3 us``)."""
+    s = float(seconds)
+    if abs(s) >= 1.0:
+        return f"{s:.4g} s"
+    if abs(s) >= MILLISECONDS:
+        return f"{s / MILLISECONDS:.4g} ms"
+    if abs(s) >= MICROSECONDS:
+        return f"{s / MICROSECONDS:.4g} us"
+    return f"{s / NANOSECONDS:.4g} ns"
+
+
+def rate_str(byte_rate: float) -> str:
+    """Human-readable bandwidth (``10 Gbps``)."""
+    return f"{Gbps(byte_rate):.4g} Gbps"

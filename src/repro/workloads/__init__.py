@@ -1,0 +1,39 @@
+"""HPC workload trace generators (Table IV's application set)."""
+
+from repro.workloads.base import (
+    RANK_FLOPS,
+    Workload,
+    coords_of_rank,
+    grid_3d,
+    halo_neighbors,
+    rank_of,
+    register,
+    registered_workloads,
+    workload,
+)
+from repro.workloads.hpcg import hpcg
+from repro.workloads.hpl import hpl
+from repro.workloads.imb import imb_alltoall, imb_pingpong
+from repro.workloads.minife import minife
+from repro.workloads.minighost import minighost
+from repro.workloads.traces import dump_trace, load_trace
+
+__all__ = [
+    "RANK_FLOPS",
+    "Workload",
+    "coords_of_rank",
+    "grid_3d",
+    "halo_neighbors",
+    "rank_of",
+    "register",
+    "registered_workloads",
+    "workload",
+    "hpcg",
+    "hpl",
+    "imb_alltoall",
+    "imb_pingpong",
+    "minife",
+    "minighost",
+    "dump_trace",
+    "load_trace",
+]

@@ -1,0 +1,117 @@
+"""Workload framework.
+
+A :class:`Workload` builds per-rank op programs (the same artifact the
+paper gets by tracing real MPI applications). Every workload exposes a
+``scale`` knob: the paper's full problem sizes produce terabytes of
+traffic (a 16-second Alltoall at 10G), which no Python event simulator
+should chew through packet by packet — ``scale`` shrinks message sizes
+and iteration counts proportionally while leaving the communication
+*pattern* untouched, and EXPERIMENTS.md records the scaling used per
+table row.
+
+Rank compute speed defaults to an effective 5 GF/s per core-bound rank,
+which sets the compute/communication ratio — the property that drives
+Table IV's per-application speedup spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mpi.program import Op
+
+#: effective per-rank compute throughput (flop/s) used to convert flop
+#: counts into Compute() seconds
+RANK_FLOPS = 5e9
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named communication/computation pattern."""
+
+    name: str
+    build: Callable[[int], dict[int, list[Op]]]
+    #: short provenance note (what app/pattern this models)
+    description: str = ""
+
+
+_REGISTRY: dict[str, Callable[..., Workload]] = {}
+
+
+def register(name: str):
+    """Decorator: register a workload factory under ``name``."""
+
+    def wrap(factory: Callable[..., Workload]):
+        _REGISTRY[name] = factory
+        return factory
+
+    return wrap
+
+
+def workload(name: str, **params) -> Workload:
+    """Instantiate a registered workload factory."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**params)
+
+
+def registered_workloads() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def grid_3d(p: int) -> tuple[int, int, int]:
+    """Factor ``p`` ranks into the most-cubic 3D process grid
+    (MPI_Dims_create flavour)."""
+    best = (p, 1, 1)
+    best_score = p + 1 + 1
+    for x in range(1, p + 1):
+        if p % x:
+            continue
+        rest = p // x
+        for y in range(1, rest + 1):
+            if rest % y:
+                continue
+            z = rest // y
+            score = max(x, y, z) - min(x, y, z)
+            if score < best_score:
+                best_score = score
+                best = tuple(sorted((x, y, z), reverse=True))
+    return best  # type: ignore[return-value]
+
+
+def rank_of(coords: tuple[int, int, int], dims: tuple[int, int, int]) -> int:
+    x, y, z = coords
+    return (x * dims[1] + y) * dims[2] + z
+
+
+def coords_of_rank(rank: int, dims: tuple[int, int, int]) -> tuple[int, int, int]:
+    z = rank % dims[2]
+    y = (rank // dims[2]) % dims[1]
+    x = rank // (dims[1] * dims[2])
+    return (x, y, z)
+
+
+def halo_neighbors(
+    rank: int, dims: tuple[int, int, int], *, periodic: bool = False
+) -> list[tuple[int, int]]:
+    """(neighbor_rank, face_axis) pairs for a 6-point stencil halo."""
+    x, y, z = coords_of_rank(rank, dims)
+    out: list[tuple[int, int]] = []
+    for axis, (c, d) in enumerate(zip((x, y, z), dims)):
+        for step in (-1, 1):
+            n = c + step
+            if periodic:
+                n %= d
+            elif not 0 <= n < d:
+                continue
+            if n == c:
+                continue  # dimension of size 1 (or wrap onto self)
+            coords = [x, y, z]
+            coords[axis] = n
+            out.append((rank_of(tuple(coords), dims), axis))
+    return out

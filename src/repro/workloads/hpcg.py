@@ -1,0 +1,85 @@
+"""HPCG: conjugate-gradient solver with 27-point stencil halos.
+
+Communication pattern per CG iteration (the real benchmark's dominant
+loop): one halo exchange for the SpMV (face messages to up to 6 grid
+neighbors at our 6-face modeling granularity), plus two 8-byte
+allreduces (dot products). Compute per iteration is the SpMV's ~27
+multiply-adds per row plus vector ops, converted to seconds at
+:data:`~repro.workloads.base.RANK_FLOPS`.
+
+The paper runs the 64x64x64 local problem; ``scale`` shrinks the local
+dimension so the simulated byte volume stays tractable (the pattern and
+compute/comm ratio are preserved).
+"""
+
+from __future__ import annotations
+
+from repro.mpi.collectives import allreduce, merge_programs
+from repro.mpi.program import Compute, ISend, Op, Recv, WaitAllSent
+from repro.workloads.base import (
+    Workload,
+    grid_3d,
+    halo_neighbors,
+    register,
+)
+
+
+def _halo_phase(
+    num_ranks: int,
+    dims: tuple[int, int, int],
+    face_bytes: tuple[int, int, int],
+    tag_base: int,
+) -> dict[int, list[Op]]:
+    """One 6-neighbor halo exchange (ISend both faces, then drain)."""
+    programs: dict[int, list[Op]] = {r: [] for r in range(num_ranks)}
+    for r in range(num_ranks):
+        neighbors = halo_neighbors(r, dims)
+        for n, axis in neighbors:
+            programs[r].append(ISend(n, face_bytes[axis], tag=tag_base + axis))
+        for n, axis in neighbors:
+            programs[r].append(Recv(n, tag=tag_base + axis))
+        programs[r].append(WaitAllSent())
+    return programs
+
+
+@register("hpcg")
+def hpcg(
+    *, nx: int = 64, ny: int = 64, nz: int = 64, iterations: int = 8,
+    scale: float = 1.0, gflops: float = 1.4,
+) -> Workload:
+    """HPCG with an (nx, ny, nz) local domain per rank.
+
+    ``gflops`` is the effective per-rank rate (HPCG is memory-bound, so
+    well below peak); together with ``scale`` it keeps the scaled-down
+    problem's compute/communication ratio at full-size values, which is
+    what drives Table IV's per-application speedup ordering.
+    """
+    lx = max(4, int(nx * scale))
+    ly = max(4, int(ny * scale))
+    lz = max(4, int(nz * scale))
+
+    def build(num_ranks: int) -> dict[int, list[Op]]:
+        dims = grid_3d(num_ranks)
+        # face sizes in bytes (8 B per boundary value), per axis
+        face_bytes = (ly * lz * 8, lx * lz * 8, lx * ly * 8)
+        rows = lx * ly * lz
+        # SpMV 27-pt (2*27 flop/row) + ~5 vector ops (2 flop/row each)
+        iter_flops = rows * (2 * 27 + 10)
+        compute = Compute(iter_flops / (gflops * 1e9))
+
+        phases: list[dict[int, list[Op]]] = []
+        tag = 0
+        for _ in range(iterations):
+            phases.append({r: [compute] for r in range(num_ranks)})
+            phases.append(_halo_phase(num_ranks, dims, face_bytes, tag))
+            tag += 8
+            for _dot in range(2):
+                phases.append(allreduce(num_ranks, 8, tag_base=tag))
+                tag += 16
+        return merge_programs(*phases)
+
+    return Workload(
+        name=f"HPCG({lx}x{ly}x{lz} x{iterations}it)",
+        build=build,
+        description="CG iterations: 6-face halo + 2 dot-product allreduces",
+    )

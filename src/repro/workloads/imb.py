@@ -1,0 +1,114 @@
+"""Intel MPI Benchmarks: Pingpong and Alltoall (§VI-B, §VI-D).
+
+Pure communication benchmarks — no Compute ops at all — which is why
+the paper calls Alltoall "ideal for verifying the impact on network
+performances brought by SDT's overhead" and why it shows the largest
+simulator-vs-SDT speedups (2440-2899x in Table IV).
+"""
+
+from __future__ import annotations
+
+from repro.mpi.collectives import alltoall as alltoall_coll
+from repro.mpi.collectives import merge_programs
+from repro.mpi.program import Op, Recv, Send
+from repro.workloads.base import Workload, register
+
+
+@register("imb-pingpong")
+def imb_pingpong(
+    *, msglen: int = 1024, repetitions: int = 100, rank_a: int = 0, rank_b: int = 1
+) -> Workload:
+    """IMB Pingpong between two ranks (all other ranks idle)."""
+
+    def build(num_ranks: int) -> dict[int, list[Op]]:
+        if num_ranks < 2:
+            raise ValueError("pingpong needs >= 2 ranks")
+        a, b = rank_a, rank_b
+        programs: dict[int, list[Op]] = {r: [] for r in range(num_ranks)}
+        for rep in range(repetitions):
+            programs[a].append(Send(b, msglen, tag=2 * rep))
+            programs[a].append(Recv(b, tag=2 * rep + 1))
+            programs[b].append(Recv(a, tag=2 * rep))
+            programs[b].append(Send(a, msglen, tag=2 * rep + 1))
+        return programs
+
+    return Workload(
+        name=f"IMB-Pingpong({msglen}B x{repetitions})",
+        build=build,
+        description="two-rank RTT benchmark (IMB PingPong)",
+    )
+
+
+@register("imb-alltoall")
+def imb_alltoall(*, msglen: int = 16384, repetitions: int = 4) -> Workload:
+    """IMB Alltoall over all ranks, pairwise-exchange algorithm."""
+
+    def build(num_ranks: int) -> dict[int, list[Op]]:
+        phases = [
+            alltoall_coll(num_ranks, msglen, tag_base=rep * (num_ranks + 1))
+            for rep in range(repetitions)
+        ]
+        return merge_programs(*phases)
+
+    return Workload(
+        name=f"IMB-Alltoall({msglen}B x{repetitions})",
+        build=build,
+        description="all-ranks personalized exchange (IMB Alltoall)",
+    )
+
+
+@register("imb-allreduce")
+def imb_allreduce(*, msglen: int = 65536, repetitions: int = 4) -> Workload:
+    """IMB Allreduce: recursive doubling over all ranks."""
+    from repro.mpi.collectives import allreduce
+
+    def build(num_ranks: int) -> dict[int, list[Op]]:
+        phases = [
+            allreduce(num_ranks, msglen, tag_base=rep * 64)
+            for rep in range(repetitions)
+        ]
+        return merge_programs(*phases)
+
+    return Workload(
+        name=f"IMB-Allreduce({msglen}B x{repetitions})",
+        build=build,
+        description="recursive-doubling allreduce (IMB Allreduce)",
+    )
+
+
+@register("imb-bcast")
+def imb_bcast(*, msglen: int = 262144, repetitions: int = 4) -> Workload:
+    """IMB Bcast: binomial tree, rotating the root like IMB does."""
+    from repro.mpi.collectives import bcast
+
+    def build(num_ranks: int) -> dict[int, list[Op]]:
+        phases = [
+            bcast(num_ranks, msglen, root=rep % num_ranks, tag_base=rep * 64)
+            for rep in range(repetitions)
+        ]
+        return merge_programs(*phases)
+
+    return Workload(
+        name=f"IMB-Bcast({msglen}B x{repetitions})",
+        build=build,
+        description="binomial broadcast, rotating root (IMB Bcast)",
+    )
+
+
+@register("imb-allgather")
+def imb_allgather(*, msglen: int = 32768, repetitions: int = 4) -> Workload:
+    """IMB Allgather: ring algorithm."""
+    from repro.mpi.collectives import allgather_ring
+
+    def build(num_ranks: int) -> dict[int, list[Op]]:
+        phases = [
+            allgather_ring(num_ranks, msglen, tag_base=rep * 64)
+            for rep in range(repetitions)
+        ]
+        return merge_programs(*phases)
+
+    return Workload(
+        name=f"IMB-Allgather({msglen}B x{repetitions})",
+        build=build,
+        description="ring allgather (IMB Allgather)",
+    )

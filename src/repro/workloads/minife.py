@@ -1,0 +1,81 @@
+"""miniFE: implicit finite-element proxy (Mantevo suite).
+
+One assembly phase (neighbor boundary exchange of matrix rows) followed
+by a CG solve whose iterations look like HPCG's but with a lighter
+local compute per row — miniFE spends proportionally more time in
+communication, landing between miniGhost and IMB in Table IV's speedup
+ordering (651-935x). The paper runs two shapes (264^3 and 264x512x512);
+both map here via (nx, ny, nz).
+"""
+
+from __future__ import annotations
+
+from repro.mpi.collectives import allreduce, merge_programs
+from repro.mpi.program import Compute, ISend, Op, Recv, WaitAllSent
+from repro.workloads.base import (
+    Workload,
+    grid_3d,
+    halo_neighbors,
+    register,
+)
+
+
+@register("minife")
+def minife(
+    *,
+    nx: int = 264,
+    ny: int = 264,
+    nz: int = 264,
+    cg_iterations: int = 10,
+    scale: float = 1.0,
+    gflops: float = 6.0,
+) -> Workload:
+    """miniFE with a *global* (nx, ny, nz) domain split over ranks."""
+    gx = max(8, int(nx * scale))
+    gy = max(8, int(ny * scale))
+    gz = max(8, int(nz * scale))
+
+    def build(num_ranks: int) -> dict[int, list[Op]]:
+        dims = grid_3d(num_ranks)
+        lx = max(2, gx // dims[0])
+        ly = max(2, gy // dims[1])
+        lz = max(2, gz // dims[2])
+        face_bytes = (ly * lz * 8, lx * lz * 8, lx * ly * 8)
+        rows = lx * ly * lz
+        # CG with a 27-pt FE operator but fewer vector ops than HPCG's
+        # multigrid-preconditioned loop -> lighter compute per row
+        iter_flops = rows * (2 * 27 + 4)
+        compute = Compute(iter_flops / (gflops * 1e9))
+        # assembly: exchange ~2 layers of boundary rows once
+        assembly_bytes = tuple(2 * fb for fb in face_bytes)
+
+        phases: list[dict[int, list[Op]]] = []
+        tag = 0
+
+        def halo(face: tuple[int, int, int], tag_base: int) -> dict[int, list[Op]]:
+            prog: dict[int, list[Op]] = {r: [] for r in range(num_ranks)}
+            for r in range(num_ranks):
+                neighbors = halo_neighbors(r, dims)
+                for n, axis in neighbors:
+                    prog[r].append(ISend(n, face[axis], tag=tag_base + axis))
+                for n, axis in neighbors:
+                    prog[r].append(Recv(n, tag=tag_base + axis))
+                prog[r].append(WaitAllSent())
+            return prog
+
+        phases.append(halo(assembly_bytes, tag))  # assembly
+        tag += 8
+        for _ in range(cg_iterations):
+            phases.append(halo(face_bytes, tag))
+            tag += 8
+            for _dot in range(2):
+                phases.append(allreduce(num_ranks, 8, tag_base=tag))
+                tag += 16
+            phases.append({r: [compute] for r in range(num_ranks)})
+        return merge_programs(*phases)
+
+    return Workload(
+        name=f"miniFE({gx}x{gy}x{gz} x{cg_iterations}cg)",
+        build=build,
+        description="FE assembly exchange + CG halo/allreduce iterations",
+    )

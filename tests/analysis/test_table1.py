@@ -1,0 +1,30 @@
+"""Table I rubric."""
+
+from repro.analysis import RATIONALE, TABLE1, TOOLS, render_table1
+
+
+def test_paper_cells():
+    assert TABLE1["Price"]["SDT"] == "Medium"
+    assert TABLE1["Manpower"]["SDT"] == "Low"
+    assert TABLE1["(Re)configuration"]["SDT"] == "Easy"
+    assert TABLE1["Scalability"]["SDT"] == "High"
+    assert TABLE1["Efficiency"]["SDT"] == "High"
+    assert TABLE1["Efficiency"]["Simulator"] == "Low"
+    assert TABLE1["(Re)configuration"]["Testbed"] == "Hard"
+
+
+def test_every_criterion_covers_every_tool():
+    for criterion, ratings in TABLE1.items():
+        assert set(ratings) == set(TOOLS), criterion
+        assert criterion in RATIONALE
+
+
+def test_render_contains_everything():
+    text = render_table1()
+    for token in (*TOOLS, *TABLE1):
+        assert token in text
+
+
+def test_render_without_rationale():
+    text = render_table1(with_rationale=False)
+    assert "Why" not in text

@@ -1,0 +1,40 @@
+"""Shared fixtures: small topologies and a ready SDT cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SDTController, build_cluster_for
+from repro.hardware import H3C_S6861
+from repro.topology import chain, dragonfly, fat_tree, torus2d
+
+
+@pytest.fixture(scope="session")
+def fattree4():
+    return fat_tree(4)
+
+
+@pytest.fixture(scope="session")
+def dragonfly492():
+    return dragonfly(4, 9, 2)
+
+
+@pytest.fixture(scope="session")
+def torus55():
+    return torus2d(5, 5)
+
+
+@pytest.fixture(scope="session")
+def chain8():
+    return chain(8)
+
+
+@pytest.fixture()
+def small_cluster():
+    """Two H3C switches wired for fat-tree k=4 / 4x4 torus scale."""
+    return build_cluster_for([fat_tree(4), torus2d(4, 4)], 2, H3C_S6861)
+
+
+@pytest.fixture()
+def controller(small_cluster):
+    return SDTController(small_cluster)

@@ -1,0 +1,40 @@
+"""Cluster auto-sizing (§IV-B reservation procedure)."""
+
+import pytest
+
+from repro.core import SDTController, build_cluster_for
+from repro.core.projection import route_usage
+from repro.hardware import EVAL_256x10G, H3C_S6861
+from repro.routing import routes_for
+from repro.topology import dragonfly, fat_tree, torus2d, torus3d
+from repro.util.errors import CapacityError
+
+
+def test_built_cluster_hosts_all_planned(small_cluster):
+    controller = SDTController(small_cluster)
+    for topo in (fat_tree(4), torus2d(4, 4)):
+        dep, _t = controller.reconfigure(topo)
+        assert dep.rules.count() > 0
+
+
+def test_too_small_switch_raises():
+    with pytest.raises(CapacityError, match="add switches"):
+        build_cluster_for([torus3d(4, 4, 4)], 3, H3C_S6861)
+
+
+def test_usages_shrink_requirements():
+    topo = dragonfly(4, 9, 2)
+    usage = route_usage(topo, routes_for(topo), topo.hosts[:8])
+    cluster = build_cluster_for([topo], 3, EVAL_256x10G, usages=[usage])
+    # full dragonfly needs 72 host ports; pruned needs only the active 8
+    total_hosts = sum(
+        len(cluster.wiring.hosts_of(s)) for s in cluster.switch_names
+    )
+    assert total_hosts < 72
+
+
+def test_spare_hosts_added():
+    topo = fat_tree(4)
+    base = build_cluster_for([topo], 2, H3C_S6861)
+    spare = build_cluster_for([topo], 2, H3C_S6861, spare_hosts=2)
+    assert len(spare.hosts) == len(base.hosts) + 4  # 2 per switch

@@ -1,0 +1,131 @@
+"""SDT controller: check / deploy / reconfigure / overrides (§V)."""
+
+import pytest
+
+from repro.core import SDTController, TopologyConfig
+from repro.routing.table import Hop, RouteTable
+from repro.topology import Topology
+from repro.util.errors import (
+    CapacityError,
+    ConfigurationError,
+    DeadlockError,
+)
+
+FT4 = TopologyConfig("fat-tree", {"k": 4})
+TORUS44 = TopologyConfig("torus2d", {"x": 4, "y": 4})
+
+
+def test_check_clean_config(controller):
+    assert controller.check(FT4) == []
+
+
+def test_check_reports_oversized_topology(controller):
+    problems = controller.check(TopologyConfig("torus3d", {"x": 4, "y": 4, "z": 4}))
+    assert problems  # 4^3 torus cannot fit the small 2-switch rig
+
+
+def test_deploy_installs_rules(controller):
+    dep = controller.deploy(FT4)
+    total_installed = sum(
+        sw.num_entries for sw in controller.cluster.switches.values()
+    )
+    assert total_installed == dep.rules.count()
+    assert dep.deployment_time > 0
+
+
+def test_undeploy_removes_rules(controller):
+    dep = controller.deploy(FT4)
+    controller.undeploy(dep)
+    assert all(
+        sw.num_entries == 0 for sw in controller.cluster.switches.values()
+    )
+    assert controller.deployments == []
+
+
+def test_undeploy_unknown_rejected(controller):
+    dep = controller.deploy(FT4)
+    controller.undeploy(dep)
+    with pytest.raises(ConfigurationError):
+        controller.undeploy(dep)
+
+
+def test_reconfigure_swaps_topology(controller):
+    dep1 = controller.deploy(FT4)
+    dep2, reconfig_time = controller.reconfigure(TORUS44)
+    assert dep2.name == "torus2d-4x4"
+    assert dep1 not in controller.deployments
+    assert reconfig_time > dep2.deployment_time  # includes removal
+
+
+def test_cookies_and_metadata_unique_across_deployments(controller):
+    d1 = controller.deploy(FT4)
+    controller.undeploy(d1)
+    d2 = controller.deploy(TORUS44)
+    assert d1.cookie != d2.cookie
+    metas1 = {s.metadata_id for s in d1.projection.subswitches.values()}
+    metas2 = {s.metadata_id for s in d2.projection.subswitches.values()}
+    assert not metas1 & metas2
+
+
+def test_deploy_rejects_deadlockable_lossless(controller):
+    """The Deadlock Avoidance module refuses a cyclic route table."""
+    topo = Topology("ring")
+    sws = [topo.add_switch(f"r{i}") for i in range(4)]
+    for i in range(4):
+        topo.connect(sws[i], sws[(i + 1) % 4])
+    hosts = []
+    for i in range(4):
+        h = topo.add_host(f"h{i}")
+        topo.connect(sws[i], h)
+        hosts.append(h)
+    table = RouteTable(topo, num_vcs=1)
+    for di, dst in enumerate(hosts):
+        for i in range(4):
+            sw = f"r{i}"
+            if i == di:
+                link = topo.link_between(sw, dst)
+            else:
+                link = topo.link_between(sw, f"r{(i + 1) % 4}")
+            table.set_hop(sw, dst, Hop(link.port_on(sw), 0))
+    with pytest.raises(DeadlockError):
+        controller.deploy(topo, routes=table)
+
+
+def test_unknown_strategy_rejected(controller):
+    cfg = TopologyConfig("fat-tree", {"k": 4}, routing="sorcery")
+    with pytest.raises(ConfigurationError, match="unknown routing"):
+        controller.deploy(cfg)
+
+
+def test_flow_capacity_precheck():
+    """§VII-C: the controller reports flow-table exhaustion up front."""
+    from repro.core import build_cluster_for
+    from repro.hardware import SwitchSpec
+    from repro.topology import fat_tree
+    from repro.util.units import gbps
+
+    tiny_tables = SwitchSpec("tiny", 64, gbps(10), flow_table_capacity=50)
+    cluster = build_cluster_for([fat_tree(4)], 2, tiny_tables)
+    controller = SDTController(cluster)
+    problems = controller.check(FT4)
+    assert any("flow entries" in p for p in problems)
+    with pytest.raises(CapacityError):
+        controller.deploy(FT4)
+
+
+def test_active_hosts_pruning_reduces_rules(controller):
+    dep_full = controller.deploy(FT4)
+    full_rules = dep_full.rules.count()
+    controller.undeploy(dep_full)
+    dep_pruned = controller.deploy(FT4, active_hosts=["h0", "h1", "h2", "h3"])
+    assert dep_pruned.rules.count() < full_rules
+
+
+def test_install_flow_override(controller):
+    dep = controller.deploy(FT4)
+    before = sum(sw.num_entries for sw in controller.cluster.switches.values())
+    controller.install_flow_override(
+        dep, dep.topology.switches[0], src="h0", dst="h5", out_port_index=0
+    )
+    after = sum(sw.num_entries for sw in controller.cluster.switches.values())
+    assert after == before + 1

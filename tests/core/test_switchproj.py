@@ -1,0 +1,79 @@
+"""SP / SP-OS / TurboNet comparator projections (§III)."""
+
+import pytest
+
+from repro.core.projection import (
+    SwitchProjection,
+    optical_crossbar_config,
+    optical_ports_required,
+    recabling_moves,
+    turbonet_project,
+)
+from repro.topology import chain, fat_tree, torus2d
+from repro.util.errors import CapacityError
+from repro.util.units import gbps
+
+
+def test_sp_projects_fattree():
+    sp = SwitchProjection({"p0": 128})
+    result, plan = sp.project(fat_tree(4))
+    result.validate()
+    # one manual cable per switch-to-switch logical link
+    assert len(plan.cables) == 32
+    assert len(plan.host_cables) == 16
+
+
+def test_sp_contiguous_blocks():
+    sp = SwitchProjection({"p0": 64})
+    result, _plan = sp.project(chain(4))
+    # sub-switches occupy consecutive ports in order
+    for sw, sub in result.subswitches.items():
+        ports = sorted(p.port for p in sub.ports.values())
+        assert ports == list(range(ports[0], ports[0] + len(ports)))
+
+
+def test_sp_multi_switch_spill():
+    sp = SwitchProjection({"p0": 4, "p1": 8})
+    result, _plan = sp.project(chain(3))
+    used = {sub.phys_switch for sub in result.subswitches.values()}
+    assert used == {"p0", "p1"}
+
+
+def test_sp_out_of_ports():
+    sp = SwitchProjection({"p0": 16})
+    with pytest.raises(CapacityError, match="out of physical ports"):
+        sp.project(fat_tree(4))
+
+
+def test_recabling_moves_counts_diff():
+    sp = SwitchProjection({"p0": 128})
+    _r1, plan_ft = sp.project(fat_tree(4))
+    sp2 = SwitchProjection({"p0": 128})
+    _r2, plan_torus = sp2.project(torus2d(4, 4))
+    moves = recabling_moves(plan_ft, plan_torus)
+    assert moves > 0
+    assert recabling_moves(plan_ft, plan_ft) == 0
+
+
+def test_optical_crossbar_symmetric():
+    sp = SwitchProjection({"p0": 128})
+    _r, plan = sp.project(chain(4))
+    config = optical_crossbar_config(plan)
+    for a, b in config.items():
+        assert config[b] == a
+    assert optical_ports_required(plan) == 2 * len(plan.cables)
+
+
+def test_turbonet_halves_rate():
+    proj = turbonet_project(chain(4), num_ports=64, port_rate=gbps(100))
+    assert proj.effective_link_rate == pytest.approx(gbps(50))
+    assert len(proj.assignments) == 3  # chain-4 switch links
+    assert proj.ports_used == 6
+
+
+def test_turbonet_capacity():
+    # fat-tree k=4: 32 loopback pairs + 16 host ports = 80 > 64
+    with pytest.raises(CapacityError, match="needs 80 ports"):
+        turbonet_project(fat_tree(4), num_ports=64)
+    proj = turbonet_project(fat_tree(4), num_ports=128, port_rate=gbps(100))
+    assert proj.ports_used == 64

@@ -1,0 +1,142 @@
+"""Table II feasibility model vs the paper's published cells."""
+
+import pytest
+
+from repro.costmodel import (
+    SDT_128,
+    SDT_64,
+    SP_128,
+    SPOS_128,
+    TABLE2_COLUMNS,
+    TURBONET_128,
+    TURBONET_64,
+    dc_topology_rows,
+    header_rows,
+    rate_label,
+    render_table2,
+    wan_zoo_counts,
+)
+from repro.util.units import gbps
+
+
+def cell(method, links):
+    return rate_label(method.max_link_rate(links))
+
+
+# --- Fat-Tree rows (paper-exact) -------------------------------------------
+
+def test_fattree_k4_row():
+    links = 32
+    assert cell(SP_128, links) == "Link <= 100G"
+    assert cell(SPOS_128, links) == "Link <= 100G"
+    assert cell(TURBONET_64, links) == "Link <= 50G"
+    assert cell(TURBONET_128, links) == "Link <= 50G"
+    assert cell(SDT_64, links) == "Link <= 100G"
+    assert cell(SDT_128, links) == "Link <= 100G"
+
+
+def test_fattree_k6_row():
+    links = 108
+    assert cell(SP_128, links) == "Link <= 50G"
+    assert cell(TURBONET_64, links) == "x"
+    assert cell(TURBONET_128, links) == "Link <= 25G"
+    assert cell(SDT_64, links) == "Link <= 25G"
+    assert cell(SDT_128, links) == "Link <= 50G"
+
+
+def test_fattree_k8_row():
+    links = 256
+    assert cell(SP_128, links) == "Link <= 25G"
+    assert cell(TURBONET_64, links) == "x"
+    assert cell(TURBONET_128, links) == "x"
+    assert cell(SDT_64, links) == "x"
+    assert cell(SDT_128, links) == "Link <= 25G"
+
+
+def test_dragonfly_row():
+    links = 90
+    assert cell(SP_128, links) == "Link <= 50G"
+    assert cell(TURBONET_64, links) == "x"
+    assert cell(TURBONET_128, links) == "Link <= 25G"
+    assert cell(SDT_64, links) == "Link <= 25G"
+    assert cell(SDT_128, links) == "Link <= 50G"
+
+
+# --- WAN row (paper-exact) -----------------------------------------------------
+
+def test_wan_zoo_counts_match_paper():
+    counts = wan_zoo_counts()
+    assert counts["SP 128x100G"] == 260
+    assert counts["SP-OS 128x100G"] == 260
+    assert counts["TurboNet 64x100G"] == 248
+    assert counts["TurboNet 128x100G"] == 249
+    assert counts["SDT 64x100G"] == 249
+    assert counts["SDT 128x100G"] == 260
+
+
+# --- header block ----------------------------------------------------------------
+
+def test_costs_ordered_like_paper():
+    # SDT cheapest, SP-OS most expensive (Table II cost row)
+    assert SDT_64.hardware_cost < SP_128.hardware_cost
+    assert SDT_128.hardware_cost <= SP_128.hardware_cost
+    assert TURBONET_64.hardware_cost > SDT_64.hardware_cost
+    assert SPOS_128.hardware_cost > TURBONET_128.hardware_cost
+    assert SPOS_128.hardware_cost >= 50_000
+
+
+def test_reconfiguration_bands():
+    assert SP_128.reconfig_seconds > 1000  # manual recabling: >1 hour
+    assert TURBONET_64.reconfig_seconds >= 10  # P4 recompile
+    assert SDT_128.reconfig_seconds < 1.0  # flow tables only
+    assert SPOS_128.reconfig_seconds < 1.0
+
+
+def test_hardware_requirements():
+    assert SP_128.hardware_requirement == "OpenFlow Switch"
+    assert SPOS_128.hardware_requirement == "Switch+OS"
+    assert TURBONET_64.hardware_requirement == "P4 Switch"
+    assert SDT_64.hardware_requirement == "OpenFlow Switch"
+
+
+# --- model mechanics -------------------------------------------------------------
+
+def test_splitting_ladder():
+    # 128 ports @100G: 32 links at 100G, 108 at 50G, 256 at 25G
+    assert SP_128.max_link_rate(64) == pytest.approx(gbps(100))
+    assert SP_128.max_link_rate(65) == pytest.approx(gbps(50))
+    assert SP_128.max_link_rate(128) == pytest.approx(gbps(50))
+    assert SP_128.max_link_rate(129) == pytest.approx(gbps(25))
+    assert SP_128.max_link_rate(256) == pytest.approx(gbps(25))
+    assert SP_128.max_link_rate(257) is None
+
+
+def test_turbonet_rate_penalty():
+    # loopback halves every configuration's rate
+    assert TURBONET_128.max_link_rate(32) == pytest.approx(gbps(50))
+    assert TURBONET_128.max_link_rate(128) == pytest.approx(gbps(25))
+    assert TURBONET_128.max_link_rate(129) is None  # 12.5G < floor
+
+
+def test_render_table2_contains_all_rows():
+    text = render_table2()
+    for fragment in ("Fat-Tree k=4", "Dragonfly", "Torus 4x4x4",
+                     "WAN: 261", "Reconfiguration time", "Hardware cost"):
+        assert fragment in text
+
+
+def test_dc_rows_cover_paper_inventory():
+    rows = dc_topology_rows()
+    assert len(rows) == 7
+    assert [r.variant for r in rows] == [
+        "k=4", "k=6", "k=8", "a=4,g=9,h=2", "4x4x4", "5x5x5", "6x6x6",
+    ]
+    for row in rows:
+        assert len(row.cells) == len(TABLE2_COLUMNS)
+
+
+def test_header_rows_shape():
+    rows = header_rows()
+    assert [name for name, _ in rows] == [
+        "Reconfiguration time", "Hardware requirement", "Hardware cost",
+    ]

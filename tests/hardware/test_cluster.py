@@ -1,0 +1,74 @@
+"""Physical cluster assembly and specs."""
+
+import pytest
+
+from repro.hardware import (
+    H3C_S6861,
+    OPENFLOW_128x100G,
+    PhysicalCluster,
+    SwitchSpec,
+)
+from repro.util.units import gbps
+
+
+def test_build_wires_and_instantiates():
+    c = PhysicalCluster.build(2, H3C_S6861, hosts_per_switch=4,
+                              inter_links_per_pair=2)
+    assert len(c.switches) == 2
+    assert len(c.hosts) == 8
+    for sw in c.switches.values():
+        assert sw.num_ports == 64
+        assert sw.flow_table_capacity == H3C_S6861.flow_table_capacity
+
+
+def test_host_location():
+    c = PhysicalCluster.build(2, H3C_S6861, hosts_per_switch=1)
+    sw, port = c.host_location("node0")
+    assert sw == "phys0"
+    assert port >= 1
+
+
+def test_capacity_report_sums_to_ports():
+    c = PhysicalCluster.build(3, H3C_S6861, hosts_per_switch=2,
+                              inter_links_per_pair=1)
+    for name, rep in c.capacity_report().items():
+        assert (
+            rep["self_link_ports"] + rep["inter_link_ports"]
+            + rep["host_ports"] + rep["free_ports"]
+            == rep["ports"]
+        ), name
+
+
+def test_wipe_flows():
+    from repro.openflow import ApplyActions, Match, Output
+
+    c = PhysicalCluster.build(1, H3C_S6861)
+    c.switches["phys0"].add_flow(0, 1, Match(in_port=1),
+                                 (ApplyActions((Output(2),)),))
+    c.wipe_flows()
+    assert c.switches["phys0"].num_entries == 0
+
+
+def test_nic_rate_defaults_to_port_rate():
+    c = PhysicalCluster.build(1, H3C_S6861, hosts_per_switch=1)
+    assert c.hosts["node0"].nic_rate == H3C_S6861.port_rate
+
+
+def test_spec_split():
+    s2 = OPENFLOW_128x100G.split(2)
+    assert s2.num_ports == 256
+    assert s2.port_rate == pytest.approx(gbps(50))
+    assert OPENFLOW_128x100G.split(1) is OPENFLOW_128x100G
+    with pytest.raises(ValueError):
+        OPENFLOW_128x100G.split(3)
+
+
+def test_spec_is_frozen():
+    with pytest.raises(AttributeError):
+        H3C_S6861.num_ports = 1
+
+
+def test_custom_spec():
+    spec = SwitchSpec("x", 4, gbps(1), flow_table_capacity=10, price_usd=1.0)
+    c = PhysicalCluster.build(1, spec)
+    assert c.switches["phys0"].flow_table_capacity == 10

@@ -1,0 +1,104 @@
+"""Wiring plan validity and the default layout."""
+
+import pytest
+
+from repro.hardware import (
+    HostPort,
+    InterSwitchLink,
+    SelfLink,
+    WiringPlan,
+    default_wiring,
+)
+from repro.util.errors import WiringError
+
+
+def test_default_wiring_partitions_ports():
+    plan = default_wiring(["a", "b"], 16, hosts_per_switch=2,
+                          inter_links_per_pair=3)
+    plan.validate()
+    for sw in ("a", "b"):
+        assert len(plan.hosts_of(sw)) == 2
+        assert len(plan.inter_links_of(sw)) == 3
+        # remaining 11 ports -> 5 self-links, 1 port free
+        assert len(plan.self_links_of(sw)) == 5
+        assert len(plan.free_ports(sw)) == 1
+
+
+def test_default_wiring_host_names():
+    plan = default_wiring(["a"], 8, hosts_per_switch=3)
+    assert plan.hosts == ["node0", "node1", "node2"]
+
+
+def test_inter_links_between_symmetric():
+    plan = default_wiring(["a", "b", "c"], 16, inter_links_per_pair=2)
+    assert len(plan.inter_links_between("a", "b")) == 2
+    assert len(plan.inter_links_between("b", "a")) == 2
+    assert len(plan.inter_links_between("a", "c")) == 2
+
+
+def test_port_double_use_detected():
+    plan = WiringPlan(num_ports={"a": 4})
+    plan.self_links.append(SelfLink("a", 1, 2))
+    plan.host_ports.append(HostPort("a", 2, "h"))
+    with pytest.raises(WiringError, match="used by both"):
+        plan.validate()
+
+
+def test_out_of_range_port_detected():
+    plan = WiringPlan(num_ports={"a": 4})
+    plan.self_links.append(SelfLink("a", 1, 9))
+    with pytest.raises(WiringError, match="out of range"):
+        plan.validate()
+
+
+def test_self_link_same_port_rejected():
+    plan = WiringPlan(num_ports={"a": 4})
+    plan.self_links.append(SelfLink("a", 2, 2))
+    with pytest.raises(WiringError, match="loops one port"):
+        plan.validate()
+
+
+def test_inter_link_same_switch_rejected():
+    plan = WiringPlan(num_ports={"a": 4, "b": 4})
+    plan.inter_links.append(InterSwitchLink("a", 1, "a", 2))
+    with pytest.raises(WiringError, match="within one switch"):
+        plan.validate()
+
+
+def test_host_cabled_twice_rejected():
+    plan = WiringPlan(num_ports={"a": 4})
+    plan.host_ports.append(HostPort("a", 1, "h"))
+    plan.host_ports.append(HostPort("a", 2, "h"))
+    with pytest.raises(WiringError, match="cabled twice"):
+        plan.validate()
+
+
+def test_self_link_other():
+    sl = SelfLink("a", 3, 4)
+    assert sl.other(3) == 4
+    assert sl.other(4) == 3
+    with pytest.raises(WiringError):
+        sl.other(5)
+
+
+def test_inter_link_endpoints():
+    il = InterSwitchLink("a", 1, "b", 2)
+    assert il.endpoint_on("a") == 1
+    assert il.other_end("a") == ("b", 2)
+    with pytest.raises(WiringError):
+        il.endpoint_on("c")
+
+
+def test_host_port_lookup():
+    plan = default_wiring(["a"], 8, hosts_per_switch=1)
+    hp = plan.host_port("node0")
+    assert hp.switch == "a"
+    with pytest.raises(WiringError, match="not cabled"):
+        plan.host_port("ghost")
+
+
+def test_used_ports_accounting():
+    plan = default_wiring(["a", "b"], 10, hosts_per_switch=1,
+                          inter_links_per_pair=1)
+    used = plan.used_ports("a")
+    assert len(used) + len(plan.free_ports("a")) == 10

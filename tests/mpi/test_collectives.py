@@ -1,0 +1,112 @@
+"""Collective expansions: matching sends/recvs and correct volumes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import (
+    Recv,
+    Send,
+    allgather_ring,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    merge_programs,
+    validate_program,
+)
+
+
+def sends_match_recvs(programs):
+    """Every Send must have exactly one matching Recv at its target."""
+    sends = {}
+    recvs = {}
+    for rank, ops in programs.items():
+        for op in ops:
+            if isinstance(op, Send):
+                key = (rank, op.dst, op.tag)
+                sends[key] = sends.get(key, 0) + 1
+            elif isinstance(op, Recv):
+                key = (op.src, rank, op.tag)
+                recvs[key] = recvs.get(key, 0) + 1
+    assert sends == recvs
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 7, 8, 16])
+def test_alltoall_complete_exchange(p):
+    programs = alltoall(p, 100)
+    sends_match_recvs(programs)
+    for rank, ops in programs.items():
+        dsts = sorted(op.dst for op in ops if isinstance(op, Send))
+        assert dsts == sorted(set(range(p)) - {rank})
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 5, 8, 12])
+def test_allreduce_matches(p):
+    programs = allreduce(p, 8)
+    sends_match_recvs(programs)
+    for rank in range(p):
+        validate_program(programs[rank], p, rank)
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_reaches_everyone(p, root):
+    programs = bcast(p, 64, root=root)
+    sends_match_recvs(programs)
+    receivers = {
+        r for r, ops in programs.items()
+        if any(isinstance(op, Recv) for op in ops)
+    }
+    assert receivers == set(range(p)) - {root}
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 6])
+def test_allgather_ring_rounds(p):
+    programs = allgather_ring(p, 32)
+    sends_match_recvs(programs)
+    for ops in programs.values():
+        assert sum(isinstance(op, Send) for op in ops) == p - 1
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 8, 9])
+def test_barrier_symmetric(p):
+    programs = barrier(p)
+    sends_match_recvs(programs)
+    counts = {
+        r: sum(isinstance(op, Send) for op in ops)
+        for r, ops in programs.items()
+    }
+    assert len(set(counts.values())) == 1  # same rounds everywhere
+
+
+def test_merge_preserves_order():
+    a = {0: [Send(1, 10, 0)], 1: [Recv(0, 0)]}
+    b = {0: [Recv(1, 1)], 1: [Send(0, 10, 1)]}
+    merged = merge_programs(a, b)
+    assert merged[0] == [Send(1, 10, 0), Recv(1, 1)]
+
+
+def test_alltoall_single_rank_empty():
+    assert alltoall(1, 100) == {0: []}
+
+
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=4096))
+@settings(max_examples=30, deadline=None)
+def test_alltoall_property_match(p, nbytes):
+    sends_match_recvs(alltoall(p, nbytes))
+
+
+@given(st.integers(min_value=2, max_value=12))
+@settings(max_examples=30, deadline=None)
+def test_allreduce_property_match(p):
+    sends_match_recvs(allreduce(p, 8))
+
+
+def test_validate_program_rejects_bad_ops():
+    with pytest.raises(ValueError, match="send-to-self"):
+        validate_program([Send(0, 10)], 2, 0)
+    with pytest.raises(ValueError, match="bad dst"):
+        validate_program([Send(5, 10)], 2, 0)
+    with pytest.raises(ValueError, match="recv-from-self"):
+        validate_program([Recv(1)], 2, 1)

@@ -1,0 +1,116 @@
+"""The MPI engine over the simulated fabric."""
+
+import pytest
+
+from repro.mpi import (
+    Compute,
+    ISend,
+    MpiJob,
+    Recv,
+    Send,
+    WaitAllSent,
+    alltoall,
+)
+from repro.netsim import build_logical_network
+from repro.routing import routes_for
+from repro.topology import chain
+from repro.util.errors import DeadlockError, SimulationError
+
+
+def net4():
+    topo = chain(4)
+    return topo, build_logical_network(topo, routes_for(topo))
+
+
+def addrs(topo, n):
+    return {r: topo.hosts[r] for r in range(n)}
+
+
+def test_send_recv_pair():
+    topo, net = net4()
+    programs = {0: [Send(1, 1000, tag=1)], 1: [Recv(0, tag=1)]}
+    res = MpiJob(net, addrs(topo, 2), programs).run()
+    assert res.act > 0
+    assert res.bytes_sent == 1000
+
+
+def test_compute_advances_time():
+    topo, net = net4()
+    programs = {0: [Compute(1e-3)], 1: []}
+    res = MpiJob(net, addrs(topo, 2), programs).run()
+    assert res.act == pytest.approx(1e-3)
+
+
+def test_eager_arrival_before_recv():
+    """A message arriving before its Recv is posted must be buffered."""
+    topo, net = net4()
+    programs = {
+        0: [Send(1, 100, tag=9)],
+        1: [Compute(1e-3), Recv(0, tag=9)],
+    }
+    res = MpiJob(net, addrs(topo, 2), programs).run()
+    assert res.act == pytest.approx(1e-3, rel=0.01)
+
+
+def test_tag_matching_distinguishes():
+    topo, net = net4()
+    programs = {
+        0: [Send(1, 100, tag=1), Send(1, 200, tag=2)],
+        1: [Recv(0, tag=2), Recv(0, tag=1)],
+    }
+    res = MpiJob(net, addrs(topo, 2), programs).run()
+    assert res.per_rank_finish[1] > 0
+
+
+def test_isend_waitall():
+    topo, net = net4()
+    programs = {
+        0: [ISend(1, 1000, tag=0), ISend(1, 1000, tag=1), WaitAllSent()],
+        1: [Recv(0, tag=0), Recv(0, tag=1)],
+    }
+    MpiJob(net, addrs(topo, 2), programs).run()
+
+
+def test_mismatched_recv_deadlocks():
+    topo, net = net4()
+    programs = {0: [], 1: [Recv(0, tag=5)]}
+    with pytest.raises(DeadlockError, match="recv<-0#5"):
+        MpiJob(net, addrs(topo, 2), programs).run()
+
+
+def test_pingpong_rtt_reasonable():
+    topo, net = net4()
+    reps = 10
+    programs = {0: [], 1: []}
+    for i in range(reps):
+        programs[0] += [Send(1, 1024, tag=2 * i), Recv(1, tag=2 * i + 1)]
+        programs[1] += [Recv(0, tag=2 * i), Send(0, 1024, tag=2 * i + 1)]
+    res = MpiJob(net, addrs(topo, 2), programs).run()
+    rtt = res.act / reps
+    assert 1e-6 < rtt < 100e-6
+
+
+def test_alltoall_runs_and_balances():
+    topo, net = net4()
+    res = MpiJob(net, addrs(topo, 4), alltoall(4, 4096)).run()
+    assert res.bytes_sent == 4 * 3 * 4096
+    finishes = list(res.per_rank_finish.values())
+    assert max(finishes) < 2 * min(f for f in finishes if f > 0) + 1e-3
+
+
+def test_two_ranks_one_host_rejected():
+    topo, net = net4()
+    with pytest.raises(SimulationError, match="one host"):
+        MpiJob(net, {0: "h0", 1: "h0"}, {0: [], 1: []})
+
+
+def test_rank_program_mismatch_rejected():
+    topo, net = net4()
+    with pytest.raises(SimulationError, match="same ranks"):
+        MpiJob(net, {0: "h0"}, {0: [], 1: []})
+
+
+def test_empty_program_finishes_at_zero():
+    topo, net = net4()
+    res = MpiJob(net, addrs(topo, 2), {0: [], 1: []}).run()
+    assert res.act == 0.0

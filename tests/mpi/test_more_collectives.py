@@ -1,0 +1,132 @@
+"""Bruck alltoall, reduce-scatter, scatter/gather."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import (
+    MpiJob,
+    Recv,
+    Send,
+    alltoall,
+    alltoall_bruck,
+    gather,
+    merge_programs,
+    reduce_scatter,
+    scatter,
+)
+from repro.netsim import build_logical_network
+from repro.routing import routes_for
+from repro.topology import fat_tree
+
+
+def sends_match_recvs(programs):
+    sends, recvs = {}, {}
+    for rank, ops in programs.items():
+        for op in ops:
+            if isinstance(op, Send):
+                sends[(rank, op.dst, op.tag)] = sends.get((rank, op.dst, op.tag), 0) + 1
+            elif isinstance(op, Recv):
+                recvs[(op.src, rank, op.tag)] = recvs.get((op.src, rank, op.tag), 0) + 1
+    assert sends == recvs
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 7, 8, 16])
+def test_bruck_matches(p):
+    sends_match_recvs(alltoall_bruck(p, 512))
+
+
+def test_bruck_fewer_messages_than_pairwise():
+    p = 16
+    bruck_msgs = sum(
+        isinstance(op, Send) for ops in alltoall_bruck(p, 100).values()
+        for op in ops
+    )
+    pair_msgs = sum(
+        isinstance(op, Send) for ops in alltoall(p, 100).values() for op in ops
+    )
+    assert bruck_msgs < pair_msgs / 2  # log p rounds vs p-1 rounds
+
+
+def test_bruck_total_volume_at_least_pairwise():
+    """Bruck trades bandwidth for message count: each block moves up to
+    log p times."""
+    p = 8
+    bruck_bytes = sum(
+        op.nbytes for ops in alltoall_bruck(p, 1000).values()
+        for op in ops if isinstance(op, Send)
+    )
+    pair_bytes = sum(
+        op.nbytes for ops in alltoall(p, 1000).values()
+        for op in ops if isinstance(op, Send)
+    )
+    assert bruck_bytes >= pair_bytes
+
+
+@pytest.mark.parametrize("p", [2, 4, 5, 8, 12])
+def test_reduce_scatter_matches(p):
+    sends_match_recvs(reduce_scatter(p, 8192))
+
+
+def test_reduce_scatter_halving_volume():
+    """Recursive halving moves ~nbytes total per rank (not nbytes*log p)."""
+    p, nbytes = 8, 64 * 1024
+    per_rank = [
+        sum(op.nbytes for op in ops if isinstance(op, Send))
+        for ops in reduce_scatter(p, nbytes).values()
+    ]
+    assert max(per_rank) < 1.5 * nbytes
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 8, 9])
+@pytest.mark.parametrize("root", [0, 2])
+def test_scatter_gather_match(p, root):
+    if root >= p:
+        pytest.skip("root out of range")
+    sends_match_recvs(scatter(p, 256, root=root))
+    sends_match_recvs(gather(p, 256, root=root))
+
+
+def test_scatter_reaches_every_rank():
+    p = 8
+    programs = scatter(p, 100)
+    receivers = {
+        r for r, ops in programs.items()
+        if any(isinstance(op, Recv) for op in ops)
+    }
+    assert receivers == set(range(1, p))  # everyone but the root
+
+
+def test_scatter_volume_halves_down_tree():
+    """The root sends ceil(p/2) blocks first; leaves receive one."""
+    p, nbytes = 8, 1000
+    programs = scatter(p, nbytes)
+    root_sends = [op.nbytes for op in programs[0] if isinstance(op, Send)]
+    assert max(root_sends) == (p // 2) * nbytes
+
+
+@given(st.integers(min_value=2, max_value=16))
+@settings(max_examples=25, deadline=None)
+def test_bruck_property(p):
+    sends_match_recvs(alltoall_bruck(p, 64))
+
+
+@given(st.integers(min_value=2, max_value=16))
+@settings(max_examples=25, deadline=None)
+def test_reduce_scatter_property(p):
+    sends_match_recvs(reduce_scatter(p, 4096))
+
+
+def test_all_run_on_fabric():
+    topo = fat_tree(4)
+    net = build_logical_network(topo, routes_for(topo))
+    addrs = {r: topo.hosts[r] for r in range(8)}
+    programs = merge_programs(
+        alltoall_bruck(8, 2048, tag_base=0),
+        reduce_scatter(8, 16384, tag_base=1000),
+        scatter(8, 4096, tag_base=2000),
+        gather(8, 4096, tag_base=3000),
+    )
+    res = MpiJob(net, addrs, programs).run()
+    assert res.act > 0
+    assert net.total_drops() == 0

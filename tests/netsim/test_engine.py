@@ -1,0 +1,97 @@
+"""Event engine semantics."""
+
+import pytest
+
+from repro.netsim import Simulator
+from repro.util.errors import SimulationError
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(3.0, lambda: log.append("c"))
+    sim.schedule(1.0, lambda: log.append("a"))
+    sim.schedule(2.0, lambda: log.append("b"))
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_fifo():
+    sim = Simulator()
+    log = []
+    for i in range(5):
+        sim.schedule(1.0, lambda i=i: log.append(i))
+    sim.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_nested_scheduling():
+    sim = Simulator()
+    log = []
+
+    def outer():
+        log.append(("outer", sim.now))
+        sim.schedule(0.5, lambda: log.append(("inner", sim.now)))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert log == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, lambda: log.append(1))
+    sim.schedule(5.0, lambda: log.append(5))
+    sim.run(until=2.0)
+    assert log == [1]
+    assert sim.now == 2.0
+    assert sim.pending == 1
+    sim.run()  # resumes
+    assert log == [1, 5]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="negative"):
+        sim.schedule(-1, lambda: None)
+
+
+def test_at_absolute_time():
+    sim = Simulator()
+    hit = []
+    sim.schedule(1.0, lambda: sim.at(0.5, lambda: hit.append(sim.now)))
+    sim.run()
+    # past-dated "at" runs immediately (clamped to now)
+    assert hit == [1.0]
+
+
+def test_event_budget_guards_livelock():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError, match="budget"):
+        sim.run(max_events=1000)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(0.1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def recurse():
+        sim.run()
+
+    sim.schedule(0.0, recurse)
+    with pytest.raises(SimulationError, match="re-entered"):
+        sim.run()

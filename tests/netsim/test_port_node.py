@@ -1,0 +1,205 @@
+"""Ports, queues, PFC, ECN, and node forwarding."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    HostNode,
+    NetworkConfig,
+    Packet,
+    PortConfig,
+    Simulator,
+    SwitchNode,
+)
+from repro.openflow import PacketHeader
+from repro.util.units import KIB, gbps
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+def wire(sim, node_a, port_a, node_b, port_b, config):
+    node_a.add_port(port_a, config)
+    node_b.add_port(port_b, config)
+    node_a.ports[port_a].peer = node_b
+    node_a.ports[port_a].peer_port = port_b
+    node_b.ports[port_b].peer = node_a
+    node_b.ports[port_b].peer_port = port_a
+
+
+def packet(size=1000, dst="h", vc=0, kind="data"):
+    return Packet(header=PacketHeader(src="s", dst=dst, vc=vc), size=size,
+                  kind=kind)
+
+
+def test_serialization_time():
+    sim = Simulator()
+    a = HostNode(sim, "a", rng())
+    b = HostNode(sim, "b", rng())
+    cfg = PortConfig(rate=gbps(10), prop_delay=0, cut_through=False)
+    wire(sim, a, 1, b, 1, cfg)
+    got = []
+    b.on_receive(lambda p: got.append(sim.now))
+    a.ports[1].enqueue(packet(12500), 0)  # 12500 B at 1.25 GB/s = 10 us
+    sim.run()
+    assert got[0] == pytest.approx(10e-6 + b.nic_delay)
+
+
+def test_strict_priority():
+    sim = Simulator()
+    a = HostNode(sim, "a", rng())
+    b = HostNode(sim, "b", rng())
+    cfg = PortConfig(rate=gbps(10), prop_delay=0, ecn_enabled=False)
+    wire(sim, a, 1, b, 1, cfg)
+    order = []
+    b.on_receive(lambda p: order.append(p.header.vc))
+    port = a.ports[1]
+    # fill while busy: first packet occupies the line, then priorities
+    port.enqueue(packet(4000, vc=0), 0)
+    port.enqueue(packet(4000, vc=0), 0)
+    port.enqueue(packet(4000, vc=3), 3)
+    sim.run()
+    assert order == [0, 3, 0]
+
+
+def test_pause_resume_gates_queue():
+    sim = Simulator()
+    a = HostNode(sim, "a", rng())
+    b = HostNode(sim, "b", rng())
+    cfg = PortConfig(rate=gbps(10), prop_delay=0)
+    wire(sim, a, 1, b, 1, cfg)
+    got = []
+    b.on_receive(lambda p: got.append(sim.now))
+    port = a.ports[1]
+    port.pause(0)
+    port.enqueue(packet(1000), 0)
+    sim.run()
+    assert got == []  # paused
+    port.resume(0)
+    sim.run()
+    assert len(got) == 1
+
+
+def test_lossy_overflow_drops():
+    sim = Simulator()
+    a = HostNode(sim, "a", rng())
+    b = HostNode(sim, "b", rng())
+    cfg = PortConfig(rate=gbps(10), prop_delay=0, pfc_enabled=False,
+                     buffer_bytes=2000)
+    wire(sim, a, 1, b, 1, cfg)
+    port = a.ports[1]
+    port.pause(0)  # block draining so the buffer fills
+    assert port.enqueue(packet(1500), 0)
+    assert not port.enqueue(packet(1500), 0)  # over 2000 B
+    assert port.drops == 1
+
+
+def test_lossless_never_drops():
+    sim = Simulator()
+    a = HostNode(sim, "a", rng())
+    b = HostNode(sim, "b", rng())
+    cfg = PortConfig(rate=gbps(10), prop_delay=0, pfc_enabled=True,
+                     buffer_bytes=2000)
+    wire(sim, a, 1, b, 1, cfg)
+    port = a.ports[1]
+    port.pause(0)
+    for _ in range(10):
+        assert port.enqueue(packet(1500), 0)
+    assert port.drops == 0
+    assert port.backlog_bytes == 15000
+
+
+def test_ecn_marks_above_kmin():
+    sim = Simulator()
+    a = HostNode(sim, "a", rng())
+    b = HostNode(sim, "b", rng())
+    cfg = PortConfig(rate=gbps(10), prop_delay=0, ecn_enabled=True,
+                     ecn_kmin=1 * KIB, ecn_kmax=2 * KIB)
+    wire(sim, a, 1, b, 1, cfg)
+    port = a.ports[1]
+    port.pause(0)
+    marked = 0
+    for _ in range(20):
+        p = packet(1500)
+        port.enqueue(p, 0)
+        marked += p.ecn_ce
+    assert marked >= 17  # occupancy > kmax for all but the first couple
+
+
+def test_ecn_never_marks_control():
+    sim = Simulator()
+    a = HostNode(sim, "a", rng())
+    b = HostNode(sim, "b", rng())
+    cfg = PortConfig(rate=gbps(10), prop_delay=0, ecn_kmin=0, ecn_kmax=1)
+    wire(sim, a, 1, b, 1, cfg)
+    port = a.ports[1]
+    port.pause(0)
+    port.enqueue(packet(1500), 0)
+    p = packet(64, kind="ack")
+    port.enqueue(p, 0)
+    assert not p.ecn_ce
+
+
+def test_switch_forwards_by_function():
+    sim = Simulator()
+    sw = SwitchNode(sim, "sw", lambda n, i, p: (2, 0, None), rng())
+    h = HostNode(sim, "h", rng())
+    src = HostNode(sim, "src", rng())
+    cfg = PortConfig(rate=gbps(10), prop_delay=0)
+    wire(sim, src, 1, sw, 1, cfg)
+    wire(sim, sw, 2, h, 1, cfg)
+    got = []
+    h.on_receive(lambda p: got.append(p))
+    src.inject(packet(), 0)
+    sim.run()
+    assert len(got) == 1
+    assert sw.forwarded == 1
+
+
+def test_switch_drop_decision():
+    sim = Simulator()
+    sw = SwitchNode(sim, "sw", lambda n, i, p: None, rng())
+    src = HostNode(sim, "src", rng())
+    cfg = PortConfig(rate=gbps(10), prop_delay=0)
+    wire(sim, src, 1, sw, 1, cfg)
+    src.inject(packet(), 0)
+    sim.run()
+    assert sw.dropped == 1
+
+
+def test_switch_vc_rewrite_applied():
+    sim = Simulator()
+    sw = SwitchNode(sim, "sw", lambda n, i, p: (2, 1, 1), rng())
+    h = HostNode(sim, "h", rng())
+    src = HostNode(sim, "src", rng())
+    cfg = PortConfig(rate=gbps(10), prop_delay=0)
+    wire(sim, src, 1, sw, 1, cfg)
+    wire(sim, sw, 2, h, 1, cfg)
+    got = []
+    h.on_receive(lambda p: got.append(p.header.vc))
+    src.inject(packet(vc=0), 0)
+    sim.run()
+    assert got == [1]
+
+
+def test_detail_events_change_cost_not_behavior():
+    def run(detail):
+        sim = Simulator()
+        sw = SwitchNode(sim, "sw", lambda n, i, p: (2, 0, None), rng(),
+                        detail_flit_bytes=detail)
+        h = HostNode(sim, "h", rng())
+        src = HostNode(sim, "src", rng())
+        cfg = PortConfig(rate=gbps(10), prop_delay=0)
+        wire(sim, src, 1, sw, 1, cfg)
+        wire(sim, sw, 2, h, 1, cfg)
+        got = []
+        h.on_receive(lambda p: got.append(sim.now))
+        src.inject(packet(4096), 0)
+        sim.run()
+        return got[0], sim.events_processed
+
+    t_plain, ev_plain = run(None)
+    t_detail, ev_detail = run(256)
+    assert t_plain == t_detail  # identical behaviour
+    assert ev_detail > ev_plain + 10  # but much more simulation work

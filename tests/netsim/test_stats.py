@@ -1,0 +1,71 @@
+"""Per-flow FCT statistics."""
+
+import pytest
+
+from repro.netsim import NetworkConfig, build_logical_network
+from repro.netsim.stats import FlowStats
+from repro.routing import routes_for
+from repro.topology import chain
+from repro.util.units import gbps
+
+
+@pytest.fixture()
+def rig():
+    topo = chain(4)
+    net = build_logical_network(topo, routes_for(topo))
+    stats = FlowStats(net)
+    transports = stats.attach(topo.hosts)
+    return topo, net, stats, transports
+
+
+def test_records_one_per_message(rig):
+    topo, net, stats, tx = rig
+    for i in range(5):
+        tx["h0"].send("h3", 10_000, tag=i)
+    net.sim.run()
+    assert len(stats.records) == 5
+    for r in stats.records:
+        assert r.src == "h0" and r.dst == "h3"
+        assert r.size == 10_000
+        assert r.end > r.start >= 0
+
+
+def test_fct_close_to_ideal_unloaded(rig):
+    topo, net, stats, tx = rig
+    nbytes = 1_000_000
+    tx["h0"].send("h1", nbytes)
+    net.sim.run()
+    r = stats.records[0]
+    ideal = nbytes / gbps(10)
+    assert ideal < r.fct < 1.2 * ideal  # headers + path latency only
+    assert 1.0 < r.slowdown(gbps(10)) < 1.2
+
+
+def test_contention_raises_tail(rig):
+    topo, net, stats, tx = rig
+    # 3 senders incast into h3: tail FCT must exceed the median
+    for src in ("h0", "h1", "h2"):
+        for i in range(3):
+            tx[src].send("h3", 200_000, tag=i)
+    net.sim.run()
+    s = stats.summary()
+    assert s["count"] == 9
+    assert s["p99"] > 1.5 * s["p50"] or s["max"] > 1.5 * s["p50"]
+
+
+def test_summary_empty():
+    topo = chain(2)
+    net = build_logical_network(topo, routes_for(topo))
+    stats = FlowStats(net)
+    assert stats.summary() == {"count": 0}
+    assert stats.percentile(99) == 0.0
+    assert stats.mean_slowdown() == 0.0
+
+
+def test_mean_slowdown_with_base_latency(rig):
+    topo, net, stats, tx = rig
+    tx["h0"].send("h3", 4096)
+    net.sim.run()
+    loose = stats.mean_slowdown(base_latency=10e-6)
+    tight = stats.mean_slowdown()
+    assert loose < tight  # crediting base latency lowers the slowdown

@@ -1,0 +1,161 @@
+"""RoCE transport, DCQCN, and TCP flows."""
+
+import pytest
+
+from repro.netsim import (
+    DcqcnParams,
+    DcqcnRp,
+    NetworkConfig,
+    RoceTransport,
+    TcpFlow,
+    build_logical_network,
+)
+from repro.routing import routes_for
+from repro.topology import chain
+from repro.util.errors import SimulationError
+from repro.util.units import gbps
+
+
+def simple_net(pfc=True, ecn=True):
+    topo = chain(4)
+    cfg = NetworkConfig(pfc_enabled=pfc, ecn_enabled=ecn)
+    return topo, build_logical_network(topo, routes_for(topo), cfg)
+
+
+def test_message_delivery_and_callbacks():
+    _topo, net = simple_net()
+    tx = RoceTransport(net, "h0")
+    rx = RoceTransport(net, "h3")
+    sent = []
+    got = []
+    rx.on_message(lambda src, tag, size, t: got.append((src, tag, size)))
+    tx.send("h3", 100_000, tag=5, on_sent=lambda: sent.append(net.sim.now))
+    net.sim.run()
+    assert got == [("h0", 5, 100_000)]
+    assert len(sent) == 1
+    assert rx.bytes_received == 100_000
+
+
+def test_zero_byte_message():
+    _topo, net = simple_net()
+    tx = RoceTransport(net, "h0")
+    rx = RoceTransport(net, "h3")
+    got = []
+    rx.on_message(lambda src, tag, size, t: got.append(size))
+    tx.send("h3", 0, tag=1)
+    net.sim.run()
+    assert got == [0]
+
+
+def test_messages_to_same_peer_are_ordered():
+    _topo, net = simple_net()
+    tx = RoceTransport(net, "h0")
+    rx = RoceTransport(net, "h3")
+    got = []
+    rx.on_message(lambda src, tag, size, t: got.append(tag))
+    for i in range(5):
+        tx.send("h3", 10_000, tag=i)
+    net.sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_send_to_self_rejected():
+    _topo, net = simple_net()
+    tx = RoceTransport(net, "h0")
+    with pytest.raises(SimulationError, match="loopback"):
+        tx.send("h0", 100)
+
+
+def test_throughput_near_line_rate():
+    _topo, net = simple_net(ecn=False)
+    tx = RoceTransport(net, "h0")
+    rx = RoceTransport(net, "h3")
+    done = []
+    rx.on_message(lambda src, tag, size, t: done.append(t))
+    nbytes = 5 * 1024 * 1024
+    tx.send("h3", nbytes)
+    net.sim.run()
+    rate = nbytes / done[0]
+    assert rate > 0.9 * gbps(10)
+    assert rate <= gbps(10)
+
+
+def test_dcqcn_rp_state_machine():
+    params = DcqcnParams(line_rate=gbps(10))
+    rp = DcqcnRp(params)
+    assert rp.rate == gbps(10)
+    rp.on_cnp(0.0)
+    assert rp.rate == pytest.approx(gbps(10) * 0.5)  # alpha starts at 1
+    assert rp.target == gbps(10)
+    before = rp.rate
+    for _ in range(3):
+        rp.on_increase_timer(1.0)
+    assert rp.rate > before  # fast recovery toward target
+    # additive increase raises target past line rate clamp
+    for _ in range(10):
+        rp.on_increase_timer(2.0)
+    assert rp.rate <= params.line_rate
+
+
+def test_dcqcn_alpha_decays_without_cnp():
+    rp = DcqcnRp(DcqcnParams())
+    rp.on_cnp(0.0)
+    a0 = rp.alpha
+    rp.on_alpha_timer(1.0)  # long after the CNP
+    assert rp.alpha < a0
+
+
+def test_cnp_generated_on_marking():
+    """Saturating incast with ECN on must elicit CNPs and rate cuts."""
+    topo, net = simple_net(ecn=True)
+    rx = RoceTransport(net, "h3")
+    senders = [RoceTransport(net, h) for h in ("h0", "h1", "h2")]
+    for tx in senders:
+        tx.send("h3", 2 * 1024 * 1024)
+    net.sim.run()
+    cut = [tx._qps["h3"].rp.cnp_count for tx in senders]
+    assert sum(cut) > 0
+
+
+def test_tcp_completes_transfer():
+    topo, net = simple_net(pfc=False, ecn=False)
+    done = []
+    flow = TcpFlow(net, "h0", "h3", total_bytes=500_000,
+                   on_complete=lambda t: done.append(t))
+    flow.start()
+    net.sim.run()
+    assert done and flow.finished
+    assert flow.delivered_bytes >= 500_000
+
+
+def test_tcp_recovers_from_loss():
+    """Two competing flows over a lossy bottleneck must both finish."""
+    topo, net = simple_net(pfc=False, ecn=False)
+    done = []
+    flows = [
+        TcpFlow(net, src, "h3", total_bytes=400_000,
+                on_complete=lambda t: done.append(t))
+        for src in ("h0", "h1")
+    ]
+    for f in flows:
+        f.start()
+    net.sim.run()
+    assert len(done) == 2
+    assert net.total_drops() > 0 or all(f.retransmits == 0 for f in flows)
+
+
+def test_tcp_rtt_estimator_positive():
+    topo, net = simple_net(pfc=False, ecn=False)
+    flow = TcpFlow(net, "h0", "h3", total_bytes=100_000)
+    flow.start()
+    net.sim.run()
+    assert flow.srtt > 0
+    assert flow.rto >= 1e-3
+
+
+def test_wire_overhead_scales_with_mtu():
+    _topo, net = simple_net()
+    t_mtu = RoceTransport(net, "h0", mtu=4096)
+    t_flit = RoceTransport(net, "h1", mtu=256)
+    assert t_mtu.wire_overhead == 80
+    assert t_flit.wire_overhead == 5

@@ -1,0 +1,87 @@
+"""Control channel: message accounting and deployment-time modeling."""
+
+import pytest
+
+from repro.openflow import (
+    ApplyActions,
+    BarrierRequest,
+    ControlChannel,
+    ControlPlane,
+    FlowDelete,
+    FlowMod,
+    Match,
+    OpenFlowSwitch,
+    Output,
+    PortStatsRequest,
+)
+
+
+def mod(in_port, out):
+    return FlowMod(
+        table_id=0,
+        priority=10,
+        match=Match(in_port=in_port),
+        instructions=(ApplyActions((Output(out),)),),
+        cookie=5,
+    )
+
+
+def test_flowmod_installs():
+    sw = OpenFlowSwitch("s", 4)
+    ch = ControlChannel(sw)
+    ch.send(mod(1, 2))
+    assert sw.num_entries == 1
+    assert ch.stats.flow_mods == 1
+
+
+def test_flow_delete_by_cookie():
+    sw = OpenFlowSwitch("s", 4)
+    ch = ControlChannel(sw)
+    ch.send(mod(1, 2))
+    removed = ch.send(FlowDelete(cookie=5))
+    assert removed == 1
+    assert ch.stats.flow_deletes == 1
+
+
+def test_barrier_and_stats_counted():
+    sw = OpenFlowSwitch("s", 4)
+    ch = ControlChannel(sw)
+    ch.send(BarrierRequest())
+    stats = ch.send(PortStatsRequest())
+    assert ch.stats.barriers == 1
+    assert ch.stats.stats_requests == 1
+    assert set(stats) == {1, 2, 3, 4}
+
+
+def test_modeled_time_accumulates():
+    sw = OpenFlowSwitch("s", 4)
+    ch = ControlChannel(sw, flow_install_latency=1e-3, rtt=2e-3)
+    ch.send(mod(1, 2))
+    ch.send(mod(2, 3))
+    ch.send(BarrierRequest())
+    assert ch.stats.modeled_time == pytest.approx(2e-3 + 2e-3)
+
+
+def test_control_plane_parallel_deployment_time():
+    switches = {f"s{i}": OpenFlowSwitch(f"s{i}", 4) for i in range(3)}
+    cp = ControlPlane(switches, flow_install_latency=1e-3, rtt=0.0)
+    cp.channel("s0").send(mod(1, 2))
+    cp.channel("s0").send(mod(2, 3))
+    cp.channel("s1").send(mod(1, 2))
+    # parallel installs: the slowest channel bounds deployment
+    assert cp.deployment_time == pytest.approx(2e-3)
+    assert cp.total_flow_mods == 3
+
+
+def test_unknown_message_rejected():
+    ch = ControlChannel(OpenFlowSwitch("s", 2))
+    with pytest.raises(TypeError):
+        ch.send("not a message")
+
+
+def test_reset_stats():
+    switches = {"s": OpenFlowSwitch("s", 2)}
+    cp = ControlPlane(switches)
+    cp.channel("s").send(BarrierRequest())
+    cp.reset_stats()
+    assert cp.deployment_time == 0.0

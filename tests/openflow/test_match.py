@@ -1,0 +1,54 @@
+"""Match semantics."""
+
+from repro.openflow import MATCH_ANY, Match, PacketHeader
+
+HDR = PacketHeader(src="a", dst="b", proto="roce", src_port=7, dst_port=9)
+
+
+def test_wildcard_matches_everything():
+    assert MATCH_ANY.matches(1, 0, HDR)
+    assert MATCH_ANY.matches(64, 0xFFFF, HDR)
+
+
+def test_in_port_match():
+    m = Match(in_port=3)
+    assert m.matches(3, 0, HDR)
+    assert not m.matches(4, 0, HDR)
+
+
+def test_metadata_with_mask():
+    m = Match(metadata=0x0A, metadata_mask=0x0F)
+    assert m.matches(1, 0x3A, HDR)  # low nibble matches
+    assert not m.matches(1, 0x3B, HDR)
+
+
+def test_dst_and_src():
+    assert Match(dst="b").matches(1, 0, HDR)
+    assert not Match(dst="c").matches(1, 0, HDR)
+    assert Match(src="a", dst="b").matches(1, 0, HDR)
+    assert not Match(src="x", dst="b").matches(1, 0, HDR)
+
+
+def test_five_tuple():
+    m = Match(proto="roce", src_port=7, dst_port=9)
+    assert m.matches(1, 0, HDR)
+    assert not m.matches(1, 0, PacketHeader("a", "b", "tcp", 7, 9))
+    assert not m.matches(1, 0, PacketHeader("a", "b", "roce", 8, 9))
+
+
+def test_vc_match():
+    assert Match(vc=0).matches(1, 0, HDR)
+    assert not Match(vc=1).matches(1, 0, HDR)
+    assert Match(vc=1).matches(1, 0, HDR.with_vc(1))
+
+
+def test_specificity_counts_fields():
+    assert MATCH_ANY.specificity == 0
+    assert Match(in_port=1, dst="b").specificity == 2
+
+
+def test_header_with_vc_preserves_rest():
+    h2 = HDR.with_vc(3)
+    assert h2.vc == 3
+    assert h2.src == HDR.src and h2.dst == HDR.dst
+    assert h2.src_port == HDR.src_port

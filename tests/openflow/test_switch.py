@@ -1,0 +1,152 @@
+"""OpenFlow switch pipeline semantics."""
+
+import pytest
+
+from repro.openflow import (
+    ApplyActions,
+    Drop,
+    FlowTable,
+    FlowEntry,
+    GotoTable,
+    Match,
+    OpenFlowSwitch,
+    Output,
+    PacketHeader,
+    SetQueue,
+    SetVC,
+    WriteMetadata,
+)
+from repro.util.errors import CapacityError, SimulationError
+
+HDR = PacketHeader(src="a", dst="b")
+
+
+def make_switch(**kw):
+    return OpenFlowSwitch("sw0", 8, **kw)
+
+
+def test_table_miss_drops():
+    sw = make_switch()
+    decision = sw.forward(1, HDR, 100)
+    assert decision.dropped
+    assert decision.out_ports == ()
+
+
+def test_single_table_output():
+    sw = make_switch()
+    sw.add_flow(0, 10, Match(in_port=1), (ApplyActions((Output(2),)),))
+    d = sw.forward(1, HDR, 100)
+    assert d.out_ports == (2,)
+
+
+def test_two_stage_pipeline_metadata():
+    """The SDT pipeline: table 0 classifies, table 1 routes on metadata."""
+    sw = make_switch()
+    sw.add_flow(0, 100, Match(in_port=1),
+                (WriteMetadata(7), GotoTable(1)))
+    sw.add_flow(1, 50, Match(metadata=7, dst="b"),
+                (ApplyActions((SetQueue(2), Output(3))),))
+    d = sw.forward(1, HDR, 64)
+    assert d.out_ports == (3,)
+    assert d.queue == 2
+    assert d.matched_tables == (0, 1)
+
+
+def test_metadata_scoping_isolates_subswitches():
+    sw = make_switch()
+    sw.add_flow(0, 100, Match(in_port=1), (WriteMetadata(1), GotoTable(1)))
+    sw.add_flow(0, 100, Match(in_port=2), (WriteMetadata(2), GotoTable(1)))
+    sw.add_flow(1, 50, Match(metadata=1, dst="b"),
+                (ApplyActions((Output(3),)),))
+    # sub-switch 2 has no route for dst b -> drop (isolation)
+    assert sw.forward(1, HDR, 0).out_ports == (3,)
+    assert sw.forward(2, HDR, 0).dropped
+
+
+def test_priority_order():
+    sw = make_switch()
+    sw.add_flow(0, 10, Match(), (ApplyActions((Output(1),)),))
+    sw.add_flow(0, 200, Match(dst="b"), (ApplyActions((Output(2),)),))
+    assert sw.forward(1, HDR, 0).out_ports == (2,)
+    assert sw.forward(1, PacketHeader("a", "zzz"), 0).out_ports == (1,)
+
+
+def test_equal_priority_first_added_wins():
+    sw = make_switch()
+    sw.add_flow(0, 10, Match(), (ApplyActions((Output(1),)),))
+    sw.add_flow(0, 10, Match(), (ApplyActions((Output(2),)),))
+    assert sw.forward(1, HDR, 0).out_ports == (1,)
+
+
+def test_set_vc_rewrites():
+    sw = make_switch()
+    sw.add_flow(0, 10, Match(vc=0),
+                (ApplyActions((SetVC(1), Output(2))),))
+    d = sw.forward(1, HDR, 0)
+    assert d.vc == 1
+
+
+def test_drop_action():
+    sw = make_switch()
+    sw.add_flow(0, 10, Match(), (ApplyActions((Drop(),)),))
+    assert sw.forward(1, HDR, 0).dropped
+
+
+def test_capacity_enforced():
+    sw = make_switch(flow_table_capacity=2)
+    sw.add_flow(0, 1, Match(in_port=1), (ApplyActions((Output(2),)),))
+    sw.add_flow(0, 1, Match(in_port=2), (ApplyActions((Output(3),)),))
+    with pytest.raises(CapacityError, match="full"):
+        sw.add_flow(0, 1, Match(in_port=3), (ApplyActions((Output(4),)),))
+    assert sw.free_entries == 0
+
+
+def test_goto_must_move_forward():
+    sw = make_switch()
+    with pytest.raises(SimulationError, match="forward"):
+        sw.add_flow(1, 10, Match(), (GotoTable(0),))
+    with pytest.raises(SimulationError, match="forward"):
+        sw.add_flow(1, 10, Match(), (GotoTable(1),))
+
+
+def test_output_port_range_checked():
+    sw = make_switch()
+    with pytest.raises(SimulationError, match="out of"):
+        sw.add_flow(0, 10, Match(), (ApplyActions((Output(99),)),))
+
+
+def test_bad_in_port_rejected():
+    sw = make_switch()
+    with pytest.raises(SimulationError, match="bad port"):
+        sw.forward(0, HDR, 0)
+
+
+def test_counters_update():
+    sw = make_switch()
+    entry = sw.add_flow(0, 10, Match(in_port=1), (ApplyActions((Output(2),)),))
+    sw.forward(1, HDR, 100)
+    sw.forward(1, HDR, 50)
+    assert entry.packet_count == 2
+    assert entry.byte_count == 150
+    assert sw.port_stats[1].rx_bytes == 150
+    assert sw.port_stats[2].tx_bytes == 150
+    assert sw.port_stats[2].tx_packets == 2
+
+
+def test_remove_by_cookie():
+    sw = make_switch()
+    sw.add_flow(0, 1, Match(in_port=1), (ApplyActions((Output(2),)),), cookie=7)
+    sw.add_flow(0, 1, Match(in_port=2), (ApplyActions((Output(2),)),), cookie=8)
+    assert sw.remove_flows(cookie=7) == 1
+    assert sw.num_entries == 1
+    assert sw.remove_flows() == 1
+    assert sw.num_entries == 0
+
+
+def test_flowtable_remove_by_match():
+    t = FlowTable(0)
+    m = Match(in_port=1)
+    t.add(FlowEntry(1, m, ()))
+    t.add(FlowEntry(1, Match(in_port=2), ()))
+    assert t.remove(match=m) == 1
+    assert len(t) == 1

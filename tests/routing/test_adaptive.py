@@ -1,0 +1,98 @@
+"""Active routing (§VI-E): UGAL decisions, VC safety, hotspot wins."""
+
+import pytest
+
+from repro.mpi import MpiJob
+from repro.netsim import build_logical_network
+from repro.routing import (
+    build_adaptive_network,
+    dragonfly_minimal_routes,
+)
+from repro.routing.adaptive import DETOUR_VC_OFFSET, AdaptiveDragonflyForwarder
+from repro.topology import dragonfly
+from repro.util.errors import RoutingError
+from repro.workloads import workload
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return dragonfly(4, 9, 2)
+
+
+@pytest.fixture(scope="module")
+def routes(topo):
+    return dragonfly_minimal_routes(topo)
+
+
+def run_alltoall(topo, routes, hosts, msglen, *, adaptive):
+    w = workload("imb-alltoall", msglen=msglen, repetitions=1)
+    programs = w.build(len(hosts))
+    addrs = {r: hosts[r] for r in range(len(hosts))}
+    if adaptive:
+        net, fwd = build_adaptive_network(topo, routes)
+        res = MpiJob(net, addrs, programs).run()
+        return res, fwd
+    net = build_logical_network(topo, routes)
+    return MpiJob(net, addrs, programs).run(), None
+
+
+def test_adaptive_delivers_everything(topo, routes):
+    hosts = topo.hosts[:12]
+    res, fwd = run_alltoall(topo, routes, hosts, 8192, adaptive=True)
+    assert res.bytes_sent == 12 * 11 * 8192
+    assert fwd.minimal_taken + fwd.detours_taken > 0
+
+
+def test_hotspot_traffic_improves_with_detours(topo, routes):
+    """Two-group alltoall saturates one global link under minimal
+    routing; UGAL detours must cut the ACT substantially (§VI-E)."""
+    hosts = topo.hosts[:16]  # groups 0 and 1 only
+    res_min, _ = run_alltoall(topo, routes, hosts, 65536, adaptive=False)
+    res_ad, fwd = run_alltoall(topo, routes, hosts, 65536, adaptive=True)
+    assert fwd.detours_taken > 0
+    assert res_ad.act < 0.8 * res_min.act
+
+
+def test_detour_segments_use_lifted_vcs(topo, routes):
+    fwd = AdaptiveDragonflyForwarder(topo, routes)
+    assert DETOUR_VC_OFFSET == 2
+    # a lifted hop must come back lifted
+    from repro.netsim import build_logical_network as _b
+
+    net = _b(topo, routes)
+    fwd.network = net
+    from repro.netsim.packet import Packet
+    from repro.openflow import PacketHeader
+
+    # fabricate a decided detour for a fake flow
+    pkt = Packet(header=PacketHeader(src="h0", dst="h20", vc=0), size=100,
+                 flow_id=99, meta={"msg": 1})
+    fwd._decision[(99, 1)] = 5  # detour via group 5
+    decision = fwd.forward("g0r0", 1, pkt)
+    assert decision is not None
+    # once on segment 2 (vc >= offset) hops stay lifted
+    pkt2 = Packet(header=PacketHeader(src="h0", dst="h20", vc=2), size=100,
+                  flow_id=99, meta={"msg": 1})
+    out = fwd.forward("g5r0", 1, pkt2)
+    assert out is not None and out[1] >= DETOUR_VC_OFFSET
+
+
+def test_intra_group_never_detours(topo, routes):
+    fwd = AdaptiveDragonflyForwarder(topo, routes)
+    from repro.netsim import build_logical_network as _b
+
+    fwd.network = _b(topo, routes)
+    from repro.netsim.packet import Packet
+    from repro.openflow import PacketHeader
+
+    # h0 (g0r0) -> h3 (g0r1): same group
+    pkt = Packet(header=PacketHeader(src="h0", dst="h3", vc=0), size=100,
+                 flow_id=7, meta={"msg": 1})
+    assert fwd._choose("g0r0", pkt) is None
+
+
+def test_adaptive_requires_vc_table(topo):
+    from repro.routing import shortest_path_routes
+
+    with pytest.raises(RoutingError, match="2-VC"):
+        AdaptiveDragonflyForwarder(topo, shortest_path_routes(topo))

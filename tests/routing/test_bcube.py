@@ -1,0 +1,88 @@
+"""BCube server-centric routing."""
+
+import pytest
+
+from repro.mpi import MpiJob, alltoall
+from repro.netsim import build_logical_network
+from repro.routing import bcube_routes, find_cycle, routes_for
+from repro.topology import bcube
+from repro.util.errors import RoutingError
+
+
+@pytest.fixture(scope="module")
+def bc41():
+    return bcube(4, 1)
+
+
+@pytest.fixture(scope="module")
+def bc41_routes(bc41):
+    return bcube_routes(bc41)
+
+
+def test_all_pairs_route(bc41, bc41_routes):
+    bc41_routes.validate_all_pairs()
+
+
+def test_paths_are_minimal(bc41, bc41_routes):
+    """BCube(n,k) minimal path visits one switch + one intermediate host
+    per corrected digit: <= 2(k+1) nodes."""
+    for a in bc41.hosts:
+        for b in bc41.hosts:
+            if a == b:
+                continue
+            differing = sum(x != y for x, y in zip(a[1:], b[1:]))
+            path = bc41_routes.trace(a, b)
+            # path nodes = src + per-digit (switch, host) minus final dst
+            assert len(path) == 2 * differing - 1 + 1  # includes src host
+
+
+def test_digit_correction_order(bc41, bc41_routes):
+    """h00 -> h11 corrects the level-1 digit first (via a level-1
+    switch), then level 0."""
+    path = bc41_routes.trace("h00", "h11")
+    # src, level-1 switch, intermediate host h10, level-0 switch
+    assert path[0] == "h00"
+    assert path[1].startswith("sw1-")
+    assert path[2] == "h10"
+    assert path[3].startswith("sw0-")
+
+
+def test_cdg_acyclic_including_host_transit(bc41_routes):
+    assert find_cycle(bc41_routes) is None
+
+
+def test_host_entries_present(bc41, bc41_routes):
+    assert bc41_routes.allow_host_forwarding
+    assert bc41_routes.has_route("h00", "h33")
+
+
+def test_routes_for_dispatches(bc41):
+    table = routes_for(bc41)
+    assert table.allow_host_forwarding
+
+
+def test_deeper_bcube():
+    topo = bcube(2, 2)
+    table = bcube_routes(topo)
+    table.validate_all_pairs()
+    assert find_cycle(table) is None
+    # h000 -> h111: three digits differ -> 3 switch hops, 2 transit hosts
+    path = table.trace("h000", "h111")
+    assert sum(1 for n in path if n.startswith("sw")) == 3
+
+
+def test_alltoall_over_bcube_fabric(bc41, bc41_routes):
+    net = build_logical_network(bc41, bc41_routes)
+    addrs = {r: bc41.hosts[r] for r in range(16)}
+    res = MpiJob(net, addrs, alltoall(16, 4096)).run()
+    assert res.bytes_sent == 16 * 15 * 4096
+    assert net.total_drops() == 0
+    transit = sum(h.forwarded for h in net.hosts.values())
+    assert transit > 0  # servers really forwarded
+
+
+def test_non_bcube_names_rejected():
+    from repro.topology import chain
+
+    with pytest.raises(RoutingError):
+        bcube_routes(chain(3))

@@ -1,0 +1,71 @@
+"""CLI command coverage (python -m repro ...)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def ft4_config(tmp_path):
+    path = tmp_path / "ft4.json"
+    path.write_text(json.dumps({"kind": "fat-tree", "params": {"k": 4}}))
+    return str(path)
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fat-tree" in out and "imb-alltoall" in out
+
+
+def test_check_ok(ft4_config, capsys):
+    assert main(["check", ft4_config, "--switches", "2", "--spec", "h3c"]) == 0
+    assert "deployable" in capsys.readouterr().out
+
+
+def test_check_failure_lists_problems(tmp_path, capsys):
+    path = tmp_path / "big.json"
+    path.write_text(json.dumps(
+        {"kind": "torus3d", "params": {"x": 4, "y": 4, "z": 4}}
+    ))
+    # a 4^3 torus cannot auto-size onto 2 small switches
+    rc = main(["check", str(path), "--switches", "2", "--spec", "h3c"])
+    assert rc == 2  # auto-sizing itself refuses (CapacityError)
+    assert "error:" in capsys.readouterr().err
+
+
+def test_deploy(ft4_config, capsys):
+    assert main(["deploy", ft4_config, "--switches", "2", "--spec", "h3c"]) == 0
+    out = capsys.readouterr().out
+    assert "flow entries" in out
+    assert "install time" in out
+
+
+def test_run_workload(ft4_config, capsys):
+    rc = main([
+        "run", ft4_config, "--switches", "2", "--spec", "h3c",
+        "--workload", "imb-alltoall", "--ranks", "4",
+        "--param", "msglen=4096", "--param", "repetitions=1",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ACT" in out and "bytes sent" in out
+
+
+def test_tables(capsys):
+    assert main(["tables", "all"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table II" in out and "Table III" in out
+
+
+def test_zoo(capsys):
+    assert main(["zoo"]) == 0
+    out = capsys.readouterr().out
+    assert "261" in out and "Kdl" in out
+
+
+def test_missing_config(capsys):
+    assert main(["check", "/does/not/exist.json"]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,53 @@
+"""Emulator cost model — quantifying Table I's emulator column."""
+
+import pytest
+
+from repro.testbed import EmulationHost, estimate_emulation
+from repro.topology import chain, fat_tree
+from repro.util.units import gbps
+
+
+def test_small_slow_network_is_faithful():
+    """A small topology at 1G — Mininet's comfort zone."""
+    est = estimate_emulation(chain(4), link_rate=gbps(1))
+    assert est.faithful
+    assert est.slowdown == 1.0
+
+
+def test_10g_medium_scale_breaks_down():
+    """The paper's claim: poor at 10Gbps+ / 20+ switches."""
+    est = estimate_emulation(fat_tree(8), link_rate=gbps(10))
+    assert not est.faithful
+    assert est.slowdown > 5.0
+
+
+def test_slowdown_monotone_in_rate():
+    rates = [gbps(1), gbps(10), gbps(40)]
+    slowdowns = [
+        estimate_emulation(fat_tree(4), link_rate=r).slowdown for r in rates
+    ]
+    assert slowdowns == sorted(slowdowns)
+    assert slowdowns[-1] > slowdowns[0]
+
+
+def test_more_switches_less_capacity():
+    small = estimate_emulation(chain(4), link_rate=gbps(10))
+    big = estimate_emulation(fat_tree(8), link_rate=gbps(10))
+    assert big.capacity_pps < small.capacity_pps
+
+
+def test_bandwidth_fraction_bounded():
+    est = estimate_emulation(fat_tree(8), link_rate=gbps(40))
+    assert 0.0 < est.effective_bandwidth_fraction < 1.0
+    est_ok = estimate_emulation(chain(2), link_rate=gbps(1))
+    assert est_ok.effective_bandwidth_fraction == 1.0
+
+
+def test_bigger_host_helps():
+    weak = EmulationHost(cores=4)
+    strong = EmulationHost(cores=64)
+    topo = fat_tree(4)
+    assert (
+        estimate_emulation(topo, host=strong).slowdown
+        <= estimate_emulation(topo, host=weak).slowdown
+    )

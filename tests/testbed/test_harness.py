@@ -1,0 +1,95 @@
+"""Three-arm harness: ACT agreement, evaluation-time semantics."""
+
+import pytest
+
+from repro.testbed import (
+    Comparison,
+    Experiment,
+    compare_arms,
+    select_nodes,
+)
+from repro.topology import chain, fat_tree
+from repro.workloads import workload
+
+
+@pytest.fixture(scope="module")
+def small_comparison():
+    topo = fat_tree(4)
+    hosts = select_nodes(topo, 8)
+    w = workload("imb-alltoall", msglen=4096, repetitions=1)
+    exp = Experiment(topo, w.build(8), hosts)
+    return compare_arms(exp)
+
+
+def test_select_nodes_deterministic():
+    topo = fat_tree(4)
+    assert select_nodes(topo, 8) == select_nodes(topo, 8)
+    assert len(select_nodes(topo, 8)) == 8
+    assert select_nodes(topo, 100) == topo.hosts
+
+
+def test_full_and_simulator_act_identical(small_comparison):
+    """The simulator models the same fabric at finer cost granularity:
+    ACT must be bit-identical to the full testbed arm."""
+    assert small_comparison.full.act == small_comparison.simulator.act
+
+
+def test_sdt_act_close_to_full(small_comparison):
+    dev = small_comparison.act_deviation_vs_full
+    # paper: 0.03%-2% overhead band, SDT slightly slower
+    assert 0.0 < dev < 0.03
+
+
+def test_simulator_pays_more_events(small_comparison):
+    assert small_comparison.simulator.events > 3 * small_comparison.full.events
+
+
+def test_eval_time_semantics(small_comparison):
+    c = small_comparison
+    assert c.full.eval_time == c.full.act  # testbeds run in real time
+    assert c.simulator.eval_time == c.simulator.wall_time
+    assert c.sdt.eval_time == pytest.approx(
+        c.sdt.deploy_time + c.sdt.act
+    )
+    assert c.sdt.deploy_time > 0
+
+
+def test_speedup_positive(small_comparison):
+    assert small_comparison.speedup > 0
+
+
+def test_deviation_sign_convention():
+    c = Comparison(
+        full=_arm("full", act=1.0, eval_time=1.0),
+        simulator=_arm("simulator", act=1.0, eval_time=10.0),
+        sdt=_arm("sdt", act=1.02, eval_time=1.1),
+    )
+    assert c.act_deviation == pytest.approx(0.02)
+    assert c.speedup == pytest.approx(10.0 / 1.1)
+
+
+def _arm(name, act, eval_time):
+    from repro.testbed import ArmResult
+
+    return ArmResult(arm=name, act=act, eval_time=eval_time,
+                     wall_time=eval_time, events=0)
+
+
+def test_experiment_rejects_more_ranks_than_hosts():
+    topo = chain(4)
+    w = workload("imb-alltoall", msglen=128, repetitions=1)
+    with pytest.raises(Exception):
+        Experiment(topo, w.build(8), topo.hosts[:2])
+
+
+def test_sdt_arm_runs_on_provided_cluster():
+    from repro.core import SDTController, build_cluster_for
+    from repro.hardware import H3C_S6861
+
+    topo = chain(4)
+    hosts = topo.hosts
+    w = workload("imb-pingpong", msglen=512, repetitions=5)
+    exp = Experiment(topo, w.build(4), hosts)
+    cluster = build_cluster_for([topo], 2, H3C_S6861)
+    result = exp.run_sdt(cluster=cluster, controller=SDTController(cluster))
+    assert result.act > 0

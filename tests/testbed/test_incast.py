@@ -1,0 +1,72 @@
+"""Incast bandwidth experiments (Fig. 12)."""
+
+import pytest
+
+from repro.netsim import NetworkConfig, build_logical_network
+from repro.routing import routes_for
+from repro.testbed import run_incast
+from repro.topology import chain
+from repro.util.errors import SimulationError
+from repro.util.units import gbps
+
+
+def make_net(pfc: bool):
+    topo = chain(8)
+    cfg = NetworkConfig(pfc_enabled=pfc, ecn_enabled=pfc)
+    return topo, build_logical_network(topo, routes_for(topo), cfg)
+
+
+@pytest.fixture(scope="module")
+def roce_result():
+    topo, net = make_net(pfc=True)
+    senders = [h for h in topo.hosts if h != "h3"]
+    return run_incast(net, senders, "h3", duration=20e-3, mode="roce")
+
+
+@pytest.fixture(scope="module")
+def tcp_result():
+    topo, net = make_net(pfc=False)
+    senders = [h for h in topo.hosts if h != "h3"]
+    return run_incast(net, senders, "h3", duration=20e-3, mode="tcp")
+
+
+def test_roce_lossless(roce_result):
+    assert roce_result.drops == 0
+
+
+def test_roce_aggregate_near_line_rate(roce_result):
+    agg = sum(roce_result.goodput.values())
+    assert agg > 0.85 * gbps(10)
+
+
+def test_roce_shares_roughly_fair(roce_result):
+    """With PFC the shares equalize (paper: same-hop nodes comparable)."""
+    shares = roce_result.share()
+    assert max(shares.values()) < 4 * min(shares.values())
+
+
+def test_tcp_drops_occur(tcp_result):
+    assert tcp_result.drops > 0
+
+
+def test_tcp_all_senders_progress(tcp_result):
+    assert all(g > 0 for g in tcp_result.goodput.values())
+
+
+def test_tcp_shares_skewed(tcp_result):
+    """Without PFC the allocation is RTT/loss driven and far from equal
+    (the paper's 'influenced by RTT and other factors')."""
+    shares = tcp_result.share()
+    assert max(shares.values()) > 3 * min(shares.values())
+
+
+def test_target_cannot_send():
+    topo, net = make_net(pfc=True)
+    with pytest.raises(SimulationError, match="target"):
+        run_incast(net, ["h3", "h1"], "h3", mode="roce")
+
+
+def test_unknown_mode_rejected():
+    topo, net = make_net(pfc=True)
+    with pytest.raises(SimulationError, match="unknown incast mode"):
+        run_incast(net, ["h1"], "h3", mode="udp")

@@ -1,0 +1,178 @@
+"""Topology generators: published size formulas (Fig. 1 shapes)."""
+
+import pytest
+
+from repro.topology import (
+    bcube,
+    chain,
+    coords_of,
+    dragonfly,
+    dragonfly_stats,
+    fat_tree,
+    fat_tree_stats,
+    hyper_bcube,
+    mesh2d,
+    mesh3d,
+    torus2d,
+    torus3d,
+    torus_stats,
+)
+from repro.util.errors import TopologyError
+
+
+# --- Fat-Tree -------------------------------------------------------------
+
+def test_fattree4_paper_sizes(fattree4):
+    # "20 4-port switches and 48 cables to deploy a standard Fat-Tree
+    # topology supporting only 16 nodes" (§I)
+    assert len(fattree4.switches) == 20
+    assert len(fattree4.hosts) == 16
+    assert len(fattree4.links) == 48
+
+
+def test_fattree_radix_uniform(fattree4):
+    for s in fattree4.switches:
+        assert fattree4.radix(s) == 4
+
+
+def test_fattree_stats_match_generator():
+    for k in (4, 6, 8):
+        topo = fat_tree(k)
+        stats = fat_tree_stats(k)
+        assert len(topo.switches) == stats["switches"]
+        assert len(topo.hosts) == stats["hosts"]
+        assert len(topo.switch_links) == stats["switch_links"]
+
+
+def test_fattree_rejects_odd_k():
+    with pytest.raises(TopologyError):
+        fat_tree(3)
+
+
+def test_fattree_without_hosts():
+    topo = fat_tree(4, with_hosts=False)
+    assert not topo.hosts
+    assert len(topo.switch_links) == 32
+
+
+# --- Dragonfly --------------------------------------------------------------
+
+def test_dragonfly_sizes(dragonfly492):
+    stats = dragonfly_stats(4, 9, 2)
+    assert len(dragonfly492.switches) == 36 == stats["switches"]
+    assert len(dragonfly492.hosts) == 72 == stats["hosts"]
+    assert len(dragonfly492.switch_links) == stats["switch_links"] == 90
+
+
+def test_dragonfly_balanced_global_links(dragonfly492):
+    # g = a*h+1: exactly one global link between every group pair, so
+    # every router has a-1 local + h global + p host ports
+    for sw in dragonfly492.switches:
+        assert dragonfly492.radix(sw) == 3 + 2 + 2
+
+
+def test_dragonfly_g_too_large_rejected():
+    with pytest.raises(TopologyError, match="exceeds"):
+        dragonfly(2, 10, 1)
+
+
+def test_dragonfly_small_configs():
+    topo = dragonfly(2, 3, 1)
+    assert len(topo.switches) == 6
+    topo.validate()
+
+
+# --- Mesh / Torus -----------------------------------------------------------
+
+def test_torus2d_sizes(torus55):
+    assert len(torus55.switches) == 25
+    assert len(torus55.switch_links) == 50  # 2 per switch
+
+
+def test_torus3d_sizes():
+    t = torus3d(4, 4, 4)
+    assert len(t.switches) == 64
+    assert len(t.switch_links) == 192
+    stats = torus_stats((4, 4, 4))
+    assert stats["switch_links"] == 192
+
+
+def test_mesh_has_fewer_links_than_torus():
+    m = mesh2d(4, 4)
+    t = torus2d(4, 4)
+    assert len(m.switch_links) == 24  # 2*4*3
+    assert len(t.switch_links) == 32
+
+
+def test_mesh3d_shape():
+    m = mesh3d(3, 3, 3)
+    assert len(m.switches) == 27
+    corner = m.radix("s0-0-0")
+    assert corner == 3 + 1  # 3 mesh neighbors + 1 host
+
+
+def test_coords_roundtrip():
+    t = torus3d(4, 3, 5)
+    for sw in t.switches:
+        c = coords_of(sw)
+        assert len(c) == 3
+        assert 0 <= c[0] < 4 and 0 <= c[1] < 3 and 0 <= c[2] < 5
+
+
+def test_coords_rejects_non_grid_names():
+    with pytest.raises(TopologyError):
+        coords_of("core0-1")
+
+
+def test_torus_rejects_k2():
+    with pytest.raises(TopologyError, match=">= 3"):
+        torus2d(2, 2)
+
+
+def test_mesh_allows_k2():
+    m = mesh2d(2, 2)
+    assert len(m.switches) == 4
+
+
+def test_hosts_per_switch_parameter():
+    t = torus2d(3, 3, hosts_per_switch=2)
+    assert len(t.hosts) == 18
+
+
+# --- BCube / HyperBCube --------------------------------------------------------
+
+def test_bcube_sizes():
+    t = bcube(4, 1)
+    assert len(t.hosts) == 16  # n^(k+1)
+    assert len(t.switches) == 8  # (k+1) * n^k
+    for s in t.switches:
+        assert t.radix(s) == 4
+
+
+def test_bcube_hosts_multi_homed():
+    t = bcube(4, 1)
+    for h in t.hosts:
+        assert t.radix(h) == 2  # k+1 NICs
+
+
+def test_hyper_bcube_sizes():
+    t = hyper_bcube(4)
+    assert len(t.hosts) == 16
+    assert len(t.switches) == 8
+    for h in t.hosts:
+        assert t.radix(h) == 2
+
+
+# --- Chain -------------------------------------------------------------------
+
+def test_chain_linear(chain8):
+    assert len(chain8.switches) == 8
+    assert len(chain8.switch_links) == 7
+    # the paper's 10-hop path: 8 switches + 2 host links
+    assert len(chain8.hosts) == 8
+
+
+def test_chain_single_switch():
+    c = chain(1)
+    assert len(c.switch_links) == 0
+    assert len(c.hosts) == 1

@@ -1,0 +1,71 @@
+"""Synthetic Internet Topology Zoo calibration."""
+
+from repro.topology import (
+    ZOO_SIZE,
+    build_zoo_topology,
+    zoo_catalog,
+    zoo_entry,
+    zoo_link_histogram,
+)
+
+
+def test_catalog_size():
+    assert len(zoo_catalog()) == ZOO_SIZE == 261
+
+
+def test_catalog_deterministic():
+    a = [(e.name, e.num_switches, e.num_links) for e in zoo_catalog()]
+    b = [(e.name, e.num_switches, e.num_links) for e in zoo_catalog()]
+    assert a == b
+
+
+def test_feasibility_bands_match_table2():
+    # calibrated so Table II's WAN counts fall out (see zoo.py docstring)
+    hist = zoo_link_histogram()
+    assert hist["<=64 links"] == 248
+    assert hist["<=128 links"] == 249
+    assert hist["<=256 links"] == 260
+    assert hist["total"] == 261
+
+
+def test_kdl_is_the_outlier():
+    kdl = zoo_entry("Kdl")
+    assert kdl.num_switches == 754
+    assert kdl.num_links > 256 * 2  # exceeds every single-switch budget
+    others = [e for e in zoo_catalog() if e.name != "Kdl"]
+    assert max(e.num_links for e in others) <= 256
+
+
+def test_entries_are_connected_graphs():
+    for name in ("Uunet", "Wan000", "Cogentco"):
+        entry = zoo_entry(name)
+        topo = build_zoo_topology(entry)
+        assert topo.is_connected()
+        assert len(topo.switches) == entry.num_switches
+        assert len(topo.links) == entry.num_links
+
+
+def test_switch_ports_property():
+    e = zoo_entry("Uunet")
+    assert e.switch_ports == 2 * e.num_links
+
+
+def test_unknown_entry_raises():
+    import pytest
+
+    with pytest.raises(KeyError):
+        zoo_entry("NotANetwork")
+
+
+def test_hosts_attachable():
+    topo = build_zoo_topology(zoo_entry("Wan001"), hosts_per_switch=1)
+    assert len(topo.hosts) == len(topo.switches)
+
+
+def test_wan_sizes_plausible():
+    # median node count near the real zoo's (~21), all sparse
+    sizes = sorted(e.num_switches for e in zoo_catalog())
+    median = sizes[len(sizes) // 2]
+    assert 12 <= median <= 30
+    for e in zoo_catalog():
+        assert e.num_links >= e.num_switches - 1  # connected

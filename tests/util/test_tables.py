@@ -1,0 +1,44 @@
+"""Text table rendering."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+def test_basic_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    # all rows equal width
+    assert len({len(l) for l in lines}) == 1
+
+
+def test_title_included():
+    out = format_table(["x"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_mismatched_row_raises():
+    with pytest.raises(ValueError, match="row 0"):
+        format_table(["a", "b"], [[1]])
+
+
+def test_float_formatting():
+    out = format_table(["v"], [[3.14159265]])
+    assert "3.14159" in out
+
+
+def test_empty_rows_ok():
+    out = format_table(["a", "b"], [])
+    assert "a" in out and "b" in out
+
+
+def test_series_renders_columns():
+    out = format_series("n", [1, 2], {"lat": [10, 20], "bw": [5, 6]})
+    assert "lat" in out and "bw" in out
+    assert "20" in out
+
+
+def test_series_length_mismatch_raises():
+    with pytest.raises(ValueError, match="series 'y'"):
+        format_series("x", [1, 2], {"y": [1]})

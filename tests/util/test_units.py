@@ -1,0 +1,43 @@
+"""Units and formatting."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_gbps_roundtrip():
+    assert units.Gbps(units.gbps(10)) == pytest.approx(10.0)
+    assert units.Gbps(units.gbps(0.5)) == pytest.approx(0.5)
+
+
+def test_gbps_is_bytes_per_second():
+    # 10 Gbit/s = 1.25e9 bytes/s
+    assert units.gbps(10) == pytest.approx(1.25e9)
+
+
+def test_data_size_constants():
+    assert units.MIB == 1024 * units.KIB
+    assert units.GIB == 1024 * units.MIB
+
+
+def test_bytes_str_scales():
+    assert units.bytes_str(512) == "512 B"
+    assert units.bytes_str(2048) == "2 KiB"
+    assert units.bytes_str(3 * units.MIB) == "3 MiB"
+    assert units.bytes_str(5 * units.GIB) == "5 GiB"
+
+
+def test_time_str_scales():
+    assert units.time_str(2.0) == "2 s"
+    assert units.time_str(3e-3) == "3 ms"
+    assert units.time_str(4e-6) == "4 us"
+    assert units.time_str(5e-9) == "5 ns"
+
+
+def test_time_str_boundaries():
+    assert "ms" in units.time_str(1e-3)
+    assert "us" in units.time_str(999e-6)
+
+
+def test_rate_str():
+    assert units.rate_str(units.gbps(10)) == "10 Gbps"

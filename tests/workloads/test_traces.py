@@ -1,0 +1,64 @@
+"""Trace file round-trips."""
+
+import pytest
+
+from repro.mpi import Compute, ISend, Recv, Send, WaitAllSent
+from repro.workloads import dump_trace, load_trace, workload
+
+
+def test_roundtrip_identity(tmp_path):
+    programs = workload("hpcg", scale=0.2, iterations=1).build(4)
+    path = tmp_path / "trace.jsonl"
+    lines = dump_trace(programs, path)
+    assert lines == sum(len(ops) for ops in programs.values())
+    loaded = load_trace(path)
+    assert loaded == programs
+
+
+def test_all_op_kinds_roundtrip(tmp_path):
+    programs = {
+        0: [Compute(0.5), Send(1, 100, 2), ISend(1, 50, 3), WaitAllSent()],
+        1: [Recv(0, 2), Recv(0, 3)],
+    }
+    path = tmp_path / "t.jsonl"
+    dump_trace(programs, path)
+    assert load_trace(path) == programs
+
+
+def test_comments_and_blanks_skipped(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text(
+        '# a comment\n\n{"rank": 0, "op": "compute", "seconds": 1.5}\n'
+    )
+    loaded = load_trace(path)
+    assert loaded == {0: [Compute(1.5)]}
+
+
+def test_bad_line_reports_location(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"rank": 0, "op": "compute", "seconds": 1}\n{oops\n')
+    with pytest.raises(ValueError, match=":2"):
+        load_trace(path)
+
+
+def test_unknown_op_rejected(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"rank": 0, "op": "teleport"}\n')
+    with pytest.raises(ValueError, match="bad trace line"):
+        load_trace(path)
+
+
+def test_loaded_trace_runs(tmp_path):
+    """Dump -> load -> execute: the replay path the paper's simulator uses."""
+    from repro.mpi import MpiJob
+    from repro.netsim import build_logical_network
+    from repro.routing import routes_for
+    from repro.topology import chain
+
+    programs = workload("imb-pingpong", msglen=512, repetitions=5).build(2)
+    path = tmp_path / "pp.jsonl"
+    dump_trace(programs, path)
+    topo = chain(2)
+    net = build_logical_network(topo, routes_for(topo))
+    res = MpiJob(net, {0: "h0", 1: "h1"}, load_trace(path)).run()
+    assert res.act > 0

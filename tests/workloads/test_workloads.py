@@ -1,0 +1,160 @@
+"""Workload generators: patterns, scaling, and registry."""
+
+import pytest
+
+from repro.mpi import Compute, ISend, Recv, Send
+from repro.workloads import (
+    coords_of_rank,
+    grid_3d,
+    halo_neighbors,
+    rank_of,
+    registered_workloads,
+    workload,
+)
+
+
+def comm_bytes(programs):
+    return sum(
+        op.nbytes
+        for ops in programs.values()
+        for op in ops
+        if isinstance(op, (Send, ISend))
+    )
+
+
+def compute_seconds(programs):
+    return sum(
+        op.seconds
+        for ops in programs.values()
+        for op in ops
+        if isinstance(op, Compute)
+    )
+
+
+def sends_match_recvs(programs):
+    sends, recvs = {}, {}
+    for rank, ops in programs.items():
+        for op in ops:
+            if isinstance(op, (Send, ISend)):
+                key = (rank, op.dst, op.tag)
+                sends[key] = sends.get(key, 0) + 1
+            elif isinstance(op, Recv):
+                key = (op.src, rank, op.tag)
+                recvs[key] = recvs.get(key, 0) + 1
+    assert sends == recvs
+
+
+ALL_WORKLOADS = [
+    ("imb-pingpong", {}),
+    ("imb-alltoall", {"repetitions": 1}),
+    ("imb-allreduce", {"repetitions": 1}),
+    ("imb-bcast", {"repetitions": 2}),
+    ("imb-allgather", {"repetitions": 1}),
+    ("hpcg", {"scale": 0.25, "iterations": 2}),
+    ("hpl", {"scale": 0.25}),
+    ("minighost", {"scale": 0.25, "timesteps": 2}),
+    ("minife", {"scale": 0.25, "cg_iterations": 2}),
+]
+
+
+def test_registry_lists_all():
+    names = registered_workloads()
+    for name, _p in ALL_WORKLOADS:
+        assert name in names
+
+
+@pytest.mark.parametrize("name,params", ALL_WORKLOADS)
+def test_programs_well_formed(name, params):
+    w = workload(name, **params)
+    programs = w.build(8)
+    assert set(programs) == set(range(8))
+    sends_match_recvs(programs)
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError, match="unknown workload"):
+        workload("quantum-sort")
+
+
+def test_pingpong_only_two_ranks_active():
+    programs = workload("imb-pingpong", repetitions=3).build(8)
+    active = {r for r, ops in programs.items() if ops}
+    assert active == {0, 1}
+
+
+def test_alltoall_traffic_scales_quadratically():
+    small = comm_bytes(workload("imb-alltoall", msglen=1000,
+                                repetitions=1).build(4))
+    big = comm_bytes(workload("imb-alltoall", msglen=1000,
+                              repetitions=1).build(8))
+    assert small == 4 * 3 * 1000
+    assert big == 8 * 7 * 1000
+
+
+def test_compute_comm_ratio_ordering():
+    """Table IV's ordering driver: HPL > HPCG > miniGhost > miniFE >
+    Alltoall in compute seconds per communicated byte."""
+    def ratio(name, **params):
+        programs = workload(name, **params).build(8)
+        comm = comm_bytes(programs) or 1
+        return compute_seconds(programs) / comm
+
+    r = {
+        "hpl": ratio("hpl", scale=0.5),
+        "hpcg": ratio("hpcg", scale=0.5, iterations=2),
+        "minighost": ratio("minighost", scale=0.5, timesteps=2),
+        "minife": ratio("minife", scale=0.5, cg_iterations=2),
+        "alltoall": ratio("imb-alltoall", msglen=4096, repetitions=1),
+    }
+    assert (r["hpl"] > r["hpcg"] > r["minighost"] > r["minife"]
+            > r["alltoall"] == 0)
+
+
+def test_hpcg_halo_pattern_is_grid_neighbors():
+    programs = workload("hpcg", scale=0.25, iterations=1).build(8)
+    dims = grid_3d(8)
+    for rank, ops in programs.items():
+        neighbor_ranks = {n for n, _axis in halo_neighbors(rank, dims)}
+        halo_dsts = {
+            op.dst for op in ops if isinstance(op, ISend)
+        }
+        assert halo_dsts <= neighbor_ranks | halo_dsts  # ISends only to neighbors
+        assert halo_dsts == neighbor_ranks
+
+
+def test_scale_shrinks_traffic():
+    full = comm_bytes(workload("minighost", scale=1.0, timesteps=1).build(8))
+    quarter = comm_bytes(workload("minighost", scale=0.25, timesteps=1).build(8))
+    assert quarter < full / 8
+
+
+def test_grid_3d_factors():
+    assert sorted(grid_3d(8)) == [2, 2, 2]
+    assert sorted(grid_3d(12)) == [2, 2, 3]
+    assert sorted(grid_3d(7)) == [1, 1, 7]
+    for p in (1, 2, 6, 16, 27, 32):
+        x, y, z = grid_3d(p)
+        assert x * y * z == p
+
+
+def test_rank_coords_roundtrip():
+    dims = (4, 2, 4)
+    for r in range(32):
+        assert rank_of(coords_of_rank(r, dims), dims) == r
+
+
+def test_halo_neighbors_symmetric():
+    dims = (2, 2, 2)
+    for r in range(8):
+        for n, _axis in halo_neighbors(r, dims):
+            assert (r, _axis) in [
+                (m, a) for m, a in halo_neighbors(n, dims)
+            ] or any(m == r for m, _ in halo_neighbors(n, dims))
+
+
+def test_minife_two_shapes_like_paper():
+    cube = workload("minife", nx=264, ny=264, nz=264, scale=0.1,
+                    cg_iterations=1)
+    slab = workload("minife", nx=264, ny=512, nz=512, scale=0.1,
+                    cg_iterations=1)
+    assert comm_bytes(slab.build(8)) > comm_bytes(cube.build(8))
