@@ -7,9 +7,21 @@ Four modules, mirroring Fig. 9:
   function): logical topology in, flow tables out, fully automated.
 * **Routing Strategy** — pluggable strategies (Table III) compiled into
   table-1 rules; per-flow overrides for active routing.
-* **Deadlock Avoidance** — CDG acyclicity verified before any lossless
-  deployment (refusing to install a deadlockable configuration).
+* **Deadlock Avoidance** — CDG acyclicity verified before *every*
+  lossless install — initial deployment, route update, and failure
+  repair alike (refusing to install a deadlockable configuration).
 * **Network Monitor** — :class:`~repro.core.controller.monitor.NetworkMonitor`.
+
+Every mutation of the data plane — deploy, undeploy, route update,
+failure repair, reconfigure — goes through a
+:class:`~repro.openflow.transaction.ControlTransaction` and is
+therefore **failure-atomic**: all validation (capacity, deadlock
+freedom, projection feasibility) runs before any rule is touched, and a
+mid-flight control-channel failure rolls every switch back to its
+pre-transaction rule set. Route swaps and reconfigurations install the
+new generation before deleting the old (make-before-break) whenever
+the flow tables can hold both; otherwise they fall back to
+break-before-make, still under rollback protection.
 
 Several topologies can coexist (disjoint wiring resources + disjoint
 metadata tags + disjoint cookies) — the hardware-isolation experiment
@@ -29,7 +41,7 @@ from repro.core.projection.pruning import route_usage
 from repro.core.rules import RuleSet, flow_override, synthesize_rules
 from repro.hardware.cluster import PhysicalCluster
 from repro.hardware.optical import OpticalCircuitSwitch
-from repro.openflow.channel import BarrierRequest, FlowDelete
+from repro.openflow.transaction import ControlTransaction
 from repro.routing.deadlock import assert_deadlock_free
 from repro.routing.repair import reroute_avoiding
 from repro.routing.strategies import (
@@ -42,7 +54,11 @@ from repro.routing.strategies import (
 )
 from repro.routing.table import RouteTable
 from repro.topology.graph import Topology
-from repro.util.errors import CapacityError, ConfigurationError
+from repro.util.errors import (
+    CapacityError,
+    ConfigurationError,
+    ProjectionError,
+)
 
 _STRATEGIES = {
     "auto": routes_for,
@@ -51,6 +67,9 @@ _STRATEGIES = {
     "dragonfly-minimal": dragonfly_minimal_routes,
     "dimension-order": mesh_dimension_order_routes,
 }
+
+MAKE_BEFORE_BREAK = "make-before-break"
+BREAK_BEFORE_MAKE = "break-before-make"
 
 
 @dataclass
@@ -64,6 +83,9 @@ class Deployment:
     rules: RuleSet
     cookie: int
     deployment_time: float  # modeled control-plane time to install
+    #: whether the deployment is lossless (PFC on): route changes must
+    #: pass the Deadlock Avoidance module before install
+    lossless: bool = True
     #: optical circuits minted for this deployment (hybrid SDT-OS only)
     hybrid_plan: "HybridPlan | None" = None
     #: logical links currently marked failed (indices into topology.links)
@@ -72,6 +94,21 @@ class Deployment:
     @property
     def name(self) -> str:
         return self.topology.name
+
+
+@dataclass
+class _Prepared:
+    """Everything a deployment needs, computed before touching hardware."""
+
+    config: TopologyConfig | None
+    topology: Topology
+    routes: RouteTable
+    projection: ProjectionResult
+    rules: RuleSet
+    cookie: int
+    lossless: bool
+    hybrid_plan: HybridPlan | None
+    optical_time: float
 
 
 @dataclass
@@ -86,6 +123,9 @@ class SDTController:
     #: instead of failing
     optical: OpticalCircuitSwitch | None = None
     deployments: list[Deployment] = field(default_factory=list)
+    #: how the most recent route swap / reconfigure committed
+    #: (MAKE_BEFORE_BREAK or BREAK_BEFORE_MAKE; "" before the first)
+    last_commit_strategy: str = ""
     _next_cookie: int = 1
     _next_metadata: int = 1
     monitor: NetworkMonitor = field(init=False)
@@ -102,12 +142,12 @@ class SDTController:
             used.update(d.projection.link_realization.values())
         return used
 
-    def _projector(self) -> LinkProjection:
+    def _projector(self, exclude: set | None = None) -> LinkProjection:
         return LinkProjection(
             self.cluster,
             partition_method=self.partition_method,
             seed=self.seed,
-            exclude=self._occupied(),
+            exclude=self._occupied() if exclude is None else exclude,
             metadata_base=self._next_metadata,
         )
 
@@ -116,19 +156,24 @@ class SDTController:
         """Validate a config against the wiring; returns deficiency
         messages (empty = deployable)."""
         topology = config.build()
-        _partition, problems = self._projector().check(topology)
-        problems.extend(self._flow_capacity_problems(topology, config))
+        projector = self._projector()
+        partition, problems = projector.check(topology)
+        if problems:
+            return problems  # port deficits make projection moot
+        projection = projector.project(topology, partition)
+        problems.extend(
+            self._flow_capacity_problems(topology, config, projection)
+        )
         return problems
 
     def _flow_capacity_problems(
-        self, topology: Topology, config: TopologyConfig
+        self,
+        topology: Topology,
+        config: TopologyConfig,
+        projection: ProjectionResult,
     ) -> list[str]:
         """§VII-C: pre-estimate flow-entry demand against switch TCAMs."""
         routes = self._routes_for(topology, config.routing)
-        try:
-            projection = self._projector().project(topology)
-        except CapacityError:
-            return []  # port problems already reported by check()
         rules = synthesize_rules(projection, routes, cookie=0)
         problems = []
         for name, count in rules.per_switch_counts().items():
@@ -154,20 +199,22 @@ class SDTController:
             f"{sorted(_STRATEGIES)} or 'torus-dateline'"
         )
 
-    # --- Topology Customization: deployment function ------------------------
-    def deploy(
+    # --- preparation (pure: no hardware mutation except optics) ----------
+    def _prepare(
         self,
         config: TopologyConfig | Topology,
         *,
         routes: RouteTable | None = None,
         active_hosts: list[str] | None = None,
-    ) -> Deployment:
-        """Project, verify, and install a topology. Returns the live
-        deployment; its modeled install time feeds Fig. 13.
+        exclude: set | None = None,
+    ) -> _Prepared:
+        """Build, vet, and project a topology; synthesize its rules.
 
-        ``active_hosts`` enables route-usage pruning: only links on
-        routes between those hosts receive hardware (how the paper fits
-        a 4x4x4 Torus with 32 selected nodes onto 3 switches).
+        Runs the full validation pipeline — routing strategy, Deadlock
+        Avoidance (lossless), projection feasibility — without sending
+        a single control message. Only the optical circuit switch is
+        touched (flex circuits are minted here); callers must release
+        the returned ``hybrid_plan`` if they abandon the preparation.
         """
         if isinstance(config, Topology):
             topology, cfg = config, None
@@ -197,75 +244,123 @@ class SDTController:
                 self.optical,
                 partition_method=self.partition_method,
                 seed=self.seed,
-                exclude=self._occupied(),
+                exclude=self._occupied() if exclude is None else exclude,
                 metadata_base=self._next_metadata,
             )
             projection, hybrid_plan, optical_time = hybrid.project(
                 topology, usage=usage
             )
         else:
-            projection = self._projector().project(topology, usage=usage)
+            projection = self._projector(exclude).project(topology, usage=usage)
         cookie = self._next_cookie
         rules = synthesize_rules(projection, routes, cookie=cookie)
-
-        # capacity check before touching hardware
-        for name, count in rules.per_switch_counts().items():
-            sw = self.cluster.switches[name]
-            if count > sw.free_entries:
-                raise CapacityError(
-                    f"{name}: {count} entries needed, {sw.free_entries} free"
-                )
-
-        before = {
-            n: c.stats.modeled_time
-            for n, c in self.cluster.control.channels.items()
-        }
-        for name, mods in rules.mods.items():
-            channel = self.cluster.control.channel(name)
-            for mod in mods:
-                channel.send(mod)
-            channel.send(BarrierRequest())
-        deployment_time = optical_time + max(
-            c.stats.modeled_time - before[n]
-            for n, c in self.cluster.control.channels.items()
-        )
-
-        deployment = Deployment(
+        return _Prepared(
             config=cfg,
             topology=topology,
-            projection=projection,
             routes=routes,
+            projection=projection,
             rules=rules,
             cookie=cookie,
-            deployment_time=deployment_time,
+            lossless=lossless,
             hybrid_plan=hybrid_plan,
+            optical_time=optical_time,
+        )
+
+    def _register(self, prep: _Prepared, deployment_time: float) -> Deployment:
+        """Adopt a committed preparation as a live deployment."""
+        deployment = Deployment(
+            config=prep.config,
+            topology=prep.topology,
+            projection=prep.projection,
+            routes=prep.routes,
+            rules=prep.rules,
+            cookie=prep.cookie,
+            deployment_time=deployment_time,
+            lossless=prep.lossless,
+            hybrid_plan=prep.hybrid_plan,
         )
         self.deployments.append(deployment)
         self._next_cookie += 1
-        self._next_metadata += len(topology.switches)
+        self._next_metadata += len(prep.topology.switches)
         return deployment
 
+    def _release_optics(self, plan: HybridPlan | None) -> float:
+        """Tear down a deployment's flex circuits; returns optical time."""
+        if plan is None or self.optical is None:
+            return 0.0
+        return HybridLinkProjection(self.cluster, self.optical).release(plan)
+
+    def _ocs_circuits(self) -> list[tuple[int, int]] | None:
+        """The OCS crossbar state, for restore-on-failure."""
+        if self.optical is None:
+            return None
+        return sorted(
+            {(min(a, b), max(a, b)) for a, b in self.optical.circuits.items()}
+        )
+
+    def _restore_ocs(self, circuits: list[tuple[int, int]] | None) -> None:
+        """Reprogram the OCS back to a prior :meth:`_ocs_circuits` state
+        (no-op when nothing changed)."""
+        if self.optical is None or circuits is None:
+            return
+        if self._ocs_circuits() != circuits:
+            self.optical.configure(circuits)
+
+    def _estimated_install_time(self, rules: RuleSet) -> float:
+        """Modeled time to install ``rules`` alone (parallel channels:
+        per-switch batch + barrier, max across switches)."""
+        times = [0.0]
+        for name, mods in rules.mods.items():
+            channel = self.cluster.control.channel(name)
+            times.append(len(mods) * channel.flow_install_latency + channel.rtt)
+        return max(times)
+
+    # --- Topology Customization: deployment function ------------------------
+    def deploy(
+        self,
+        config: TopologyConfig | Topology,
+        *,
+        routes: RouteTable | None = None,
+        active_hosts: list[str] | None = None,
+    ) -> Deployment:
+        """Project, verify, and install a topology. Returns the live
+        deployment; its modeled install time feeds Fig. 13.
+
+        ``active_hosts`` enables route-usage pruning: only links on
+        routes between those hosts receive hardware (how the paper fits
+        a 4x4x4 Torus with 32 selected nodes onto 3 switches).
+
+        The install is one transaction: a failure on any control channel
+        rolls every switch back to its prior rule set (and releases any
+        flex circuits minted for the deployment) before re-raising.
+        """
+        prep = self._prepare(config, routes=routes, active_hosts=active_hosts)
+        txn = ControlTransaction(
+            self.cluster.control, label=f"deploy {prep.topology.name}"
+        )
+        txn.stage_rules(prep.rules.mods)
+        try:
+            install_time = txn.commit()
+        except Exception:
+            self._release_optics(prep.hybrid_plan)
+            raise
+        return self._register(prep, prep.optical_time + install_time)
+
     def undeploy(self, deployment: Deployment) -> float:
-        """Remove a deployment's rules; returns modeled removal time."""
+        """Remove a deployment's rules; returns modeled removal time.
+
+        Transactional: if a delete fails mid-way, every switch is
+        restored and the deployment stays live.
+        """
         if deployment not in self.deployments:
             raise ConfigurationError(f"{deployment.name!r} is not deployed")
-        before = {
-            n: c.stats.modeled_time
-            for n, c in self.cluster.control.channels.items()
-        }
-        for name in deployment.rules.mods:
-            channel = self.cluster.control.channel(name)
-            channel.send(FlowDelete(cookie=deployment.cookie))
-            channel.send(BarrierRequest())
-        self.deployments.remove(deployment)
-        optical_time = 0.0
-        if deployment.hybrid_plan is not None and self.optical is not None:
-            hybrid = HybridLinkProjection(self.cluster, self.optical)
-            optical_time = hybrid.release(deployment.hybrid_plan)
-        return optical_time + max(
-            c.stats.modeled_time - before[n]
-            for n, c in self.cluster.control.channels.items()
+        txn = ControlTransaction(
+            self.cluster.control, label=f"undeploy {deployment.name}"
         )
+        txn.stage_delete(deployment.rules.mods, deployment.cookie)
+        removal_time = txn.commit()
+        self.deployments.remove(deployment)
+        return self._release_optics(deployment.hybrid_plan) + removal_time
 
     def reconfigure(
         self,
@@ -273,68 +368,166 @@ class SDTController:
         *,
         active_hosts: list[str] | None = None,
     ) -> tuple[Deployment, float]:
-        """Tear down everything and deploy ``config`` — the one-command
+        """Swap every live deployment for ``config`` — the one-command
         topology swap of Fig. 2. Returns (deployment, total modeled
         reconfiguration time): no rewiring, no optics, just flow tables.
+
+        The swap is a single transaction. When the wiring and flow
+        tables can hold both generations at once it commits
+        make-before-break (new rules install first, shadowed by the old
+        generation until its delete lands — no forwarding gap);
+        otherwise it falls back to break-before-make. Either way a
+        mid-flight failure rolls every switch back to the previous
+        deployment's rules and leaves ``deployments`` untouched.
         """
-        removal = 0.0
-        for d in list(self.deployments):
-            removal += self.undeploy(d)
-        deployment = self.deploy(config, active_hosts=active_hosts)
-        return deployment, removal + deployment.deployment_time
+        olds = list(self.deployments)
+        if not olds:
+            deployment = self.deploy(config, active_hosts=active_hosts)
+            return deployment, deployment.deployment_time
+
+        ocs_before = self._ocs_circuits()
+        release_time = 0.0
+        released_old_optics = False
+        prep: _Prepared | None = None
+        try:
+            # make-before-break: project alongside the live deployments
+            prep = self._prepare(
+                config, active_hosts=active_hosts, exclude=self._occupied()
+            )
+            txn = ControlTransaction(
+                self.cluster.control, label=f"reconfigure {prep.topology.name}"
+            )
+            txn.stage_rules(prep.rules.mods)
+            for old in olds:
+                txn.stage_delete(old.rules.mods, old.cookie)
+            txn.validate()
+            strategy = MAKE_BEFORE_BREAK
+        except (CapacityError, ProjectionError):
+            # the hardware cannot hold both generations: break first.
+            # The old generation's wiring *and* flex circuits become
+            # available to the new topology; the OCS snapshot restores
+            # them if the swap fails past this point.
+            self._restore_ocs(ocs_before)  # drop any aborted MBB mints
+            for old in olds:
+                release_time += self._release_optics(old.hybrid_plan)
+            released_old_optics = True
+            try:
+                prep = self._prepare(
+                    config, active_hosts=active_hosts, exclude=set()
+                )
+            except Exception:
+                self._restore_ocs(ocs_before)
+                raise
+            txn = ControlTransaction(
+                self.cluster.control, label=f"reconfigure {prep.topology.name}"
+            )
+            for old in olds:
+                txn.stage_delete(old.rules.mods, old.cookie)
+            txn.stage_rules(prep.rules.mods)
+            strategy = BREAK_BEFORE_MAKE
+
+        try:
+            swap_time = txn.commit()
+        except Exception:
+            # flow tables were rolled back by the transaction; return
+            # the optics to their pre-reconfigure circuits too
+            self._restore_ocs(ocs_before)
+            raise
+        self.last_commit_strategy = strategy
+
+        for old in olds:
+            self.deployments.remove(old)
+            if not released_old_optics:
+                release_time += self._release_optics(old.hybrid_plan)
+        deployment = self._register(
+            prep,
+            prep.optical_time + self._estimated_install_time(prep.rules),
+        )
+        return deployment, prep.optical_time + swap_time + release_time
 
     # --- failure handling ----------------------------------------------------
     def update_routes(self, deployment: Deployment, routes: RouteTable) -> float:
         """Swap a live deployment's routing in place (same projection,
-        fresh flow tables). Returns the modeled control-plane time."""
+        fresh flow tables). Returns the modeled control-plane time.
+
+        Lossless deployments pass the Deadlock Avoidance module first —
+        a deadlockable table is refused with the old routes still
+        installed. The swap itself is one transaction (make-before-break
+        when the flow tables can hold both route generations), so a
+        control-channel failure leaves the previous rules in place.
+        """
         if deployment not in self.deployments:
             raise ConfigurationError(f"{deployment.name!r} is not deployed")
-        before = {
-            n: c.stats.modeled_time
-            for n, c in self.cluster.control.channels.items()
-        }
-        for name in deployment.rules.mods:
-            channel = self.cluster.control.channel(name)
-            channel.send(FlowDelete(cookie=deployment.cookie))
+        if deployment.lossless:
+            # Deadlock Avoidance vets every route install, not just the
+            # initial deployment (§V-3)
+            assert_deadlock_free(routes)
         cookie = self._next_cookie
-        self._next_cookie += 1
         rules = synthesize_rules(deployment.projection, routes, cookie=cookie)
-        for name, mods in rules.mods.items():
-            channel = self.cluster.control.channel(name)
-            for mod in mods:
-                channel.send(mod)
-            channel.send(BarrierRequest())
+        txn, strategy = self._stage_route_swap(rules, deployment)
+        elapsed = txn.commit()
+        self.last_commit_strategy = strategy
+        self._next_cookie += 1
         deployment.routes = routes
         deployment.rules = rules
         deployment.cookie = cookie
-        return max(
-            c.stats.modeled_time - before[n]
-            for n, c in self.cluster.control.channels.items()
-        )
+        return elapsed
+
+    def _stage_route_swap(
+        self, rules: RuleSet, deployment: Deployment
+    ) -> tuple[ControlTransaction, str]:
+        """Stage new rules + old-cookie deletes, make-before-break when
+        both generations fit every switch's flow table."""
+
+        def build(make_first: bool) -> ControlTransaction:
+            txn = ControlTransaction(
+                self.cluster.control,
+                label=f"update-routes {deployment.name}",
+            )
+            if make_first:
+                txn.stage_rules(rules.mods)
+                txn.stage_delete(deployment.rules.mods, deployment.cookie)
+            else:
+                txn.stage_delete(deployment.rules.mods, deployment.cookie)
+                txn.stage_rules(rules.mods)
+            return txn
+
+        txn = build(True)
+        try:
+            txn.validate()
+            return txn, MAKE_BEFORE_BREAK
+        except CapacityError:
+            return build(False), BREAK_BEFORE_MAKE
 
     def fail_link(self, deployment: Deployment, link_index: int) -> float:
         """Mark a logical link failed and reroute around it.
 
-        Repair routes are generic shortest paths that avoid every failed
-        link; the Deadlock Avoidance module vets them before install
-        (lossless deployments refuse deadlockable repairs). Returns the
-        modeled repair time — the figure of merit for fault-tolerance
-        experiments on SDT.
+        Repair routes are up*/down* paths avoiding every failed link;
+        for lossless deployments the Deadlock Avoidance module re-vets
+        them before install (a deadlockable repair is refused). The
+        swap is transactional, so on rejection *or* a mid-install
+        failure the previous routes stay installed and ``failed_links``
+        keeps its prior value. Returns the modeled repair time — the
+        figure of merit for fault-tolerance experiments on SDT.
         """
-        deployment.failed_links.add(link_index)
-        routes = reroute_avoiding(
-            deployment.topology, deployment.failed_links
-        )
-        return self.update_routes(deployment, routes)
+        failed = set(deployment.failed_links) | {link_index}
+        routes = reroute_avoiding(deployment.topology, failed)
+        elapsed = self.update_routes(deployment, routes)
+        deployment.failed_links = failed
+        return elapsed
 
     def restore_links(self, deployment: Deployment) -> float:
-        """Clear all failures and reinstall the original strategy."""
-        deployment.failed_links.clear()
+        """Clear all failures and reinstall the original strategy.
+
+        ``failed_links`` is cleared only once the reinstall commits.
+        """
         strategy = (
             deployment.config.routing if deployment.config else "auto"
         )
         routes = self._routes_for(deployment.topology, strategy)
-        return self.update_routes(deployment, routes)
+        elapsed = self.update_routes(deployment, routes)
+        deployment.failed_links = set()
+        return elapsed
 
     # --- active routing support (§VI-E) -----------------------------------
     def install_flow_override(
@@ -358,4 +551,8 @@ class SDTController:
             vc=vc,
             cookie=deployment.cookie,
         )
-        self.cluster.control.channel(phys).send(mod)
+        txn = ControlTransaction(
+            self.cluster.control, label=f"flow-override {deployment.name}"
+        )
+        txn.stage(phys, mod)
+        txn.commit()

@@ -48,7 +48,9 @@ class Simulator:
 
         ``until`` stops the clock at that simulated time (remaining
         events stay queued); ``max_events`` guards against runaway
-        feedback loops (raises :class:`SimulationError` when hit).
+        feedback loops (raises :class:`SimulationError` before
+        processing event ``max_events + 1``, so exactly ``max_events``
+        events run).
         """
         if self._running:
             raise SimulationError("Simulator.run() re-entered")
@@ -60,16 +62,16 @@ class Simulator:
                 if until is not None and time > until:
                     self.now = until
                     break
+                if budget <= 0:
+                    raise SimulationError(
+                        f"event budget exhausted at t={self.now:.6f}s "
+                        f"({self.events_processed} events; likely livelock)"
+                    )
                 heapq.heappop(self._heap)
                 self.now = time
                 callback()
                 self.events_processed += 1
                 budget -= 1
-                if budget < 0:
-                    raise SimulationError(
-                        f"event budget exhausted at t={self.now:.6f}s "
-                        f"({self.events_processed} events; likely livelock)"
-                    )
             return self.now
         finally:
             self._running = False

@@ -24,7 +24,13 @@ from repro.openflow.channel import (
 from repro.openflow.flowtable import FlowEntry, FlowTable
 from repro.openflow.groups import Bucket, GroupEntry
 from repro.openflow.match import MATCH_ANY, Match, PacketHeader
-from repro.openflow.switch import ForwardDecision, OpenFlowSwitch, PortStats
+from repro.openflow.switch import (
+    ForwardDecision,
+    OpenFlowSwitch,
+    PortStats,
+    SwitchSnapshot,
+)
+from repro.openflow.transaction import ControlTransaction, RollbackReport
 
 __all__ = [
     "ApplyActions",
@@ -53,4 +59,7 @@ __all__ = [
     "ForwardDecision",
     "OpenFlowSwitch",
     "PortStats",
+    "SwitchSnapshot",
+    "ControlTransaction",
+    "RollbackReport",
 ]

@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.openflow.match import Match
-from repro.openflow.switch import OpenFlowSwitch
+from repro.openflow.switch import OpenFlowSwitch, SwitchSnapshot
+from repro.util.errors import ChannelError
 from repro.util.units import MICROSECONDS, MILLISECONDS
 
 
@@ -75,9 +76,28 @@ class ControlChannel:
         self.flow_install_latency = flow_install_latency
         self.rtt = rtt
         self.stats = ChannelStats()
+        self._fail_countdown: int | None = None
+
+    def fail_after(self, messages: int) -> None:
+        """Arrange for the ``messages``-th subsequent :meth:`send` to
+        raise :class:`ChannelError` (fault injection for
+        crash-consistency experiments; ``1`` fails the very next send).
+        The fault is one-shot: after firing, the channel works again —
+        modeling a session drop followed by reconnection."""
+        if messages < 1:
+            raise ValueError(f"fail_after needs >= 1 message, got {messages}")
+        self._fail_countdown = messages
 
     def send(self, msg: FlowMod | FlowDelete | BarrierRequest | PortStatsRequest):
         """Apply one control message; returns the reply payload if any."""
+        if self._fail_countdown is not None:
+            self._fail_countdown -= 1
+            if self._fail_countdown <= 0:
+                self._fail_countdown = None
+                raise ChannelError(
+                    f"control channel to {self.switch.dpid} dropped "
+                    f"(injected failure on {type(msg).__name__})"
+                )
         if isinstance(msg, FlowMod):
             self.stats.flow_mods += 1
             self.stats.modeled_time += self.flow_install_latency
@@ -101,6 +121,27 @@ class ControlChannel:
             self.stats.modeled_time += self.rtt
             return {p: s for p, s in self.switch.port_stats.items()}
         raise TypeError(f"unknown control message {msg!r}")
+
+    # --- transaction support ------------------------------------------
+    def snapshot_rules(self) -> SwitchSnapshot:
+        """The switch's current rule state (free: pure bookkeeping)."""
+        return self.switch.snapshot()
+
+    def restore_rules(self, snap: SwitchSnapshot) -> float:
+        """Roll the switch back to ``snap``; returns the modeled time.
+
+        Modeled as one bulk wipe plus a reinstall of every snapshot
+        entry plus a barrier — the OFPFC_DELETE + batched-ADD recovery a
+        real controller would push after a failed update. Applied
+        directly to the switch (not via :meth:`send`) so an injected
+        channel fault cannot interrupt its own recovery."""
+        restored = self.switch.restore(snap)
+        elapsed = self.flow_install_latency * (1 + restored) + self.rtt
+        self.stats.flow_deletes += 1
+        self.stats.flow_mods += restored
+        self.stats.barriers += 1
+        self.stats.modeled_time += elapsed
+        return elapsed
 
 
 class ControlPlane:

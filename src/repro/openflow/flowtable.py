@@ -68,6 +68,16 @@ class FlowTable:
         self._entries.clear()
         return n
 
+    def snapshot(self) -> tuple[FlowEntry, ...]:
+        """The table's entries in priority order, as an immutable copy
+        of the membership (entry objects are shared, so counters keep
+        accumulating across snapshot/restore)."""
+        return tuple(self._entries)
+
+    def restore(self, entries: tuple[FlowEntry, ...]) -> None:
+        """Replace the table's contents with a prior :meth:`snapshot`."""
+        self._entries = list(entries)
+
     def lookup(
         self, in_port: int, metadata: int, header: PacketHeader
     ) -> FlowEntry | None:

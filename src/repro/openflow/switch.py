@@ -54,6 +54,22 @@ class PortStats:
     tx_bytes: int = 0
 
 
+@dataclass(frozen=True)
+class SwitchSnapshot:
+    """A switch's complete rule state at one instant: per-table entry
+    tuples plus the group table. Restoring a snapshot makes the switch's
+    flow tables identical (same entry objects, same order) to when it
+    was taken — the unit of control-plane transaction rollback."""
+
+    dpid: str
+    tables: tuple[tuple[FlowEntry, ...], ...]
+    groups: tuple[tuple[int, GroupEntry], ...]
+
+    @property
+    def num_entries(self) -> int:
+        return sum(len(t) for t in self.tables)
+
+
 class OpenFlowSwitch:
     """An emulated multi-table OpenFlow switch."""
 
@@ -128,6 +144,34 @@ class OpenFlowSwitch:
         for t in self.tables:
             removed += t.clear() if cookie is None else t.remove(cookie=cookie)
         return removed
+
+    def count_entries(self, *, cookie: int | None = None) -> int:
+        """Installed entries carrying ``cookie`` (None = all entries)."""
+        if cookie is None:
+            return self.num_entries
+        return sum(
+            1 for t in self.tables for e in t if e.cookie == cookie
+        )
+
+    def snapshot(self) -> SwitchSnapshot:
+        """Capture the full rule state for transaction rollback."""
+        return SwitchSnapshot(
+            dpid=self.dpid,
+            tables=tuple(t.snapshot() for t in self.tables),
+            groups=tuple(sorted(self.groups.items())),
+        )
+
+    def restore(self, snap: SwitchSnapshot) -> int:
+        """Return the switch to a prior :meth:`snapshot`; returns the
+        number of entries now installed (the reinstall cost)."""
+        if snap.dpid != self.dpid:
+            raise SimulationError(
+                f"snapshot of {snap.dpid!r} cannot restore {self.dpid!r}"
+            )
+        for table, entries in zip(self.tables, snap.tables):
+            table.restore(entries)
+        self.groups = dict(snap.groups)
+        return snap.num_entries
 
     def _check_table(self, table_id: int) -> None:
         if not 0 <= table_id < len(self.tables):

@@ -1,0 +1,223 @@
+"""Failure-atomic control-plane transactions.
+
+The paper's reconfiguration story (§V, Fig. 2/13) is "push new flow
+tables"; on a live testbed that push must be *all-or-nothing*. A
+half-installed update — some switches on the new rules, others on the
+old, or worse, a switch whose old rules were deleted before the new
+ones arrived — corrupts the deployment: traffic blackholes, isolation
+metadata dangles, and on a lossless fabric an unvetted partial route
+set can even deadlock. Reconfigurable-DCN controllers treat
+failure-atomic updates as table stakes; SDT's controller gets the same
+guarantee here.
+
+:class:`ControlTransaction` stages :class:`FlowMod` /
+:class:`FlowDelete` batches per switch, runs every validation *before*
+touching hardware (flow-table capacity against the worst in-flight
+entry count, plus caller-registered checks such as CDG acyclicity and
+projection feasibility), then commits switch by switch with barrier
+semantics. Each switch's rule state is snapshotted just before its
+batch is applied; if any send or barrier fails, every already-touched
+switch is rolled back to its snapshot and a
+:class:`~repro.util.errors.TransactionError` carrying the
+:class:`RollbackReport` is raised. After a failed commit the network is
+byte-identical to its pre-transaction state.
+
+Validation of capacity walks the staged batch *in order*, so the same
+machinery prices both update disciplines:
+
+* **make-before-break** — stage the new rules first, then the delete of
+  the old cookie: both generations coexist transiently (the peak is
+  old + new entries), and since equal-priority lookups prefer the
+  earlier-installed entry, traffic keeps flowing on the old rules until
+  the delete lands.
+* **break-before-make** — stage the delete first: the peak never
+  exceeds max(old, new), fitting tight TCAMs at the cost of a transient
+  forwarding gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.openflow.channel import (
+    BarrierRequest,
+    ControlPlane,
+    FlowDelete,
+    FlowMod,
+)
+from repro.openflow.switch import SwitchSnapshot
+from repro.util.errors import CapacityError, TransactionError
+
+#: messages a transaction may stage
+StagedMessage = FlowMod | FlowDelete
+
+
+@dataclass(frozen=True)
+class RollbackReport:
+    """What a failed commit's rollback did."""
+
+    #: switches restored to their pre-transaction snapshot, in restore
+    #: order (reverse order of application)
+    switches_rolled_back: tuple[str, ...]
+    #: flow entries reinstalled across all rolled-back switches
+    entries_restored: int
+    #: modeled recovery time (switch restores proceed in parallel, so
+    #: this is the max per-switch restore time, not the sum)
+    modeled_time: float
+
+
+class ControlTransaction:
+    """One atomic batch of control-plane mutations over a cluster."""
+
+    def __init__(self, control: ControlPlane, *, label: str = "") -> None:
+        self.control = control
+        self.label = label
+        self._ops: dict[str, list[StagedMessage]] = {}
+        self._validators: list[Callable[[], None]] = []
+        self._committed = False
+
+    # --- staging ------------------------------------------------------
+    def stage(self, switch_name: str, *messages: StagedMessage) -> None:
+        """Queue messages for one switch, preserving staging order."""
+        self._check_open()
+        if switch_name not in self.control.channels:
+            raise TransactionError(
+                f"{self._tag}: no control channel to {switch_name!r}"
+            )
+        for msg in messages:
+            if not isinstance(msg, (FlowMod, FlowDelete)):
+                raise TransactionError(
+                    f"{self._tag}: cannot stage {type(msg).__name__} "
+                    "(only FlowMod/FlowDelete are transactional)"
+                )
+            self._ops.setdefault(switch_name, []).append(msg)
+
+    def stage_rules(self, mods: Mapping[str, Iterable[FlowMod]]) -> None:
+        """Queue a per-switch FlowMod batch (a RuleSet's ``mods``)."""
+        for name, batch in mods.items():
+            self.stage(name, *batch)
+
+    def stage_delete(self, switch_names: Iterable[str], cookie: int | None) -> None:
+        """Queue a cookie delete on each named switch."""
+        for name in switch_names:
+            self.stage(name, FlowDelete(cookie=cookie))
+
+    def add_validator(self, check: Callable[[], None]) -> None:
+        """Register an extra pre-commit check (raise to veto the
+        commit); runs after the built-in capacity validation."""
+        self._check_open()
+        self._validators.append(check)
+
+    @property
+    def touched_switches(self) -> tuple[str, ...]:
+        return tuple(n for n, msgs in self._ops.items() if msgs)
+
+    # --- validation ---------------------------------------------------
+    def peak_entry_counts(self) -> dict[str, int]:
+        """Worst-case installed-entry count per switch while the staged
+        batch applies, walking messages in staging order."""
+        peaks: dict[str, int] = {}
+        for name, msgs in self._ops.items():
+            switch = self.control.channel(name).switch
+            count = switch.num_entries
+            peak = count
+            staged_by_cookie: dict[int, int] = {}
+            for msg in msgs:
+                if isinstance(msg, FlowMod):
+                    count += 1
+                    staged_by_cookie[msg.cookie] = (
+                        staged_by_cookie.get(msg.cookie, 0) + 1
+                    )
+                else:  # FlowDelete
+                    if msg.cookie is None:
+                        count = 0
+                        staged_by_cookie.clear()
+                    else:
+                        count -= switch.count_entries(
+                            cookie=msg.cookie
+                        ) + staged_by_cookie.pop(msg.cookie, 0)
+                peak = max(peak, count)
+            peaks[name] = peak
+        return peaks
+
+    def validate(self) -> None:
+        """Run every check a commit would run, without committing."""
+        problems = []
+        for name, peak in sorted(self.peak_entry_counts().items()):
+            capacity = self.control.channel(name).switch.flow_table_capacity
+            if peak > capacity:
+                problems.append(
+                    f"{name}: batch peaks at {peak} entries, "
+                    f"capacity {capacity}"
+                )
+        if problems:
+            raise CapacityError(
+                f"{self._tag}: would overflow flow tables: "
+                + "; ".join(problems)
+            )
+        for check in self._validators:
+            check()
+
+    # --- commit / rollback --------------------------------------------
+    def commit(self) -> float:
+        """Validate, then apply every staged batch with a trailing
+        barrier per switch. Returns the modeled commit time (max over
+        touched channels — installs proceed in parallel). On any
+        failure, rolls every already-touched switch back to its
+        pre-transaction snapshot and raises :class:`TransactionError`
+        (validation failures raise before hardware is touched)."""
+        self._check_open()
+        self.validate()
+        touched = self.touched_switches
+        before = {
+            n: self.control.channel(n).stats.modeled_time for n in touched
+        }
+        snapshots: dict[str, SwitchSnapshot] = {}
+        current = None
+        try:
+            for name in touched:
+                current = name
+                channel = self.control.channel(name)
+                snapshots[name] = channel.snapshot_rules()
+                for msg in self._ops[name]:
+                    channel.send(msg)
+                channel.send(BarrierRequest())
+        except Exception as exc:
+            report = self._rollback(snapshots)
+            raise TransactionError(
+                f"{self._tag}: commit failed at {current}: {exc}; rolled "
+                f"back {len(report.switches_rolled_back)} switch(es)",
+                rollback=report,
+            ) from exc
+        self._committed = True
+        if not touched:
+            return 0.0
+        return max(
+            self.control.channel(n).stats.modeled_time - before[n]
+            for n in touched
+        )
+
+    def _rollback(self, snapshots: dict[str, SwitchSnapshot]) -> RollbackReport:
+        restored_entries = 0
+        elapsed = 0.0
+        names = []
+        for name, snap in reversed(list(snapshots.items())):
+            channel = self.control.channel(name)
+            elapsed = max(elapsed, channel.restore_rules(snap))
+            restored_entries += snap.num_entries
+            names.append(name)
+        return RollbackReport(
+            switches_rolled_back=tuple(names),
+            entries_restored=restored_entries,
+            modeled_time=elapsed,
+        )
+
+    # --- plumbing -----------------------------------------------------
+    @property
+    def _tag(self) -> str:
+        return f"transaction {self.label!r}" if self.label else "transaction"
+
+    def _check_open(self) -> None:
+        if self._committed:
+            raise TransactionError(f"{self._tag} already committed")

@@ -47,3 +47,23 @@ class DeadlockError(ReproError):
 
 class SimulationError(ReproError):
     """The event-driven simulator reached an inconsistent state."""
+
+
+class ChannelError(ReproError):
+    """A control channel failed to deliver a message to its switch."""
+
+
+class TransactionError(ReproError):
+    """A control-plane transaction failed to commit.
+
+    The staged changes were rolled back; ``rollback`` describes the
+    restore (which switches were reverted and at what modeled cost) so
+    callers can account for the recovery in their timing models. The
+    original failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, rollback=None) -> None:
+        super().__init__(message)
+        #: a :class:`repro.openflow.transaction.RollbackReport` (or None
+        #: when the transaction failed before touching any switch)
+        self.rollback = rollback

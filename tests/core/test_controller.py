@@ -19,6 +19,30 @@ def test_check_clean_config(controller):
     assert controller.check(FT4) == []
 
 
+def test_check_projects_exactly_once(controller, monkeypatch):
+    """Regression: check() used to partition twice and project the same
+    topology a second time inside the flow-capacity estimate."""
+    import repro.core.projection.linkproj as lp
+
+    calls = {"project": 0, "partition": 0}
+    orig_project = lp.LinkProjection.project
+    orig_partition = lp.partition_topology
+
+    def counting_project(self, *args, **kwargs):
+        calls["project"] += 1
+        return orig_project(self, *args, **kwargs)
+
+    def counting_partition(*args, **kwargs):
+        calls["partition"] += 1
+        return orig_partition(*args, **kwargs)
+
+    monkeypatch.setattr(lp.LinkProjection, "project", counting_project)
+    monkeypatch.setattr(lp, "partition_topology", counting_partition)
+
+    assert controller.check(FT4) == []
+    assert calls == {"project": 1, "partition": 1}
+
+
 def test_check_reports_oversized_topology(controller):
     problems = controller.check(TopologyConfig("torus3d", {"x": 4, "y": 4, "z": 4}))
     assert problems  # 4^3 torus cannot fit the small 2-switch rig

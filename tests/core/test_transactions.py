@@ -1,0 +1,271 @@
+"""Crash consistency of the control plane (§V).
+
+A control-channel failure injected at any point during deploy /
+update_routes / reconfigure must leave every switch's flow tables
+byte-identical to the pre-transaction snapshot, and the controller's
+bookkeeping (deployments, cookies, failed_links) unchanged.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import (
+    SDTController,
+    TopologyConfig,
+    build_cluster_for,
+    synthesize_rules,
+)
+from repro.core.controller.controller import (
+    BREAK_BEFORE_MAKE,
+    MAKE_BEFORE_BREAK,
+)
+from repro.hardware import H3C_S6861, PhysicalCluster
+from repro.routing import routes_for
+from repro.routing.table import Hop, RouteTable
+from repro.topology import chain, torus2d
+from repro.util.errors import DeadlockError, TransactionError
+
+FT4 = TopologyConfig("fat-tree", {"k": 4})
+TORUS44 = TopologyConfig("torus2d", {"x": 4, "y": 4})
+
+
+def rule_state(cluster):
+    """Per-switch rule snapshots (flow tables + groups)."""
+    return {name: sw.snapshot() for name, sw in cluster.switches.items()}
+
+
+def total_entries(cluster):
+    return sum(sw.num_entries for sw in cluster.switches.values())
+
+
+@pytest.fixture()
+def torus_deployment(controller):
+    return controller, controller.deploy(torus2d(4, 4))
+
+
+def cyclic_torus_table(topo, x=4, y=4):
+    """A deliberately deadlockable single-VC table on a 2D torus: every
+    route walks +x (wrapping) to the destination column, then +y
+    (wrapping) to the destination row — each ring is a CDG cycle."""
+
+    def coords(sw):
+        a, b = sw[1:].split("-")
+        return int(a), int(b)
+
+    table = RouteTable(topo, num_vcs=1)
+    for dst in topo.hosts:
+        dst_sw = topo.host_switch(dst)
+        ad, bd = coords(dst_sw)
+        for sw in topo.switches:
+            a, b = coords(sw)
+            if (a, b) == (ad, bd):
+                link = topo.link_between(sw, dst)
+            elif a != ad:
+                link = topo.link_between(sw, f"s{(a + 1) % x}-{b}")
+            else:
+                link = topo.link_between(sw, f"s{a}-{(b + 1) % y}")
+            table.set_hop(sw, dst, Hop(link.port_on(sw), 0))
+    return table
+
+
+# --- mid-deploy failure --------------------------------------------------
+
+
+def test_mid_deploy_failure_leaves_tables_clean(controller):
+    cluster = controller.cluster
+    before = rule_state(cluster)
+    name = cluster.switch_names[1]
+    cluster.control.channel(name).fail_after(3)
+
+    with pytest.raises(TransactionError):
+        controller.deploy(FT4)
+
+    assert rule_state(cluster) == before
+    assert total_entries(cluster) == 0
+    assert controller.deployments == []
+    # the aborted deploy consumed no cookie: retrying reuses it cleanly
+    dep = controller.deploy(FT4)
+    assert dep.cookie == 1
+    assert total_entries(cluster) == dep.rules.count()
+
+
+# --- mid-update_routes failure -------------------------------------------
+
+
+def test_mid_update_routes_failure_restores_everything(torus_deployment):
+    controller, dep = torus_deployment
+    cluster = controller.cluster
+    before = rule_state(cluster)
+    old_cookie, old_routes, old_rules = dep.cookie, dep.routes, dep.rules
+
+    cluster.control.channel(cluster.switch_names[1]).fail_after(5)
+    with pytest.raises(TransactionError) as exc:
+        controller.update_routes(dep, routes_for(dep.topology))
+
+    assert rule_state(cluster) == before
+    assert dep.cookie == old_cookie
+    assert dep.routes is old_routes
+    assert dep.rules is old_rules
+    assert exc.value.rollback is not None
+    assert exc.value.rollback.modeled_time > 0
+
+    # the channel reconnected: the same update now commits
+    controller.update_routes(dep, routes_for(dep.topology))
+    assert dep.cookie != old_cookie
+    assert total_entries(cluster) == dep.rules.count()
+
+
+def test_failure_on_every_message_index_is_atomic(controller):
+    """Sweep the injection point across the whole commit — the rules
+    must be restored no matter where the channel dies."""
+    dep = controller.deploy(torus2d(4, 4))
+    cluster = controller.cluster
+    before = rule_state(cluster)
+    name = cluster.switch_names[0]
+    messages = dep.rules.count(name) + 2  # adds + delete + barrier
+
+    for point in range(1, messages + 1, max(1, messages // 7)):
+        cluster.control.channel(name).fail_after(point)
+        with pytest.raises(TransactionError):
+            controller.update_routes(dep, routes_for(dep.topology))
+        assert rule_state(cluster) == before, f"injection point {point}"
+
+
+# --- mid-reconfigure failure ---------------------------------------------
+
+
+def test_mid_reconfigure_failure_keeps_old_deployment(controller):
+    dep = controller.deploy(FT4)
+    cluster = controller.cluster
+    before = rule_state(cluster)
+    old_cookie = dep.cookie
+
+    cluster.control.channel(cluster.switch_names[0]).fail_after(7)
+    with pytest.raises(TransactionError):
+        controller.reconfigure(TORUS44)
+
+    assert rule_state(cluster) == before
+    assert controller.deployments == [dep]
+    assert dep.cookie == old_cookie
+
+    # recovery: the swap goes through once the channel behaves
+    dep2, reconfig_time = controller.reconfigure(TORUS44)
+    assert controller.deployments == [dep2]
+    assert reconfig_time > 0
+    assert total_entries(cluster) == dep2.rules.count()
+
+
+# --- failure handling ----------------------------------------------------
+
+
+def test_fail_link_failure_restores_failed_links(torus_deployment):
+    controller, dep = torus_deployment
+    cluster = controller.cluster
+    l1 = dep.topology.link_between("s0-0", "s1-0").index
+    controller.fail_link(dep, l1)
+    assert dep.failed_links == {l1}
+    before = rule_state(cluster)
+
+    l2 = dep.topology.link_between("s0-0", "s0-1").index
+    cluster.control.channel(cluster.switch_names[0]).fail_after(4)
+    with pytest.raises(TransactionError):
+        controller.fail_link(dep, l2)
+
+    assert dep.failed_links == {l1}  # the rejected repair left no trace
+    assert rule_state(cluster) == before
+
+    controller.fail_link(dep, l2)
+    assert dep.failed_links == {l1, l2}
+
+
+def test_restore_links_failure_keeps_failure_set(torus_deployment):
+    controller, dep = torus_deployment
+    cluster = controller.cluster
+    l1 = dep.topology.link_between("s0-0", "s1-0").index
+    controller.fail_link(dep, l1)
+    repair_routes = dep.routes
+
+    cluster.control.channel(cluster.switch_names[0]).fail_after(4)
+    with pytest.raises(TransactionError):
+        controller.restore_links(dep)
+
+    assert dep.failed_links == {l1}
+    assert dep.routes is repair_routes
+
+
+def test_deadlockable_repair_refused_on_lossless_torus(torus_deployment):
+    """§V-3: the Deadlock Avoidance module vets route *updates*, not
+    just the initial deployment — and a refusal changes nothing."""
+    controller, dep = torus_deployment
+    cluster = controller.cluster
+    assert dep.lossless
+    before = rule_state(cluster)
+    old_routes, old_cookie = dep.routes, dep.cookie
+
+    with pytest.raises(DeadlockError):
+        controller.update_routes(dep, cyclic_torus_table(dep.topology))
+
+    assert rule_state(cluster) == before  # old routes stay installed
+    assert dep.routes is old_routes
+    assert dep.cookie == old_cookie
+
+
+def test_lossy_deployment_skips_deadlock_vetting(controller):
+    lossy = replace(TORUS44, lossless=False)
+    dep = controller.deploy(lossy)
+    assert not dep.lossless
+    controller.update_routes(dep, cyclic_torus_table(dep.topology))
+    assert total_entries(controller.cluster) == dep.rules.count()
+
+
+# --- make-before-break vs break-before-make ------------------------------
+
+
+def test_update_routes_prefers_make_before_break(torus_deployment):
+    controller, dep = torus_deployment
+    controller.update_routes(dep, routes_for(dep.topology))
+    assert controller.last_commit_strategy == MAKE_BEFORE_BREAK
+    assert total_entries(controller.cluster) == dep.rules.count()
+
+
+def test_update_routes_falls_back_to_break_before_make():
+    """When the TCAM cannot hold both route generations, the swap
+    deletes first — and still commits."""
+    topo = torus2d(4, 4)
+    probe = SDTController(build_cluster_for([topo], 2, H3C_S6861))
+    dep = probe.deploy(topo)
+    new_rules = synthesize_rules(dep.projection, routes_for(topo), cookie=99)
+    cap = max(
+        max(sw.num_entries, new_rules.count(name))
+        for name, sw in probe.cluster.switches.items()
+    )
+
+    tight = replace(H3C_S6861, flow_table_capacity=cap)
+    controller = SDTController(build_cluster_for([topo], 2, tight))
+    dep = controller.deploy(topo)
+    controller.update_routes(dep, routes_for(topo))
+    assert controller.last_commit_strategy == BREAK_BEFORE_MAKE
+    assert total_entries(controller.cluster) == dep.rules.count()
+
+
+def test_reconfigure_make_before_break_when_wiring_allows():
+    """A cluster roomy enough for both generations swaps topologies
+    with no forwarding gap."""
+    cluster = PhysicalCluster.build(1, H3C_S6861, hosts_per_switch=8)
+    controller = SDTController(cluster)
+    controller.deploy(chain(3))
+    dep2, _time = controller.reconfigure(chain(3))
+    assert controller.last_commit_strategy == MAKE_BEFORE_BREAK
+    assert controller.deployments == [dep2]
+    assert total_entries(cluster) == dep2.rules.count()
+
+
+def test_reconfigure_break_before_make_on_tight_wiring(controller):
+    """The shared 2-switch rig cannot host Fat-Tree and Torus at once:
+    the swap tears down first, but remains atomic."""
+    controller.deploy(FT4)
+    dep2, _time = controller.reconfigure(TORUS44)
+    assert controller.last_commit_strategy == BREAK_BEFORE_MAKE
+    assert controller.deployments == [dep2]
+    assert total_entries(controller.cluster) == dep2.rules.count()

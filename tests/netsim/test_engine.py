@@ -78,6 +78,32 @@ def test_event_budget_guards_livelock():
         sim.run(max_events=1000)
 
 
+def test_event_budget_aborts_after_exactly_n_events():
+    """max_events=N runs exactly N events — not N+1 (regression for the
+    post-decrement off-by-one)."""
+    sim = Simulator()
+    processed = []
+
+    def loop():
+        processed.append(sim.now)
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError, match="budget"):
+        sim.run(max_events=10)
+    assert len(processed) == 10
+    assert sim.events_processed == 10
+
+
+def test_event_budget_exactly_spent_is_not_an_error():
+    """Draining the queue with the budget exactly exhausted succeeds."""
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(0.1, lambda: None)
+    sim.run(max_events=5)
+    assert sim.events_processed == 5
+
+
 def test_events_processed_counter():
     sim = Simulator()
     for _ in range(7):
