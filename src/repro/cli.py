@@ -2,12 +2,18 @@
 
 Commands mirror what an SDT operator does with the real controller:
 
-* ``check``   — validate a topology config against an auto-sized rig
-* ``deploy``  — project + install, report rules and deployment time
-* ``run``     — deploy and execute a workload, report the ACT
-* ``tables``  — regenerate the paper's Table I / II / III as text
-* ``zoo``     — the synthetic Internet Topology Zoo summary
-* ``list``    — available topology kinds and workloads
+* ``check``     — validate a topology config against an auto-sized rig
+* ``deploy``    — project + install, report rules and deployment time
+* ``run``       — deploy and execute a workload, report the ACT
+* ``telemetry`` — scripted deploy/reconfigure/repair run with a full
+  metrics summary (add ``--trace-out`` for the JSONL journal)
+* ``tables``    — regenerate the paper's Table I / II / III as text
+* ``zoo``       — the synthetic Internet Topology Zoo summary
+* ``list``      — available topology kinds and workloads
+
+``check``/``deploy``/``run``/``telemetry`` all accept ``--trace-out
+PATH``: a tracer is installed for the command and the span/event
+journal is written to ``PATH`` as JSONL (schema: DESIGN.md §5).
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from repro.costmodel import render_table2
 from repro.hardware import EVAL_256x10G, H3C_S6861, SwitchSpec
 from repro.mpi import MpiJob
 from repro.netsim import build_sdt_network
+from repro.telemetry import Tracer, install_tracer, registry, uninstall_tracer
 from repro.testbed import select_nodes
 from repro.topology import zoo_catalog, zoo_link_histogram
 from repro.util import format_table, time_str
@@ -107,6 +114,52 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    """Deploy → traffic → reconfigure → fail/restore, instrumented."""
+    from repro.netsim import RoceTransport
+
+    registry().reset()
+    config = _load_config(args.config)
+    controller = _make_controller(config, args)
+    deployment = controller.deploy(config)
+    controller.monitor.poll(0.0, deployment.projection)
+
+    hosts = deployment.topology.hosts
+    if len(hosts) >= 2:
+        net = build_sdt_network(controller.cluster, deployment)
+        src = deployment.projection.host_map[hosts[0]]
+        dst = deployment.projection.host_map[hosts[-1]]
+        tx = RoceTransport(net, src)
+        RoceTransport(net, dst)
+        tx.send(dst, args.bytes)
+        end = net.sim.run()
+        controller.monitor.poll(max(end, 1e-9), deployment.projection)
+
+    deployment, reconf_time = controller.reconfigure(config)
+    repair_time = None
+    if deployment.topology.switch_links:
+        link = deployment.topology.switch_links[0]
+        try:
+            repair_time = controller.fail_link(deployment, link.index)
+            controller.restore_links(deployment)
+        except ReproError as exc:
+            print(f"link repair refused: {exc}")
+
+    print(f"telemetry run on {deployment.name}")
+    print(f"  deploy time  : {time_str(deployment.deployment_time)}")
+    print(f"  reconfigure  : {time_str(reconf_time)}")
+    if repair_time is not None:
+        print(f"  link repair  : {time_str(repair_time)}")
+    hot = controller.monitor.hottest_ports(5)
+    if hot:
+        print("  hottest ports:")
+        for sw, port, util in hot:
+            print(f"    {sw}:{port:<4d} {util:6.1%}")
+    print()
+    print(registry().summary_table())
+    return 0
+
+
 def cmd_tables(args) -> int:
     which = args.table
     if which in ("1", "all"):
@@ -159,6 +212,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--spec", choices=sorted(_SPECS), default="eval256",
                        help="switch model (default eval256)")
         p.add_argument("--spare-hosts", type=int, default=0)
+        p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write the run's telemetry trace (JSONL)")
 
     p = sub.add_parser("check", help="validate a topology config")
     p.add_argument("config")
@@ -181,6 +236,16 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(fn=cmd_run)
 
+    p = sub.add_parser(
+        "telemetry",
+        help="instrumented deploy/reconfigure/repair run + metrics summary",
+    )
+    p.add_argument("config")
+    p.add_argument("--bytes", type=int, default=1024 * 1024,
+                   help="traffic volume for the monitored transfer")
+    common(p)
+    p.set_defaults(fn=cmd_telemetry)
+
     p = sub.add_parser("tables", help="regenerate paper tables")
     p.add_argument("table", choices=["1", "2", "3", "all"], default="all",
                    nargs="?")
@@ -197,6 +262,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    tracer = install_tracer(Tracer()) if trace_out else None
     try:
         return args.fn(args)
     except ReproError as exc:
@@ -207,6 +274,12 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     except BrokenPipeError:  # output piped into head etc.
         return 0
+    finally:
+        if tracer is not None:
+            uninstall_tracer()
+            records = tracer.dump(trace_out)
+            print(f"trace written: {trace_out} ({records} records)",
+                  file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

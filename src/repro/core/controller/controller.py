@@ -53,6 +53,7 @@ from repro.routing.strategies import (
     torus_dateline_routes,
 )
 from repro.routing.table import RouteTable
+from repro.telemetry import metrics, trace
 from repro.topology.graph import Topology
 from repro.util.errors import (
     CapacityError,
@@ -133,6 +134,15 @@ class SDTController:
     def __post_init__(self) -> None:
         self.monitor = NetworkMonitor(
             self.cluster.control, port_rate=self.cluster.spec.port_rate
+        )
+
+    def _record_mutation(self, op: str, modeled_time: float) -> None:
+        """Publish one mutation's outcome into the metrics registry.
+        Mutations are control-plane-rare, so these are always on."""
+        reg = metrics.registry()
+        reg.counter("sdt_controller_mutations_total").inc(1, op=op)
+        reg.histogram("sdt_controller_mutation_seconds").observe(
+            modeled_time, op=op
         )
 
     # --- resource bookkeeping ------------------------------------------
@@ -334,17 +344,26 @@ class SDTController:
         rolls every switch back to its prior rule set (and releases any
         flex circuits minted for the deployment) before re-raising.
         """
-        prep = self._prepare(config, routes=routes, active_hosts=active_hosts)
-        txn = ControlTransaction(
-            self.cluster.control, label=f"deploy {prep.topology.name}"
-        )
-        txn.stage_rules(prep.rules.mods)
-        try:
-            install_time = txn.commit()
-        except Exception:
-            self._release_optics(prep.hybrid_plan)
-            raise
-        return self._register(prep, prep.optical_time + install_time)
+        with trace.span("controller.deploy") as sp:
+            prep = self._prepare(
+                config, routes=routes, active_hosts=active_hosts
+            )
+            sp.set("topology", prep.topology.name)
+            sp.set("cookie", prep.cookie)
+            sp.set("rules", prep.rules.count())
+            txn = ControlTransaction(
+                self.cluster.control, label=f"deploy {prep.topology.name}"
+            )
+            txn.stage_rules(prep.rules.mods)
+            try:
+                install_time = txn.commit()
+            except Exception:
+                self._release_optics(prep.hybrid_plan)
+                raise
+            deployment = self._register(prep, prep.optical_time + install_time)
+            sp.set("modeled_time", deployment.deployment_time)
+            self._record_mutation("deploy", deployment.deployment_time)
+            return deployment
 
     def undeploy(self, deployment: Deployment) -> float:
         """Remove a deployment's rules; returns modeled removal time.
@@ -354,13 +373,19 @@ class SDTController:
         """
         if deployment not in self.deployments:
             raise ConfigurationError(f"{deployment.name!r} is not deployed")
-        txn = ControlTransaction(
-            self.cluster.control, label=f"undeploy {deployment.name}"
-        )
-        txn.stage_delete(deployment.rules.mods, deployment.cookie)
-        removal_time = txn.commit()
-        self.deployments.remove(deployment)
-        return self._release_optics(deployment.hybrid_plan) + removal_time
+        with trace.span(
+            "controller.undeploy", topology=deployment.name
+        ) as sp:
+            txn = ControlTransaction(
+                self.cluster.control, label=f"undeploy {deployment.name}"
+            )
+            txn.stage_delete(deployment.rules.mods, deployment.cookie)
+            removal_time = txn.commit()
+            self.deployments.remove(deployment)
+            total = self._release_optics(deployment.hybrid_plan) + removal_time
+            sp.set("modeled_time", total)
+            self._record_mutation("undeploy", total)
+            return total
 
     def reconfigure(
         self,
@@ -380,6 +405,22 @@ class SDTController:
         mid-flight failure rolls every switch back to the previous
         deployment's rules and leaves ``deployments`` untouched.
         """
+        with trace.span("controller.reconfigure") as sp:
+            deployment, elapsed = self._reconfigure(
+                config, active_hosts=active_hosts, span=sp
+            )
+            sp.set("topology", deployment.name)
+            sp.set("modeled_time", elapsed)
+            self._record_mutation("reconfigure", elapsed)
+            return deployment, elapsed
+
+    def _reconfigure(
+        self,
+        config: TopologyConfig | Topology,
+        *,
+        active_hosts: list[str] | None,
+        span,
+    ) -> tuple[Deployment, float]:
         olds = list(self.deployments)
         if not olds:
             deployment = self.deploy(config, active_hosts=active_hosts)
@@ -434,6 +475,11 @@ class SDTController:
             self._restore_ocs(ocs_before)
             raise
         self.last_commit_strategy = strategy
+        span.set("strategy", strategy)
+        span.set("rules", prep.rules.count())
+        metrics.registry().counter(
+            "sdt_controller_commit_strategy_total"
+        ).inc(1, strategy=strategy)
 
         for old in olds:
             self.deployments.remove(old)
@@ -458,20 +504,31 @@ class SDTController:
         """
         if deployment not in self.deployments:
             raise ConfigurationError(f"{deployment.name!r} is not deployed")
-        if deployment.lossless:
-            # Deadlock Avoidance vets every route install, not just the
-            # initial deployment (§V-3)
-            assert_deadlock_free(routes)
-        cookie = self._next_cookie
-        rules = synthesize_rules(deployment.projection, routes, cookie=cookie)
-        txn, strategy = self._stage_route_swap(rules, deployment)
-        elapsed = txn.commit()
-        self.last_commit_strategy = strategy
-        self._next_cookie += 1
-        deployment.routes = routes
-        deployment.rules = rules
-        deployment.cookie = cookie
-        return elapsed
+        with trace.span(
+            "controller.update_routes", topology=deployment.name
+        ) as sp:
+            if deployment.lossless:
+                # Deadlock Avoidance vets every route install, not just
+                # the initial deployment (§V-3)
+                assert_deadlock_free(routes)
+            cookie = self._next_cookie
+            rules = synthesize_rules(
+                deployment.projection, routes, cookie=cookie
+            )
+            txn, strategy = self._stage_route_swap(rules, deployment)
+            elapsed = txn.commit()
+            self.last_commit_strategy = strategy
+            self._next_cookie += 1
+            deployment.routes = routes
+            deployment.rules = rules
+            deployment.cookie = cookie
+            sp.set("strategy", strategy)
+            sp.set("modeled_time", elapsed)
+            metrics.registry().counter(
+                "sdt_controller_commit_strategy_total"
+            ).inc(1, strategy=strategy)
+            self._record_mutation("update_routes", elapsed)
+            return elapsed
 
     def _stage_route_swap(
         self, rules: RuleSet, deployment: Deployment
@@ -510,24 +567,36 @@ class SDTController:
         keeps its prior value. Returns the modeled repair time — the
         figure of merit for fault-tolerance experiments on SDT.
         """
-        failed = set(deployment.failed_links) | {link_index}
-        routes = reroute_avoiding(deployment.topology, failed)
-        elapsed = self.update_routes(deployment, routes)
-        deployment.failed_links = failed
-        return elapsed
+        with trace.span(
+            "controller.fail_link",
+            topology=deployment.name,
+            link=link_index,
+        ) as sp:
+            failed = set(deployment.failed_links) | {link_index}
+            routes = reroute_avoiding(deployment.topology, failed)
+            elapsed = self.update_routes(deployment, routes)
+            deployment.failed_links = failed
+            sp.set("modeled_time", elapsed)
+            self._record_mutation("fail_link", elapsed)
+            return elapsed
 
     def restore_links(self, deployment: Deployment) -> float:
         """Clear all failures and reinstall the original strategy.
 
         ``failed_links`` is cleared only once the reinstall commits.
         """
-        strategy = (
-            deployment.config.routing if deployment.config else "auto"
-        )
-        routes = self._routes_for(deployment.topology, strategy)
-        elapsed = self.update_routes(deployment, routes)
-        deployment.failed_links = set()
-        return elapsed
+        with trace.span(
+            "controller.restore_links", topology=deployment.name
+        ) as sp:
+            strategy = (
+                deployment.config.routing if deployment.config else "auto"
+            )
+            routes = self._routes_for(deployment.topology, strategy)
+            elapsed = self.update_routes(deployment, routes)
+            deployment.failed_links = set()
+            sp.set("modeled_time", elapsed)
+            self._record_mutation("restore_links", elapsed)
+            return elapsed
 
     # --- active routing support (§VI-E) -----------------------------------
     def install_flow_override(
@@ -542,17 +611,26 @@ class SDTController:
     ) -> None:
         """Steer one (src, dst) flow at one logical switch — the
         controller-side half of active routing."""
-        phys, mod = flow_override(
-            deployment.projection,
-            logical_switch,
+        with trace.span(
+            "controller.flow_override",
+            topology=deployment.name,
+            switch=logical_switch,
             src=src,
             dst=dst,
-            out_port_index=out_port_index,
-            vc=vc,
-            cookie=deployment.cookie,
-        )
-        txn = ControlTransaction(
-            self.cluster.control, label=f"flow-override {deployment.name}"
-        )
-        txn.stage(phys, mod)
-        txn.commit()
+        ) as sp:
+            phys, mod = flow_override(
+                deployment.projection,
+                logical_switch,
+                src=src,
+                dst=dst,
+                out_port_index=out_port_index,
+                vc=vc,
+                cookie=deployment.cookie,
+            )
+            txn = ControlTransaction(
+                self.cluster.control, label=f"flow-override {deployment.name}"
+            )
+            txn.stage(phys, mod)
+            elapsed = txn.commit()
+            sp.set("modeled_time", elapsed)
+            self._record_mutation("flow_override", elapsed)

@@ -1,19 +1,39 @@
 """Network Monitor (§V-3): periodic port-statistics collection.
 
 The monitor polls every switch's port counters over the control
-channel, keeps the last two samples, and derives per-port load — the
-signal the adaptive ("active") routing of §VI-E steers by. Samples are
-timestamped with *simulation* time supplied by the caller, so the same
-module serves both live testbed runs and netsim-driven experiments.
+channel, keeps the last two samples per port, and derives per-port
+load — the signal the adaptive ("active") routing of §VI-E steers by.
+Samples are timestamped with *simulation* time supplied by the caller,
+so the same module serves both live testbed runs and netsim-driven
+experiments.
+
+Beyond the raw two-sample window the monitor keeps a ring-buffered
+utilization history per port (for telemetry displays and offline
+analysis) and publishes every poll's results into the process-wide
+metrics registry (``sdt_monitor_*`` series — see DESIGN.md §5):
+per-port utilization gauges, a poll counter, and — when the caller
+passes the projection — per-logical-switch load gauges.
+
+Warm-up vs idle: a port seen in only one poll has no interval to
+estimate over, so :meth:`port_utilization` reports 0.0; callers that
+must distinguish "still warming up" from "genuinely idle" check
+:meth:`sample_count` (< 2 means warm-up). Counter resets (switch
+reboot, wrap) make the byte delta negative; the interval is treated as
+unknown and reports 0.0 rather than a bogus huge value.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.core.projection.base import ProjectionResult
 from repro.openflow.channel import ControlPlane, PortStatsRequest
+from repro.telemetry import metrics
 from repro.topology.graph import Port
+
+#: ring-buffer depth of per-port utilization history
+DEFAULT_HISTORY = 128
 
 
 @dataclass(frozen=True)
@@ -28,33 +48,89 @@ class PortSample:
 class NetworkMonitor:
     """Collects port stats and estimates logical link loads."""
 
-    def __init__(self, control: ControlPlane, *, port_rate: float) -> None:
+    def __init__(
+        self,
+        control: ControlPlane,
+        *,
+        port_rate: float,
+        history_depth: int = DEFAULT_HISTORY,
+    ) -> None:
         self.control = control
         self.port_rate = port_rate
-        # (switch, port) -> (previous, latest)
-        self._samples: dict[tuple[str, int], tuple[PortSample, PortSample]] = {}
+        self.history_depth = history_depth
+        #: completed polls (all switches sampled once per poll)
+        self.polls = 0
+        # (switch, port) -> up to the last two samples
+        self._samples: dict[tuple[str, int], deque[PortSample]] = {}
+        # (switch, port) -> total samples ever taken (warm-up detection)
+        self._counts: dict[tuple[str, int], int] = {}
+        # (switch, port) -> ring buffer of (time, utilization)
+        self._history: dict[tuple[str, int], deque[tuple[float, float]]] = {}
 
-    def poll(self, now: float) -> None:
-        """Take one snapshot of every switch's port counters."""
+    def poll(
+        self, now: float, projection: ProjectionResult | None = None
+    ) -> None:
+        """Take one snapshot of every switch's port counters.
+
+        Publishes per-port utilization gauges into the metrics
+        registry; with ``projection`` given, also publishes each
+        logical switch's mean load (the paper's "load of each logical
+        switch").
+        """
+        reg = metrics.registry()
+        util_gauge = reg.gauge("sdt_monitor_port_utilization")
         for name, channel in self.control.channels.items():
             stats = channel.send(PortStatsRequest())
             for port, s in stats.items():
-                sample = PortSample(now, s.tx_bytes, s.rx_bytes)
-                prev_pair = self._samples.get((name, port))
-                prev = prev_pair[1] if prev_pair else sample
-                self._samples[(name, port)] = (prev, sample)
+                key = (name, port)
+                window = self._samples.get(key)
+                if window is None:
+                    window = self._samples[key] = deque(maxlen=2)
+                window.append(PortSample(now, s.tx_bytes, s.rx_bytes))
+                self._counts[key] = self._counts.get(key, 0) + 1
+                util = self.port_utilization(name, port)
+                history = self._history.get(key)
+                if history is None:
+                    history = self._history[key] = deque(
+                        maxlen=self.history_depth
+                    )
+                history.append((now, util))
+                util_gauge.set(util, switch=name, port=port)
+        self.polls += 1
+        reg.counter("sdt_monitor_polls_total").inc()
+        if projection is not None:
+            self.publish_switch_loads(projection)
+
+    def publish_switch_loads(self, projection: ProjectionResult) -> None:
+        """Publish each logical switch's mean load as a gauge."""
+        gauge = metrics.registry().gauge("sdt_monitor_switch_load")
+        for sw in projection.topology.switches:
+            gauge.set(self.switch_load(projection, sw), switch=sw)
+
+    # --- sample bookkeeping ------------------------------------------------
+    def sample_count(self, switch: str, port: int) -> int:
+        """Polls that have seen this port; < 2 means the utilization
+        window is still warming up (0.0 means "unknown", not "idle")."""
+        return self._counts.get((switch, port), 0)
+
+    def history(self, switch: str, port: int) -> list[tuple[float, float]]:
+        """Ring-buffered (time, utilization) pairs, oldest first."""
+        return list(self._history.get((switch, port), ()))
 
     # --- load queries ------------------------------------------------------
     def port_utilization(self, switch: str, port: int) -> float:
         """TX utilization in [0, 1] over the last poll interval."""
-        pair = self._samples.get((switch, port))
-        if pair is None:
-            return 0.0
-        prev, latest = pair
+        window = self._samples.get((switch, port))
+        if window is None or len(window) < 2:
+            return 0.0  # warm-up: no interval yet
+        prev, latest = window
         dt = latest.time - prev.time
         if dt <= 0:
             return 0.0
-        return min(1.0, (latest.tx_bytes - prev.tx_bytes) / dt / self.port_rate)
+        delta = latest.tx_bytes - prev.tx_bytes
+        if delta < 0:
+            return 0.0  # counter reset/wraparound: interval unknown
+        return min(1.0, delta / dt / self.port_rate)
 
     def logical_port_load(
         self, projection: ProjectionResult, logical_port: Port
@@ -72,10 +148,11 @@ class NetworkMonitor:
         return sum(self.logical_port_load(projection, p) for p in ports) / len(ports)
 
     def hottest_ports(self, n: int = 10) -> list[tuple[str, int, float]]:
-        """Top-n (switch, port, utilization), for telemetry displays."""
+        """Top-n (switch, port, utilization), for telemetry displays.
+        Deterministic: ties break by (switch, port)."""
         rows = [
             (sw, port, self.port_utilization(sw, port))
             for (sw, port) in self._samples
         ]
-        rows.sort(key=lambda r: -r[2])
+        rows.sort(key=lambda r: (-r[2], r[0], r[1]))
         return rows[:n]

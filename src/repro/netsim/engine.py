@@ -15,7 +15,12 @@ from __future__ import annotations
 import heapq
 from typing import Callable
 
+from repro.telemetry import metrics, trace
 from repro.util.errors import SimulationError
+
+#: power-of-two-ish buckets for the event-queue depth histogram
+_DEPTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                  1024.0, 4096.0, 16384.0)
 
 
 class Simulator:
@@ -24,7 +29,9 @@ class Simulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self.events_processed: int = 0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        # (fire time, seq, callback, schedule time) — schedule time
+        # feeds the queue-residency histogram when telemetry is on
+        self._heap: list[tuple[float, int, Callable[[], None], float]] = []
         self._seq = 0
         self._running = False
 
@@ -33,7 +40,9 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        heapq.heappush(
+            self._heap, (self.now + delay, self._seq, callback, self.now)
+        )
 
     def at(self, time: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at absolute simulated time ``time``."""
@@ -55,10 +64,21 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() re-entered")
         self._running = True
+        # telemetry is sampled once per run(): the per-event cost while
+        # untraced is a single None check
+        depth_hist = residency_hist = None
+        if trace.enabled():
+            reg = metrics.registry()
+            depth_hist = reg.histogram(
+                "sdt_netsim_event_depth", buckets=_DEPTH_BUCKETS
+            )
+            residency_hist = reg.histogram(
+                "sdt_netsim_queue_residency_seconds"
+            )
         try:
             budget = max_events if max_events is not None else float("inf")
             while self._heap:
-                time, _seq, callback = self._heap[0]
+                time, _seq, callback, sched_at = self._heap[0]
                 if until is not None and time > until:
                     self.now = until
                     break
@@ -69,6 +89,9 @@ class Simulator:
                     )
                 heapq.heappop(self._heap)
                 self.now = time
+                if depth_hist is not None:
+                    depth_hist.observe(len(self._heap) + 1)
+                    residency_hist.observe(time - sched_at)
                 callback()
                 self.events_processed += 1
                 budget -= 1

@@ -18,8 +18,23 @@ from typing import Callable
 
 from repro.openflow.match import Match
 from repro.openflow.switch import OpenFlowSwitch, SwitchSnapshot
+from repro.telemetry import trace
 from repro.util.errors import ChannelError
 from repro.util.units import MICROSECONDS, MILLISECONDS
+
+
+def _entry_record(table_id: int, entry) -> dict:
+    """A flow entry as a JSON-safe journal record. ``repr`` of the
+    frozen Match/Instruction dataclasses is deterministic, so two
+    entries are interchangeable iff their records are equal — the
+    property the trace-replay differential test leans on."""
+    return {
+        "table": table_id,
+        "priority": entry.priority,
+        "cookie": entry.cookie,
+        "match": repr(entry.match),
+        "instructions": repr(tuple(entry.instructions)),
+    }
 
 
 @dataclass(frozen=True)
@@ -98,27 +113,59 @@ class ControlChannel:
                     f"control channel to {self.switch.dpid} dropped "
                     f"(injected failure on {type(msg).__name__})"
                 )
+        tracer = trace.active_tracer()
         if isinstance(msg, FlowMod):
             self.stats.flow_mods += 1
             self.stats.modeled_time += self.flow_install_latency
-            return self.switch.add_flow(
+            entry = self.switch.add_flow(
                 msg.table_id,
                 msg.priority,
                 msg.match,
                 msg.instructions,
                 cookie=msg.cookie,
             )
+            if tracer is not None:
+                tracer.event(
+                    "ctrl.flow_mod",
+                    switch=self.switch.dpid,
+                    latency=self.flow_install_latency,
+                    **_entry_record(msg.table_id, entry),
+                )
+            return entry
         if isinstance(msg, FlowDelete):
             self.stats.flow_deletes += 1
             self.stats.modeled_time += self.flow_install_latency
-            return self.switch.remove_flows(cookie=msg.cookie)
+            removed = self.switch.remove_flows(cookie=msg.cookie)
+            if tracer is not None:
+                tracer.event(
+                    "ctrl.flow_delete",
+                    switch=self.switch.dpid,
+                    cookie=msg.cookie,
+                    removed=removed,
+                    latency=self.flow_install_latency,
+                )
+            return removed
         if isinstance(msg, BarrierRequest):
             self.stats.barriers += 1
             self.stats.modeled_time += self.rtt
+            if tracer is not None:
+                tracer.event(
+                    "ctrl.barrier",
+                    switch=self.switch.dpid,
+                    latency=self.rtt,
+                )
             return None
         if isinstance(msg, PortStatsRequest):
             self.stats.stats_requests += 1
             self.stats.modeled_time += self.rtt
+            if tracer is not None:
+                # journaled so trace replay can reconstruct every
+                # channel's modeled_time accumulator bit-for-bit
+                tracer.event(
+                    "ctrl.port_stats",
+                    switch=self.switch.dpid,
+                    latency=self.rtt,
+                )
             return {p: s for p, s in self.switch.port_stats.items()}
         raise TypeError(f"unknown control message {msg!r}")
 
@@ -141,6 +188,20 @@ class ControlChannel:
         self.stats.flow_mods += restored
         self.stats.barriers += 1
         self.stats.modeled_time += elapsed
+        tracer = trace.active_tracer()
+        if tracer is not None:
+            # journal the full restored state so trace replay stays a
+            # faithful reconstruction even across rollbacks
+            tracer.event(
+                "ctrl.restore",
+                switch=self.switch.dpid,
+                entries=[
+                    _entry_record(tid, e)
+                    for tid, entries in enumerate(snap.tables)
+                    for e in entries
+                ],
+                latency=elapsed,
+            )
         return elapsed
 
 

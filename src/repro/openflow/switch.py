@@ -27,6 +27,7 @@ from repro.openflow.actions import (
 from repro.openflow.groups import GroupEntry
 from repro.openflow.flowtable import FlowEntry, FlowTable
 from repro.openflow.match import Match, PacketHeader
+from repro.telemetry import metrics, trace
 from repro.util.errors import CapacityError, SimulationError
 
 
@@ -123,7 +124,14 @@ class OpenFlowSwitch:
             )
         entry = FlowEntry(priority, match, tuple(instructions), cookie=cookie)
         self.tables[table_id].add(entry)
+        if trace.enabled():
+            self._publish_occupancy()
         return entry
+
+    def _publish_occupancy(self) -> None:
+        metrics.registry().gauge("sdt_switch_table_entries").set(
+            self.num_entries, switch=self.dpid
+        )
 
     def add_group(self, entry: GroupEntry) -> None:
         """Install (or replace) a group-table entry."""
@@ -143,6 +151,8 @@ class OpenFlowSwitch:
         removed = 0
         for t in self.tables:
             removed += t.clear() if cookie is None else t.remove(cookie=cookie)
+        if removed and trace.enabled():
+            self._publish_occupancy()
         return removed
 
     def count_entries(self, *, cookie: int | None = None) -> int:
@@ -171,6 +181,8 @@ class OpenFlowSwitch:
         for table, entries in zip(self.tables, snap.tables):
             table.restore(entries)
         self.groups = dict(snap.groups)
+        if trace.enabled():
+            self._publish_occupancy()
         return snap.num_entries
 
     def _check_table(self, table_id: int) -> None:
@@ -224,7 +236,23 @@ class OpenFlowSwitch:
         while True:
             entry = self.tables[table_id].lookup(in_port, metadata, hdr)
             if entry is None:
-                break  # table miss => drop (default-deny isolation)
+                # table miss => drop (default-deny isolation)
+                tracer = trace.active_tracer()
+                if tracer is not None:
+                    metrics.registry().counter(
+                        "sdt_switch_match_miss_total"
+                    ).inc(1, switch=self.dpid, table=table_id)
+                    if not matched:
+                        # nothing in the pipeline claimed this packet:
+                        # the OpenFlow packet-in analog
+                        tracer.event(
+                            "switch.packet_in",
+                            switch=self.dpid,
+                            in_port=in_port,
+                            src=hdr.src,
+                            dst=hdr.dst,
+                        )
+                break
             entry.hit(nbytes)
             matched.append(table_id)
             next_table: int | None = None

@@ -47,6 +47,7 @@ from repro.openflow.channel import (
     FlowMod,
 )
 from repro.openflow.switch import SwitchSnapshot
+from repro.telemetry import metrics, trace
 from repro.util.errors import CapacityError, TransactionError
 
 #: messages a transaction may stage
@@ -92,6 +93,13 @@ class ControlTransaction:
                     "(only FlowMod/FlowDelete are transactional)"
                 )
             self._ops.setdefault(switch_name, []).append(msg)
+        if messages:
+            trace.event(
+                "txn.stage",
+                label=self.label,
+                switch=switch_name,
+                messages=len(messages),
+            )
 
     def stage_rules(self, mods: Mapping[str, Iterable[FlowMod]]) -> None:
         """Queue a per-switch FlowMod batch (a RuleSet's ``mods``)."""
@@ -168,35 +176,68 @@ class ControlTransaction:
         pre-transaction snapshot and raises :class:`TransactionError`
         (validation failures raise before hardware is touched)."""
         self._check_open()
-        self.validate()
         touched = self.touched_switches
-        before = {
-            n: self.control.channel(n).stats.modeled_time for n in touched
-        }
-        snapshots: dict[str, SwitchSnapshot] = {}
-        current = None
-        try:
-            for name in touched:
-                current = name
-                channel = self.control.channel(name)
-                snapshots[name] = channel.snapshot_rules()
-                for msg in self._ops[name]:
-                    channel.send(msg)
-                channel.send(BarrierRequest())
-        except Exception as exc:
-            report = self._rollback(snapshots)
-            raise TransactionError(
-                f"{self._tag}: commit failed at {current}: {exc}; rolled "
-                f"back {len(report.switches_rolled_back)} switch(es)",
-                rollback=report,
-            ) from exc
-        self._committed = True
-        if not touched:
-            return 0.0
-        return max(
-            self.control.channel(n).stats.modeled_time - before[n]
-            for n in touched
+        n_mods = sum(
+            1 for msgs in self._ops.values()
+            for m in msgs if isinstance(m, FlowMod)
         )
+        n_deletes = sum(len(msgs) for msgs in self._ops.values()) - n_mods
+        reg = metrics.registry()
+        with trace.span(
+            "txn.commit",
+            label=self.label,
+            switches=len(touched),
+            flow_mods=n_mods,
+            flow_deletes=n_deletes,
+        ) as sp:
+            try:
+                with trace.span("txn.validate", label=self.label):
+                    self.validate()
+            except Exception:
+                # vetoed before hardware was touched: no rollback needed
+                reg.counter("sdt_txn_commits_total").inc(1, status="rejected")
+                raise
+            before = {
+                n: self.control.channel(n).stats.modeled_time for n in touched
+            }
+            snapshots: dict[str, SwitchSnapshot] = {}
+            current = None
+            try:
+                for name in touched:
+                    current = name
+                    channel = self.control.channel(name)
+                    snapshots[name] = channel.snapshot_rules()
+                    for msg in self._ops[name]:
+                        channel.send(msg)
+                    channel.send(BarrierRequest())
+            except Exception as exc:
+                with trace.span("txn.rollback", label=self.label) as rb:
+                    report = self._rollback(snapshots)
+                    rb.set("switches", list(report.switches_rolled_back))
+                    rb.set("entries_restored", report.entries_restored)
+                    rb.set("modeled_time", report.modeled_time)
+                reg.counter("sdt_txn_commits_total").inc(1, status="failed")
+                reg.counter("sdt_txn_rollbacks_total").inc()
+                reg.counter("sdt_txn_rollback_entries_total").inc(
+                    report.entries_restored
+                )
+                raise TransactionError(
+                    f"{self._tag}: commit failed at {current}: {exc}; rolled "
+                    f"back {len(report.switches_rolled_back)} switch(es)",
+                    rollback=report,
+                ) from exc
+            self._committed = True
+            elapsed = 0.0
+            if touched:
+                elapsed = max(
+                    self.control.channel(n).stats.modeled_time - before[n]
+                    for n in touched
+                )
+            sp.set("modeled_time", elapsed)
+            reg.counter("sdt_txn_commits_total").inc(1, status="ok")
+            reg.counter("sdt_txn_rules_installed_total").inc(n_mods)
+            reg.counter("sdt_txn_flow_deletes_total").inc(n_deletes)
+            return elapsed
 
     def _rollback(self, snapshots: dict[str, SwitchSnapshot]) -> RollbackReport:
         restored_entries = 0

@@ -1,0 +1,61 @@
+"""Unified telemetry: tracing spans/events + process-wide metrics.
+
+See DESIGN.md §5 for the span taxonomy, metric naming convention and
+the JSONL trace schema. Quick start::
+
+    from repro import telemetry
+
+    tracer = telemetry.install_tracer()
+    ...  # deploy / reconfigure / simulate
+    tracer.dump("run.jsonl")
+    print(telemetry.registry().summary_table())
+    telemetry.uninstall_tracer()
+
+Instrumentation throughout :mod:`repro` is a no-op (one ``None``
+check) while no tracer is installed, so leaving telemetry off costs
+benchmark runs nothing measurable.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    registry,
+    set_registry,
+)
+from repro.telemetry.trace import (
+    NULL_SPAN,
+    SCHEMA_VERSION,
+    Span,
+    Tracer,
+    active_tracer,
+    enabled,
+    event,
+    install_tracer,
+    load_trace,
+    span,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "enabled",
+    "event",
+    "install_tracer",
+    "load_trace",
+    "registry",
+    "set_registry",
+    "span",
+    "uninstall_tracer",
+]

@@ -1,7 +1,10 @@
-"""Network Monitor (§V-3): polling, load estimation."""
+"""Network Monitor (§V-3): polling, load estimation, steering."""
 
 from repro.core import SDTController, TopologyConfig
+from repro.core.controller.monitor import NetworkMonitor
+from repro.core.rules import PRIORITY_OVERRIDE
 from repro.netsim import RoceTransport, build_sdt_network
+from repro.openflow import PacketHeader
 
 
 def run_traffic(controller, deployment, src, dst, nbytes):
@@ -58,3 +61,120 @@ def test_zero_interval_reports_zero(controller):
     controller.monitor.poll(1.0)
     controller.monitor.poll(1.0)  # same timestamp
     assert controller.monitor.port_utilization("phys0", 1) == 0.0
+
+
+def test_single_poll_is_warmup_not_idle(controller):
+    dep = controller.deploy(TopologyConfig("fat-tree", {"k": 4}))
+    run_traffic(controller, dep, "h0", "h15", 512 * 1024)
+    controller.monitor.poll(0.0)
+    # traffic already flowed, but one sample gives no interval: 0.0
+    # with sample_count == 1 marks "warming up", not "idle"
+    assert controller.monitor.sample_count("phys0", 1) == 1
+    assert controller.monitor.port_utilization("phys0", 1) == 0.0
+    controller.monitor.poll(1.0)
+    assert controller.monitor.sample_count("phys0", 1) == 2
+    assert controller.monitor.polls == 2
+
+
+def test_counter_wraparound_reports_zero(controller):
+    dep = controller.deploy(TopologyConfig("fat-tree", {"k": 4}))
+    controller.monitor.poll(0.0)
+    run_traffic(controller, dep, "h0", "h15", 1024 * 1024)
+    controller.monitor.poll(1.0)
+    sw, port, util = controller.monitor.hottest_ports(1)[0]
+    assert util > 0
+    # counter reset (switch reboot / 64-bit wrap): tx_bytes goes down
+    switch = controller.cluster.control.channels[sw].switch
+    switch.port_stats[port].tx_bytes = 0
+    controller.monitor.poll(2.0)
+    assert controller.monitor.port_utilization(sw, port) == 0.0
+    # and the next interval, with sane counters again, recovers
+    switch.port_stats[port].tx_bytes = 10 ** 9
+    controller.monitor.poll(3.0)
+    assert controller.monitor.port_utilization(sw, port) > 0.0
+
+
+def test_utilization_clamped_at_one(controller):
+    controller.deploy(TopologyConfig("fat-tree", {"k": 4}))
+    controller.monitor.poll(0.0)
+    switch = controller.cluster.control.channels["phys0"].switch
+    # more bytes in the interval than the line rate could carry
+    switch.port_stats[1].tx_bytes += int(
+        controller.monitor.port_rate * 100
+    )
+    controller.monitor.poll(1.0)
+    assert controller.monitor.port_utilization("phys0", 1) == 1.0
+
+
+def test_hottest_ports_ordering(controller):
+    dep = controller.deploy(TopologyConfig("fat-tree", {"k": 4}))
+    controller.monitor.poll(0.0)
+    run_traffic(controller, dep, "h0", "h15", 1024 * 1024)
+    controller.monitor.poll(1.0)
+    rows = controller.monitor.hottest_ports(50)
+    assert rows == sorted(rows, key=lambda r: (-r[2], r[0], r[1]))
+
+
+def test_history_ring_buffer(controller):
+    monitor = NetworkMonitor(
+        controller.cluster.control,
+        port_rate=controller.monitor.port_rate,
+        history_depth=3,
+    )
+    controller.deploy(TopologyConfig("fat-tree", {"k": 4}))
+    for t in range(5):
+        monitor.poll(float(t))
+    hist = monitor.history("phys0", 1)
+    assert len(hist) == 3  # ring buffer dropped the two oldest
+    assert [t for t, _u in hist] == [2.0, 3.0, 4.0]
+    assert monitor.history("phys0", 9999) == []
+
+
+def test_monitor_driven_steering(controller):
+    """Active routing (§VI-E): the monitor's load signal picks the
+    detour port, the controller installs the override, and the switch
+    pipeline actually steers the flow out of it."""
+    dep = controller.deploy(TopologyConfig("fat-tree", {"k": 4}))
+    controller.monitor.poll(0.0)
+    run_traffic(controller, dep, "h0", "h15", 1024 * 1024)
+    controller.monitor.poll(1.0)
+
+    topo = dep.topology
+    edge = topo.host_switch("h0")
+    # candidate uplinks: edge's switch-facing logical ports, ranked by
+    # the monitor's per-port load — steer onto the coldest one
+    uplinks = [
+        p for p in topo.ports_of(edge)
+        if topo.is_switch(topo.link_of_port(p).other(edge))
+    ]
+    assert uplinks
+    coldest = min(
+        uplinks,
+        key=lambda p: (
+            controller.monitor.logical_port_load(dep.projection, p),
+            p.index,
+        ),
+    )
+    controller.install_flow_override(
+        dep, edge, src="h0", dst="h15", out_port_index=coldest.index
+    )
+
+    phys_out = dep.projection.subswitches[edge].ports[coldest.index]
+    switch = controller.cluster.control.channels[phys_out.switch].switch
+    assert any(
+        e.priority == PRIORITY_OVERRIDE
+        for table in switch.tables for e in table
+    )
+
+    # push a packet in at h0's host port: the override must win
+    host_port = topo.link_between(edge, "h0").port_on(edge)
+    phys_in = dep.projection.phys_port_of(host_port)
+    assert phys_in.switch == phys_out.switch  # one sub-switch, one phys
+    decision = switch.forward(
+        phys_in.port,
+        PacketHeader(
+            src=dep.projection.host_map["h0"],
+            dst=dep.projection.host_map["h15"],
+        ),
+    )
+    assert decision.out_ports == (phys_out.port,)

@@ -1,0 +1,88 @@
+"""Seeded-RNG projection properties (hypothesis-free; see proptools).
+
+~200 random connected logical topologies, each projected onto an
+auto-sized rig. The invariants are the contract of §IV's Links
+Projection algorithm:
+
+* **round-trip** — every logical link (switch-switch *and* host) has a
+  physical realization, and every host lands on a concrete node;
+* **no double-booking** — no physical (switch, port) serves two
+  logical endpoints;
+* **balance** — the multilevel partition's largest part exceeds the
+  ideal ``ceil(n / parts)`` by at most one logical switch (the
+  empirical worst case across this generator's whole seed space, with
+  the partitioner's 15% balance tolerance).
+
+Each case derives its RNG from (ROOT_SEED, "proj", index); a failing
+index in the assertion message reproduces the exact topology.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import build_cluster_for
+from repro.core.projection.linkproj import LinkProjection
+from repro.hardware import H3C_S6861
+from tests.proptools import physical_ports_of, random_topology, seeded_cases
+
+ROOT_SEED = 20260806
+NUM_CASES = 200
+
+
+def _project(rng):
+    """Random topology -> (topology, projection) on an auto-sized rig.
+
+    The cluster is sized and the projection partitioned with the *same*
+    seed — mismatched seeds produce different partitions with different
+    wiring demands, which is a capacity planning error, not a
+    projection bug.
+    """
+    topo = random_topology(rng)
+    k = int(rng.integers(1, min(3, len(topo.switches)) + 1))
+    seed = int(rng.integers(0, 2**31))
+    cluster = build_cluster_for([topo], k, H3C_S6861, seed=seed)
+    proj = LinkProjection(cluster, seed=seed).project(topo)
+    return topo, proj
+
+
+def test_every_logical_link_is_realized():
+    for i, rng in seeded_cases(NUM_CASES, ROOT_SEED, "proj"):
+        topo, proj = _project(rng)
+        for link in topo.links:
+            assert link.index in proj.link_realization, (
+                f"case {i}: link {link} has no physical realization"
+            )
+        for host in topo.hosts:
+            assert host in proj.host_map, (
+                f"case {i}: host {host} not mapped to a physical node"
+            )
+        proj.validate()
+
+
+def test_no_physical_port_double_booking():
+    for i, rng in seeded_cases(NUM_CASES, ROOT_SEED, "proj"):
+        _, proj = _project(rng)
+        occupied: list[tuple[str, int]] = []
+        for realization in proj.link_realization.values():
+            occupied.extend(physical_ports_of(realization))
+        assert len(occupied) == len(set(occupied)), (
+            f"case {i}: physical port double-booked: "
+            f"{sorted(p for p in occupied if occupied.count(p) > 1)}"
+        )
+
+
+def test_partition_balance_bound():
+    for i, rng in seeded_cases(NUM_CASES, ROOT_SEED, "proj"):
+        topo, proj = _project(rng)
+        partition = proj.partition
+        sizes = [len(p) for p in partition.parts()]
+        assert all(s >= 1 for s in sizes), (
+            f"case {i}: empty partition part ({sizes})"
+        )
+        assert sum(sizes) == len(topo.switches)
+        ideal = math.ceil(len(topo.switches) / partition.num_parts)
+        assert max(sizes) <= ideal + 1, (
+            f"case {i}: partition imbalance — part sizes {sizes}, "
+            f"ideal {ideal}"
+        )

@@ -1,0 +1,191 @@
+"""Telemetry acceptance: one traced end-to-end run, analyzed offline.
+
+A seeded deploy → traffic → reconfigure → fail_link run with a tracer
+installed, dumped to JSONL (into ``SDT_TRACE_ARTIFACT_DIR`` when set,
+so CI can upload the trace as a build artifact). The trace alone must
+then reproduce the controller's own numbers **exactly**:
+
+* rules installed during deploy = the ``ctrl.flow_mod`` events inside
+  the ``controller.deploy`` span = ``deployment.rules.count()``;
+* reconfiguration duration = replaying every journaled per-message
+  latency into per-channel accumulators (the same ``+=`` float
+  arithmetic :class:`ChannelStats` performs) and taking the commit's
+  max per-switch delta = the controller-returned swap time, bit-for-bit.
+
+That only works because *every* control message that advances a
+channel's ``modeled_time`` journals an event carrying its latency —
+including stats polls — which is exactly the property this test pins.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import SDTController, TopologyConfig, build_cluster_for
+from repro.hardware import H3C_S6861
+from repro.netsim import RoceTransport, build_sdt_network
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    install_tracer,
+    load_trace,
+    set_registry,
+    uninstall_tracer,
+)
+from repro.topology import fat_tree, torus2d
+
+#: every journaled control message that advances a channel's clock
+_LATENCY_EVENTS = {
+    "ctrl.flow_mod", "ctrl.flow_delete", "ctrl.barrier",
+    "ctrl.restore", "ctrl.port_stats",
+}
+
+
+@pytest.fixture()
+def traced_run(tmp_path):
+    """Run the scripted e2e once; yield (trace records, live numbers)."""
+    old_registry = set_registry(MetricsRegistry())
+    tracer = install_tracer(Tracer())
+    reported = {}
+    try:
+        cluster = build_cluster_for(
+            [fat_tree(4), torus2d(4, 4)], 2, H3C_S6861
+        )
+        controller = SDTController(cluster)
+
+        deployment = controller.deploy(TopologyConfig("fat-tree", {"k": 4}))
+        reported["deploy_rules"] = deployment.rules.count()
+
+        net = build_sdt_network(controller.cluster, deployment)
+        host_map = deployment.projection.host_map
+        tx = RoceTransport(net, host_map["h0"])
+        RoceTransport(net, host_map["h15"])
+        tx.send(host_map["h15"], 256 * 1024)
+        end = net.sim.run()
+        controller.monitor.poll(0.0, deployment.projection)
+        controller.monitor.poll(max(end, 1e-9), deployment.projection)
+
+        deployment, reconf_time = controller.reconfigure(
+            TopologyConfig("torus2d", {"x": 4, "y": 4})
+        )
+        reported["reconf_time"] = reconf_time
+        reported["reconf_rules"] = deployment.rules.count()
+
+        reported["repair_time"] = controller.fail_link(
+            deployment, deployment.topology.switch_links[0].index
+        )
+    finally:
+        uninstall_tracer()
+        set_registry(old_registry)
+
+    artifact_dir = os.environ.get("SDT_TRACE_ARTIFACT_DIR")
+    out_dir = tmp_path if not artifact_dir else artifact_dir
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(str(out_dir), "telemetry_e2e.jsonl")
+    assert tracer.dump(path) > 0
+    return load_trace(path), reported
+
+
+def _span_index(records):
+    return {r["id"]: r for r in records if r["type"] == "span"}
+
+
+def _in_subtree(spans, span_id, root_id) -> bool:
+    while span_id is not None:
+        if span_id == root_id:
+            return True
+        span_id = spans[span_id]["parent"]
+    return False
+
+
+def _subtree_events(records, root_id, names=None):
+    spans = _span_index(records)
+    return sorted(
+        (r for r in records
+         if r["type"] == "event"
+         and (names is None or r["name"] in names)
+         and r["span"] is not None
+         and _in_subtree(spans, r["span"], root_id)),
+        key=lambda r: r["seq"],
+    )
+
+
+def _commit_elapsed(records, commit_id) -> float:
+    """Recompute a commit's modeled time from the journal alone,
+    replaying every latency into per-channel accumulators exactly as
+    ``ChannelStats.modeled_time`` accumulated it (same values, same
+    order, same float operations — so bit-identical)."""
+    acc: dict[str, float] = {}
+    before: dict[str, float] = {}
+    after: dict[str, float] = {}
+    spans = _span_index(records)
+    for rec in sorted(
+        (r for r in records if r["type"] == "event"
+         and r["name"] in _LATENCY_EVENTS),
+        key=lambda r: r["seq"],
+    ):
+        switch = rec["attrs"]["switch"]
+        in_commit = rec["span"] is not None and _in_subtree(
+            spans, rec["span"], commit_id
+        )
+        if in_commit and switch not in before:
+            before[switch] = acc.get(switch, 0.0)
+        acc[switch] = acc.get(switch, 0.0) + rec["attrs"]["latency"]
+        if in_commit:
+            after[switch] = acc[switch]
+    assert before, "commit span contains no control messages"
+    return max(after[s] - before[s] for s in before)
+
+
+def test_deploy_rules_from_trace(traced_run):
+    records, reported = traced_run
+    deploy = [r for r in records if r["type"] == "span"
+              and r["name"] == "controller.deploy"][0]
+    assert deploy["attrs"]["rules"] == reported["deploy_rules"]
+    mods = _subtree_events(records, deploy["id"], {"ctrl.flow_mod"})
+    assert len(mods) == reported["deploy_rules"]
+
+
+def test_reconfigure_duration_from_trace(traced_run):
+    records, reported = traced_run
+    reconf = [r for r in records if r["type"] == "span"
+              and r["name"] == "controller.reconfigure"][0]
+    spans = _span_index(records)
+    commits = [r for r in spans.values() if r["name"] == "txn.commit"
+               and _in_subtree(spans, r["id"], reconf["id"])]
+    assert len(commits) == 1
+    elapsed = _commit_elapsed(records, commits[0]["id"])
+    # exact equality, not approx: the journal carries enough to redo
+    # the controller's own arithmetic
+    assert elapsed == reported["reconf_time"]
+    assert commits[0]["attrs"]["modeled_time"] == reported["reconf_time"]
+    # and the new generation's rules all appear inside the swap commit
+    mods = _subtree_events(records, commits[0]["id"], {"ctrl.flow_mod"})
+    assert len(mods) == reported["reconf_rules"]
+
+
+def test_every_commit_time_is_recomputable(traced_run):
+    records, reported = traced_run
+    spans = _span_index(records)
+    commits = [r for r in spans.values()
+               if r["name"] == "txn.commit" and r["status"] == "ok"]
+    assert len(commits) >= 3  # deploy, reconfigure, fail_link reroute
+    for commit in commits:
+        assert _commit_elapsed(records, commit["id"]) == (
+            commit["attrs"]["modeled_time"]
+        ), f"commit {commit['id']} ({commit['attrs']['label']})"
+
+
+def test_trace_spans_well_formed(traced_run):
+    records, _ = traced_run
+    spans = _span_index(records)
+    for rec in spans.values():
+        assert rec["status"] == "ok"
+        assert rec["t1"] >= rec["t0"]
+        if rec["parent"] is not None:
+            assert rec["parent"] in spans
+    for rec in records:
+        if rec["type"] == "event" and rec["span"] is not None:
+            assert rec["span"] in spans

@@ -69,3 +69,58 @@ def test_zoo(capsys):
 def test_missing_config(capsys):
     assert main(["check", "/does/not/exist.json"]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_telemetry_command(ft4_config, capsys):
+    rc = main([
+        "telemetry", ft4_config, "--switches", "2", "--spec", "h3c",
+        "--bytes", "65536",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "deploy time" in out
+    assert "reconfigure" in out
+    assert "hottest ports" in out
+    assert "Telemetry metrics" in out
+    assert "sdt_controller_mutations_total" in out
+
+
+def test_trace_out_writes_jsonl(ft4_config, tmp_path, capsys):
+    from repro.telemetry import active_tracer, load_trace
+
+    trace_path = tmp_path / "run.jsonl"
+    rc = main([
+        "telemetry", ft4_config, "--switches", "2", "--spec", "h3c",
+        "--bytes", "65536", "--trace-out", str(trace_path),
+    ])
+    assert rc == 0
+    assert active_tracer() is None  # uninstalled on the way out
+    assert f"trace written: {trace_path}" in capsys.readouterr().err
+    records = load_trace(trace_path)
+    names = {r["name"] for r in records}
+    assert "controller.deploy" in names
+    assert "controller.reconfigure" in names
+    assert "txn.commit" in names
+    assert "ctrl.flow_mod" in names
+
+
+def test_trace_out_on_deploy(ft4_config, tmp_path, capsys):
+    from repro.telemetry import load_trace
+
+    trace_path = tmp_path / "deploy.jsonl"
+    rc = main([
+        "deploy", ft4_config, "--switches", "2", "--spec", "h3c",
+        "--trace-out", str(trace_path),
+    ])
+    assert rc == 0
+    spans = [r for r in load_trace(trace_path) if r["type"] == "span"]
+    assert any(r["name"] == "controller.deploy" for r in spans)
+
+
+def test_trace_out_written_even_on_error(tmp_path, capsys):
+    trace_path = tmp_path / "err.jsonl"
+    rc = main([
+        "check", "/does/not/exist.json", "--trace-out", str(trace_path),
+    ])
+    assert rc == 2
+    assert trace_path.exists()  # empty trace, but the file lands
