@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Standalone runner for the reconfiguration benchmark suite.
+
+Equivalent to ``PYTHONPATH=src python -m repro bench``; kept as a
+direct script so the suite can run without installing the package:
+
+    python benchmarks/harness.py --quick --baseline benchmarks/baseline.json
+
+See :mod:`repro.bench` for methodology and the JSON schema, and
+EXPERIMENTS.md for the reconfiguration-time scaling recipe.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

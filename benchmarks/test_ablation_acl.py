@@ -9,7 +9,6 @@ quantifies the pipeline's TCAM savings — the flip side of §VII-C's
 """
 
 from repro.core import SDTController, build_cluster_for
-from repro.core.rules import synthesize_rules
 from repro.core.rules_acl import synthesize_acl_rules
 from repro.hardware import EVAL_256x10G, H3C_S6861
 from repro.routing import routes_for

@@ -14,7 +14,6 @@ from repro.hardware import (
     PhysicalCluster,
     default_wiring,
 )
-from repro.routing import routes_for
 from repro.testbed import select_nodes
 from repro.topology import dragonfly, fat_tree, torus2d
 from repro.util import format_table
@@ -77,7 +76,7 @@ def test_hybrid_flexibility(once):
     print("\n" + format_table(
         ["Configuration", *(label for label, _b in TOPOLOGIES)],
         rows,
-        title=f"Ablation: hybrid SDT-OS with a lean fixed reservation "
+        title="Ablation: hybrid SDT-OS with a lean fixed reservation "
               f"({LEAN_INTER} inter-switch links per pair)",
     ))
     # plain SDT strands at least one topology on the lean wiring...

@@ -6,7 +6,7 @@ This benchmark regenerates the count for every evaluation topology and
 verifies the Fat-Tree figure plus the controller's capacity pre-check.
 """
 
-from repro.core import SDTController, TopologyConfig, build_cluster_for
+from repro.core import SDTController, build_cluster_for
 from repro.core.projection import route_usage
 from repro.hardware import EVAL_256x10G, H3C_S6861
 from repro.routing import routes_for

@@ -13,8 +13,6 @@ Problem sizes are scaled down so the whole table regenerates in minutes
 * the pure-communication IMB columns dominate every HPC app.
 """
 
-import pytest
-
 from repro.testbed import Experiment, compare_arms, select_nodes
 from repro.topology import dragonfly, fat_tree, torus2d, torus3d
 from repro.util import format_table

@@ -90,7 +90,7 @@ def main() -> None:
     )
     print(f"\ninstalled a per-flow override at {src_switch}: "
           f"{hosts[0]}->{topo.hosts[9]} now exits logical port {alt_port} "
-          f"(priority beats the table route)")
+          "(priority beats the table route)")
 
 
 if __name__ == "__main__":

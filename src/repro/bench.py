@@ -1,0 +1,343 @@
+"""Reconfiguration benchmarks: cold deploy vs incremental reconfigure.
+
+The paper's headline operational claim (Fig. 2, Table II) is that SDT
+turns topology changes into a flow-table push; DESIGN.md §6 sharpens
+that into *incremental* reconfiguration — a small logical edit should
+cost O(changed links), not O(topology). This module measures exactly
+that contrast, per scenario:
+
+* **cold deploy** — a fresh controller (empty caches) deploys the base
+  topology from scratch: full partition, full projection, full rule
+  synthesis, every rule installed.
+* **incremental reconfigure** — the same controller then applies a
+  1-link edit: topology diff, cached partition extension, delta
+  projection, cache-hit rule synthesis, and a FlowMod/strict-delete
+  delta push.
+
+Wall times are min-of-``repeats`` (each repeat on a fresh cluster, so
+every repeat sees identical cache state); rule counts and cache hit
+rates come from the telemetry metrics registry and are deterministic.
+Results are written as machine-readable JSON (``BENCH_reconfig.json``)
+and gated against a committed baseline by :func:`compare_to_baseline` —
+wall-clock ratios are compared *normalized* (incremental/cold on the
+same machine), so the gate is robust to absolute machine speed.
+
+Run via ``python -m repro bench`` or ``benchmarks/harness.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.core import SDTController, TopologyConfig, build_cluster_for
+from repro.hardware import EVAL_256x10G
+from repro.telemetry import metrics
+from repro.topology import dragonfly, fat_tree, torus2d
+from repro.topology.diff import rebuild, removable_switch_links
+from repro.topology.graph import Topology
+from repro.util import format_table
+
+SCHEMA_VERSION = 1
+
+#: gate tolerance: a run regresses when it is worse than baseline by
+#: more than this fraction
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_REPEATS = 3
+
+#: wall-time ratios are only gated on scenarios whose cold deploy takes
+#: at least this long — below it, single-digit-millisecond jitter
+#: swamps a 25% tolerance (rules_pushed, being deterministic, is gated
+#: on every scenario regardless)
+MIN_GATE_SECONDS = 0.1
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One benchmark case: a base topology and a rig to project it on."""
+
+    name: str
+    build: Callable[[], Topology]
+    num_switches: int
+    #: included in ``--quick`` (CI) runs
+    quick: bool
+
+
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario("fattree-k4", lambda: fat_tree(4), 2, quick=True),
+    Scenario("torus-6x6", lambda: torus2d(6, 6), 3, quick=True),
+    Scenario("fattree-k8", lambda: fat_tree(8), 4, quick=True),
+    Scenario("dragonfly-a4g9h2", lambda: dragonfly(4, 9, 2), 4, quick=False),
+    Scenario("torus-10x10", lambda: torus2d(10, 10), 5, quick=False),
+)
+
+
+def _config_for(topology: Topology) -> TopologyConfig:
+    """A self-contained custom config for ``topology``.
+
+    Shortest-path routing works on *edited* topologies too (the named
+    strategies dispatch on generator structure and may refuse a
+    fat-tree missing a link); lossy mode keeps the Deadlock Avoidance
+    module from vetoing edits — deadlock behavior has its own tests,
+    this benchmark measures reconfiguration mechanics.
+    """
+    return TopologyConfig(
+        kind="custom",
+        params={
+            "name": topology.name,
+            "switches": list(topology.switches),
+            "hosts": list(topology.hosts),
+            "links": [list(link.endpoints) for link in topology.links],
+        },
+        routing="shortest-path",
+        lossless=False,
+    )
+
+
+def _counter(name: str, **labels) -> float:
+    inst = metrics.registry().get(name)
+    return inst.value(**labels) if inst is not None else 0.0
+
+
+def _cache_stats(name: str) -> dict:
+    hits = _counter(name, result="hit")
+    misses = _counter(name, result="miss")
+    total = hits + misses
+    return {
+        "hits": int(hits),
+        "misses": int(misses),
+        "hit_rate": hits / total if total else 0.0,
+    }
+
+
+def _delta(after: dict, before: dict) -> dict:
+    return {k: after[k] - before[k] for k in after}
+
+
+def run_scenario(scenario: Scenario, *, repeats: int = DEFAULT_REPEATS) -> dict:
+    """Benchmark one scenario; returns its JSON-safe result record."""
+    base = scenario.build()
+    edit_key = removable_switch_links(base)[0]
+    edited = rebuild(base, drop_links={edit_key})
+    base_cfg = _config_for(base)
+    edited_cfg = _config_for(edited)
+
+    cold_s = float("inf")
+    inc_s = float("inf")
+    record: dict = {}
+    for _ in range(max(1, repeats)):
+        # a fresh rig per repeat: every repeat measures the same cold
+        # caches at deploy and the same warm caches at reconfigure
+        cluster = build_cluster_for(
+            [base], scenario.num_switches, EVAL_256x10G
+        )
+        controller = SDTController(cluster)
+
+        def snap() -> dict:
+            return {
+                "synthesized": _counter("sdt_rules_synthesized_total"),
+                "pushed": _counter("sdt_reconfig_rules_pushed_total"),
+                "unchanged": _counter("sdt_reconfig_rules_unchanged_total"),
+                "cache_hits": _counter("sdt_rules_cache_total", result="hit"),
+                "cache_misses": _counter(
+                    "sdt_rules_cache_total", result="miss"
+                ),
+                "mode_incremental": _counter(
+                    "sdt_controller_reconfigure_mode_total",
+                    mode="incremental",
+                ),
+                "mode_cold": _counter(
+                    "sdt_controller_reconfigure_mode_total", mode="cold"
+                ),
+            }
+
+        before_deploy = snap()
+        t0 = time.perf_counter()
+        deployment = controller.deploy(base_cfg)
+        cold_s = min(cold_s, time.perf_counter() - t0)
+        before_reconf = snap()
+
+        t0 = time.perf_counter()
+        _, modeled = controller.reconfigure(edited_cfg)
+        inc_s = min(inc_s, time.perf_counter() - t0)
+        after = snap()
+
+        deploy_d = _delta(before_reconf, before_deploy)
+        reconf_d = _delta(after, before_reconf)
+        reconf_lookups = reconf_d["cache_hits"] + reconf_d["cache_misses"]
+        record = {
+            "scenario": scenario.name,
+            "logical_switches": len(base.switches),
+            "logical_hosts": len(base.hosts),
+            "logical_links": len(base.links),
+            "phys_switches": scenario.num_switches,
+            "edit": {"removed_links": [list(edit_key)], "added_links": []},
+            "mode": (
+                "incremental"
+                if reconf_d["mode_incremental"] > 0
+                else "cold"
+            ),
+            "rules_installed_cold": deployment.rules.count(),
+            "rules_synthesized_cold": int(deploy_d["synthesized"]),
+            "rules_synthesized_incremental": int(reconf_d["synthesized"]),
+            "rules_pushed": int(reconf_d["pushed"]),
+            "rules_unchanged": int(reconf_d["unchanged"]),
+            "rule_cache_hit_rate": (
+                reconf_d["cache_hits"] / reconf_lookups
+                if reconf_lookups
+                else 0.0
+            ),
+            "modeled_reconfigure_s": modeled,
+        }
+    record["cold_deploy_s"] = cold_s
+    record["incremental_reconfigure_s"] = inc_s
+    record["speedup"] = cold_s / inc_s if inc_s > 0 else 0.0
+    return record
+
+
+def run_suite(*, quick: bool = False, repeats: int = DEFAULT_REPEATS) -> dict:
+    """Run the (quick or full) scenario set; returns the report dict."""
+    chosen = [s for s in SCENARIOS if s.quick or not quick]
+    results = [run_scenario(s, repeats=repeats) for s in chosen]
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "reconfig",
+        "quick": quick,
+        "repeats": repeats,
+        "cache": _cache_stats("sdt_rules_cache_total"),
+        "partition_cache": _cache_stats("sdt_partition_cache_total"),
+        "scenarios": results,
+    }
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, *, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Regression messages comparing ``current`` against ``baseline``.
+
+    Wall time is compared as the machine-normalized ratio
+    ``incremental_reconfigure_s / cold_deploy_s`` — both halves ran on
+    the same machine in the same process, so the ratio cancels absolute
+    machine speed, and a regression means the *incremental path itself*
+    got slower relative to the work it avoids. The ratio check applies
+    only to scenarios whose cold deploy exceeds
+    :data:`MIN_GATE_SECONDS` in both reports — smaller runs are noise.
+    ``rules_pushed`` is a deterministic count and is compared
+    absolutely on every scenario. Scenarios present in only one report
+    are skipped (quick runs gate against a full baseline). An empty
+    list means no regression.
+    """
+    problems: list[str] = []
+    base_by_name = {
+        s["scenario"]: s for s in baseline.get("scenarios", [])
+    }
+    for cur in current.get("scenarios", []):
+        name = cur["scenario"]
+        base = base_by_name.get(name)
+        if base is None:
+            continue
+        if base["mode"] == "incremental" and cur["mode"] != "incremental":
+            problems.append(
+                f"{name}: reconfigure fell back to the cold path "
+                "(baseline ran incrementally)"
+            )
+            continue
+        base_ratio = base["incremental_reconfigure_s"] / base["cold_deploy_s"]
+        cur_ratio = cur["incremental_reconfigure_s"] / cur["cold_deploy_s"]
+        measurable = (
+            base["cold_deploy_s"] >= MIN_GATE_SECONDS
+            and cur["cold_deploy_s"] >= MIN_GATE_SECONDS
+        )
+        if measurable and cur_ratio > base_ratio * (1 + tolerance):
+            problems.append(
+                f"{name}: incremental/cold wall-time ratio regressed "
+                f"{base_ratio:.3f} -> {cur_ratio:.3f} "
+                f"(> {tolerance:.0%} over baseline)"
+            )
+        if cur["rules_pushed"] > base["rules_pushed"] * (1 + tolerance):
+            problems.append(
+                f"{name}: rules pushed regressed "
+                f"{base['rules_pushed']} -> {cur['rules_pushed']} "
+                f"(> {tolerance:.0%} over baseline)"
+            )
+    return problems
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of one suite run."""
+    rows = []
+    for s in report["scenarios"]:
+        rows.append([
+            s["scenario"],
+            f"{s['cold_deploy_s'] * 1e3:.1f}",
+            f"{s['incremental_reconfigure_s'] * 1e3:.1f}",
+            f"{s['speedup']:.1f}x",
+            s["mode"],
+            s["rules_pushed"],
+            s["rules_unchanged"],
+            f"{s['rule_cache_hit_rate']:.0%}",
+        ])
+    return format_table(
+        ["Scenario", "Cold (ms)", "Incr (ms)", "Speedup", "Mode",
+         "Pushed", "Unchanged", "Cache hit"],
+        rows,
+        title="Reconfiguration benchmark (1-link edit)",
+    )
+
+
+def run_and_report(
+    *,
+    quick: bool,
+    repeats: int,
+    out: str | None,
+    baseline: str | None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> int:
+    """Run, write JSON, print the table, gate against a baseline."""
+    report = run_suite(quick=quick, repeats=repeats)
+    if out:
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+    print(render_report(report))
+    if baseline:
+        base = json.loads(Path(baseline).read_text())
+        problems = compare_to_baseline(report, base, tolerance=tolerance)
+        if problems:
+            print(f"\nREGRESSION vs {baseline}:", file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            return 1
+        print(f"\nno regression vs {baseline} "
+              f"(tolerance {tolerance:.0%})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks/harness.py",
+        description="SDT reconfiguration benchmark harness",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI subset of scenarios")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="wall-time repeats, min taken (default 3)")
+    parser.add_argument("--out", default="BENCH_reconfig.json",
+                        metavar="PATH", help="JSON report path")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline JSON to gate against")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed regression fraction (default 0.25)")
+    args = parser.parse_args(argv)
+    return run_and_report(
+        quick=args.quick,
+        repeats=args.repeats,
+        out=args.out,
+        baseline=args.baseline,
+        tolerance=args.tolerance,
+    )

@@ -160,6 +160,18 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import run_and_report
+
+    return run_and_report(
+        quick=args.quick,
+        repeats=args.repeats,
+        out=args.out,
+        baseline=args.baseline,
+        tolerance=args.tolerance,
+    )
+
+
 def cmd_tables(args) -> int:
     which = args.table
     if which in ("1", "all"):
@@ -245,6 +257,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="traffic volume for the monitored transfer")
     common(p)
     p.set_defaults(fn=cmd_telemetry)
+
+    p = sub.add_parser(
+        "bench",
+        help="reconfiguration benchmark: cold deploy vs incremental",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="CI subset of scenarios")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="wall-time repeats, min taken (default 3)")
+    p.add_argument("--out", default="BENCH_reconfig.json", metavar="PATH",
+                   help="JSON report path (default BENCH_reconfig.json)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline JSON to gate against (exit 1 on "
+                        "regression)")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="allowed regression fraction (default 0.25)")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("tables", help="regenerate paper tables")
     p.add_argument("table", choices=["1", "2", "3", "all"], default="all",

@@ -52,7 +52,7 @@ def build_cluster_for(
             f"{spec.model}: needs {needed} ports per switch "
             f"({hosts_per_switch} host + {inter_ports} inter-switch + "
             f"{2 * self_needed} self-link) but has {spec.num_ports}; "
-            f"add switches or use a larger switch"
+            "add switches or use a larger switch"
         )
     return PhysicalCluster.build(
         num_switches,

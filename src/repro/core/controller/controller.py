@@ -35,14 +35,17 @@ from dataclasses import dataclass, field
 from repro.core.controller.config import TopologyConfig
 from repro.core.controller.monitor import NetworkMonitor
 from repro.core.projection.base import ProjectionResult
+from repro.core.projection.delta import project_delta
 from repro.core.projection.hybrid import HybridLinkProjection, HybridPlan
 from repro.core.projection.linkproj import LinkProjection
 from repro.core.projection.pruning import route_usage
-from repro.core.rules import RuleSet, flow_override, synthesize_rules
+from repro.core.rules import RuleCache, RuleSet, flow_override, synthesize_rules
 from repro.hardware.cluster import PhysicalCluster
 from repro.hardware.optical import OpticalCircuitSwitch
 from repro.openflow.transaction import ControlTransaction
+from repro.partition.cache import PartitionCache, extend_partition
 from repro.routing.deadlock import assert_deadlock_free
+from repro.topology.diff import diff_topologies
 from repro.routing.repair import reroute_avoiding
 from repro.routing.strategies import (
     dragonfly_minimal_routes,
@@ -59,6 +62,7 @@ from repro.util.errors import (
     CapacityError,
     ConfigurationError,
     ProjectionError,
+    TopologyError,
 )
 
 _STRATEGIES = {
@@ -91,6 +95,10 @@ class Deployment:
     hybrid_plan: "HybridPlan | None" = None
     #: logical links currently marked failed (indices into topology.links)
     failed_links: set[int] = field(default_factory=set)
+    #: per-flow override rules installed (active routing); a non-zero
+    #: count pins reconfiguration to the cold path, since overrides are
+    #: not part of ``rules`` and a delta swap would strand them
+    flow_overrides: int = 0
 
     @property
     def name(self) -> str:
@@ -130,11 +138,16 @@ class SDTController:
     _next_cookie: int = 1
     _next_metadata: int = 1
     monitor: NetworkMonitor = field(init=False)
+    #: content-hash caches behind the incremental pipeline (DESIGN.md §6)
+    rule_cache: RuleCache = field(init=False)
+    partition_cache: PartitionCache = field(init=False)
 
     def __post_init__(self) -> None:
         self.monitor = NetworkMonitor(
             self.cluster.control, port_rate=self.cluster.spec.port_rate
         )
+        self.rule_cache = RuleCache()
+        self.partition_cache = PartitionCache()
 
     def _record_mutation(self, op: str, modeled_time: float) -> None:
         """Publish one mutation's outcome into the metrics registry.
@@ -159,6 +172,7 @@ class SDTController:
             seed=self.seed,
             exclude=self._occupied() if exclude is None else exclude,
             metadata_base=self._next_metadata,
+            partition_cache=self.partition_cache,
         )
 
     # --- Topology Customization: checking function ----------------------
@@ -184,7 +198,9 @@ class SDTController:
     ) -> list[str]:
         """§VII-C: pre-estimate flow-entry demand against switch TCAMs."""
         routes = self._routes_for(topology, config.routing)
-        rules = synthesize_rules(projection, routes, cookie=0)
+        rules = synthesize_rules(
+            projection, routes, cookie=0, cache=self.rule_cache
+        )
         problems = []
         for name, count in rules.per_switch_counts().items():
             sw = self.cluster.switches[name]
@@ -193,7 +209,7 @@ class SDTController:
                     f"{name}: needs {count} flow entries, only "
                     f"{sw.free_entries} free (capacity "
                     f"{sw.flow_table_capacity}) — merge entries, split the "
-                    f"topology, or add switches"
+                    "topology, or add switches"
                 )
         return problems
 
@@ -263,7 +279,9 @@ class SDTController:
         else:
             projection = self._projector(exclude).project(topology, usage=usage)
         cookie = self._next_cookie
-        rules = synthesize_rules(projection, routes, cookie=cookie)
+        rules = synthesize_rules(
+            projection, routes, cookie=cookie, cache=self.rule_cache
+        )
         return _Prepared(
             config=cfg,
             topology=topology,
@@ -426,6 +444,13 @@ class SDTController:
             deployment = self.deploy(config, active_hosts=active_hosts)
             return deployment, deployment.deployment_time
 
+        if len(olds) == 1:
+            inc = self._reconfigure_incremental(
+                olds[0], config, active_hosts, span
+            )
+            if inc is not None:
+                return inc
+
         ocs_before = self._ocs_circuits()
         release_time = 0.0
         released_old_optics = False
@@ -476,10 +501,18 @@ class SDTController:
             raise
         self.last_commit_strategy = strategy
         span.set("strategy", strategy)
+        span.set("mode", "cold")
         span.set("rules", prep.rules.count())
-        metrics.registry().counter(
-            "sdt_controller_commit_strategy_total"
-        ).inc(1, strategy=strategy)
+        reg = metrics.registry()
+        reg.counter("sdt_controller_commit_strategy_total").inc(
+            1, strategy=strategy
+        )
+        reg.counter("sdt_controller_reconfigure_mode_total").inc(
+            1, mode="cold"
+        )
+        reg.counter("sdt_reconfig_rules_pushed_total").inc(
+            prep.rules.count() + sum(o.rules.count() for o in olds)
+        )
 
         for old in olds:
             self.deployments.remove(old)
@@ -490,6 +523,117 @@ class SDTController:
             prep.optical_time + self._estimated_install_time(prep.rules),
         )
         return deployment, prep.optical_time + swap_time + release_time
+
+    def _reconfigure_incremental(
+        self,
+        old: Deployment,
+        config: TopologyConfig | Topology,
+        active_hosts: list[str] | None,
+        span,
+    ) -> tuple[Deployment, float] | None:
+        """Try the O(changed links) reconfiguration path (DESIGN.md §6).
+
+        Diffs the live topology against the requested one, re-projects
+        only the changed links (placement stability keeps every
+        surviving sub-switch on its physical switch, ports and metadata
+        tag included), re-synthesizes rules through the content-hash
+        cache, and stages only the FlowMod/strict-FlowDelete *delta*
+        against live switch state — keeping the deployment's cookie,
+        because this is an edit of the same generation, not a new one.
+
+        Returns ``None`` when the edit cannot be applied incrementally,
+        and the caller runs the cold swap instead: multiple or pruned
+        deployments, optics in play, active link failures, installed
+        per-flow overrides (they live outside ``rules``, a delta swap
+        would strand them), incompatible node edits, or added links that
+        the free wiring cannot host without re-placing survivors.
+        """
+        if (
+            active_hosts is not None
+            or old.projection.usage is not None
+            or old.hybrid_plan is not None
+            or self.optical is not None
+            or old.failed_links
+            or old.flow_overrides
+        ):
+            return None
+        if isinstance(config, Topology):
+            topology, cfg = config, None
+            strategy, lossless = "auto", True
+        else:
+            topology, cfg = config.build(), config
+            strategy, lossless = config.routing, config.lossless
+        try:
+            diff = diff_topologies(old.topology, topology)
+        except TopologyError:
+            return None
+
+        routes = self._routes_for(topology, strategy)
+        if lossless:
+            # Deadlock Avoidance vets edits exactly like fresh installs
+            assert_deadlock_free(routes)
+
+        exclude: set = set()
+        for d in self.deployments:
+            if d is not old:
+                exclude.update(d.projection.link_realization.values())
+        partition = extend_partition(old.projection.partition, topology)
+        try:
+            projection = project_delta(
+                self.cluster,
+                old.projection,
+                topology,
+                partition,
+                exclude=exclude,
+                metadata_base=self._next_metadata,
+            )
+        except (CapacityError, ProjectionError):
+            return None
+
+        rules = synthesize_rules(
+            projection, routes, cookie=old.cookie, cache=self.rule_cache
+        )
+        txn = ControlTransaction(
+            self.cluster.control,
+            label=f"reconfigure-incremental {topology.name}",
+        )
+        stats = txn.stage_delta(old.rules.mods, rules.mods)
+        try:
+            elapsed = txn.commit()
+        except CapacityError:
+            # commit validates before touching hardware; the delta's
+            # transient peak (steady state + additions) does not fit,
+            # but the cold path can still price break-before-make
+            return None
+
+        self.last_commit_strategy = MAKE_BEFORE_BREAK
+        self._next_metadata += len(diff.added_switches)
+        old.config = cfg
+        old.topology = topology
+        old.projection = projection
+        old.routes = routes
+        old.rules = rules
+        old.lossless = lossless
+        old.deployment_time = self._estimated_install_time(rules)
+
+        span.set("mode", "incremental")
+        span.set("strategy", MAKE_BEFORE_BREAK)
+        span.set("changes", diff.num_changes)
+        span.set("rules", rules.count())
+        span.set("rules_pushed", stats.pushed)
+        span.set("rules_unchanged", stats.unchanged)
+        reg = metrics.registry()
+        reg.counter("sdt_controller_commit_strategy_total").inc(
+            1, strategy=MAKE_BEFORE_BREAK
+        )
+        reg.counter("sdt_controller_reconfigure_mode_total").inc(
+            1, mode="incremental"
+        )
+        reg.counter("sdt_reconfig_rules_pushed_total").inc(stats.pushed)
+        reg.counter("sdt_reconfig_rules_unchanged_total").inc(
+            stats.unchanged
+        )
+        return old, elapsed
 
     # --- failure handling ----------------------------------------------------
     def update_routes(self, deployment: Deployment, routes: RouteTable) -> float:
@@ -513,7 +657,8 @@ class SDTController:
                 assert_deadlock_free(routes)
             cookie = self._next_cookie
             rules = synthesize_rules(
-                deployment.projection, routes, cookie=cookie
+                deployment.projection, routes, cookie=cookie,
+                cache=self.rule_cache,
             )
             txn, strategy = self._stage_route_swap(rules, deployment)
             elapsed = txn.commit()
@@ -632,5 +777,6 @@ class SDTController:
             )
             txn.stage(phys, mod)
             elapsed = txn.commit()
+            deployment.flow_overrides += 1
             sp.set("modeled_time", elapsed)
             self._record_mutation("flow_override", elapsed)

@@ -131,7 +131,7 @@ class HybridLinkProjection:
                 if not free_flex[na] or not free_flex[nb]:
                     problems.append(
                         f"{na}<->{nb}: inter-link deficit needs flex ports "
-                        f"on both switches "
+                        "on both switches "
                         f"({len(free_flex[na])}/{len(free_flex[nb])} free)"
                     )
                     break

@@ -39,16 +39,31 @@ class LinkProjection:
         seed: int = 0,
         exclude: set | None = None,
         metadata_base: int = 1,
+        partition_cache=None,
     ) -> None:
         """``exclude`` holds wiring resources (SelfLink / InterSwitchLink
         / HostPort objects) already claimed by a coexisting deployment;
         ``metadata_base`` offsets sub-switch metadata ids so coexisting
-        topologies never share a tag (§VI-B isolation)."""
+        topologies never share a tag (§VI-B isolation).
+        ``partition_cache`` (a
+        :class:`~repro.partition.cache.PartitionCache`) memoizes the
+        partitioning stage by content hash — re-checking or re-deploying
+        an unchanged topology skips the multilevel run entirely."""
         self.cluster = cluster
         self.partition_method = partition_method
         self.seed = seed
         self.exclude = exclude or set()
         self.metadata_base = metadata_base
+        self.partition_cache = partition_cache
+
+    def _partition(self, topology: Topology, parts: int) -> Partition:
+        if self.partition_cache is not None:
+            return self.partition_cache.partition(
+                topology, parts, method=self.partition_method, seed=self.seed
+            )
+        return partition_topology(
+            topology, parts, method=self.partition_method, seed=self.seed
+        )
 
     def _available(self, items: list) -> list:
         return [i for i in items if i not in self.exclude]
@@ -80,9 +95,7 @@ class LinkProjection:
         num_phys = len(self.cluster.switch_names)
         if partition is None:
             parts = min(num_phys, len(topology.switches))
-            partition = partition_topology(
-                topology, parts, method=self.partition_method, seed=self.seed
-            )
+            partition = self._partition(topology, parts)
         problems: list[str] = []
         wiring = self.cluster.wiring
         names = self.cluster.switch_names

@@ -20,9 +20,10 @@ k=4 Fat-Tree on two switches falls out of this synthesis (see the
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
-from repro.core.projection.base import ProjectionResult
+from repro.core.projection.base import ProjectionResult, SubSwitch
 from repro.openflow.actions import (
     ApplyActions,
     GotoTable,
@@ -33,7 +34,8 @@ from repro.openflow.actions import (
 )
 from repro.openflow.channel import FlowMod
 from repro.openflow.match import Match
-from repro.routing.table import RouteTable
+from repro.routing.table import Hop, RouteTable
+from repro.telemetry import metrics
 from repro.util.errors import ProjectionError
 
 CLASSIFY_TABLE = 0
@@ -66,13 +68,153 @@ class RuleSet:
         return {s: len(v) for s, v in self.mods.items()}
 
 
+#: cached compilation output: (physical switch, FlowMod) pairs.
+#: FlowMods are frozen, so sharing them across RuleSets is safe.
+CompiledSwitch = tuple[tuple[str, FlowMod], ...]
+
+
+class RuleCache:
+    """Content-hash cache of per-sub-switch rule compilation.
+
+    A sub-switch's rules are a pure function of its metadata tag, its
+    logical-port -> physical-port bindings, the resolved route entries
+    through it, and the deployment cookie. :func:`switch_rule_key`
+    hashes exactly those inputs, so any change that could alter a
+    single emitted FlowMod — rerouted traffic, a re-projected port, a
+    repartitioned neighbor shifting the sub-switch to another physical
+    switch, a new host address, a fresh cookie — misses the cache,
+    while sub-switches untouched by a topology edit hit it and skip
+    recompilation entirely (the "dirty set" of DESIGN.md §6).
+    """
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        self.max_entries = max_entries
+        self._store: dict[str, CompiledSwitch] = {}
+
+    def get(self, key: str) -> CompiledSwitch | None:
+        hit = self._store.get(key)
+        metrics.registry().counter("sdt_rules_cache_total").inc(
+            1, result="hit" if hit is not None else "miss"
+        )
+        if hit is not None:
+            # move-to-back so eviction drops the least recently used
+            self._store[key] = self._store.pop(key)
+        return hit
+
+    def put(self, key: str, compiled: CompiledSwitch) -> None:
+        while len(self._store) >= self.max_entries:
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = compiled
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+def _resolved_entries(
+    projection: ProjectionResult,
+    sub: SubSwitch,
+    entries: list[tuple[str, int | None, Hop]],
+) -> list[tuple[str, int | None, int, int]]:
+    """Route entries through one sub-switch, resolved to the physical
+    facts the emitted rules depend on: (phys dst address, in-VC,
+    out-VC, phys out port). Entries whose destination or port got no
+    hardware are dropped here (route-usage pruning)."""
+    resolved = []
+    for dst, in_vc, hop in entries:
+        if dst not in projection.host_map or hop.port.index not in sub.ports:
+            continue
+        phys_out = sub.phys_port_of(hop.port)
+        resolved.append(
+            (projection.host_map[dst], in_vc, hop.vc, phys_out.port)
+        )
+    return resolved
+
+
+def switch_rule_key(
+    sub: SubSwitch,
+    resolved: list[tuple[str, int | None, int, int]],
+    cookie: int,
+) -> str:
+    """Content hash of every input one sub-switch's rules depend on."""
+    ports = tuple(
+        (idx, pp.switch, pp.port) for idx, pp in sorted(sub.ports.items())
+    )
+    payload = repr(
+        ("rules-v1", cookie, sub.phys_switch, sub.metadata_id, ports,
+         tuple(resolved))
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _compile_subswitch(
+    sub: SubSwitch,
+    resolved: list[tuple[str, int | None, int, int]],
+    cookie: int,
+) -> CompiledSwitch:
+    """Emit one sub-switch's classification + routing FlowMods."""
+    out: list[tuple[str, FlowMod]] = []
+    # --- table 0: port -> sub-switch classification ---
+    for _idx, phys_port in sorted(sub.ports.items()):
+        out.append((
+            phys_port.switch,
+            FlowMod(
+                table_id=CLASSIFY_TABLE,
+                priority=PRIORITY_CLASSIFY,
+                match=Match(in_port=phys_port.port),
+                instructions=(
+                    WriteMetadata(sub.metadata_id),
+                    GotoTable(ROUTE_TABLE),
+                ),
+                cookie=cookie,
+            ),
+        ))
+    # --- table 1: destination-based routing within the sub-switch ---
+    for phys_dst, in_vc, out_vc, out_port in resolved:
+        actions: list = []
+        if in_vc is None:
+            match = Match(metadata=sub.metadata_id, dst=phys_dst)
+            priority = PRIORITY_ROUTE_WILD
+            if out_vc != 0:
+                actions.append(SetVC(out_vc))
+        else:
+            match = Match(metadata=sub.metadata_id, dst=phys_dst, vc=in_vc)
+            priority = PRIORITY_ROUTE_EXACT
+            if out_vc != in_vc:
+                actions.append(SetVC(out_vc))
+        actions.append(SetQueue(out_vc))
+        actions.append(Output(out_port))
+        out.append((
+            sub.phys_switch,
+            FlowMod(
+                table_id=ROUTE_TABLE,
+                priority=priority,
+                match=match,
+                instructions=(ApplyActions(actions),),
+                cookie=cookie,
+            ),
+        ))
+    metrics.registry().counter("sdt_rules_synthesized_total").inc(len(out))
+    return tuple(out)
+
+
 def synthesize_rules(
     projection: ProjectionResult,
     routes: RouteTable,
     *,
     cookie: int = 1,
+    cache: RuleCache | None = None,
 ) -> RuleSet:
-    """Compile a projection + route table into per-switch FlowMods."""
+    """Compile a projection + route table into per-switch FlowMods.
+
+    Compilation runs sub-switch by sub-switch; with a ``cache``, clean
+    sub-switches (content hash unchanged since a previous compile)
+    reuse their FlowMods instead of rebuilding them. The output is
+    identical with and without a cache — the incremental == from-
+    scratch property the differential tests pin down.
+    """
     if routes.topology is not projection.topology:
         # allow equal-by-structure tables but insist on matching names
         if routes.topology.name != projection.topology.name:
@@ -83,59 +225,23 @@ def synthesize_rules(
     rules = RuleSet(cookie=cookie)
     topo = projection.topology
 
-    # --- table 0: port -> sub-switch classification ---
+    by_switch: dict[str, list[tuple[str, int | None, Hop]]] = {}
+    for sw, dst, in_vc, hop in routes.entries():
+        by_switch.setdefault(sw, []).append((dst, in_vc, hop))
+
     for sw in topo.switches:
         sub = projection.subswitches[sw]
-        for _idx, phys_port in sorted(sub.ports.items()):
-            rules.add(
-                phys_port.switch,
-                FlowMod(
-                    table_id=CLASSIFY_TABLE,
-                    priority=PRIORITY_CLASSIFY,
-                    match=Match(in_port=phys_port.port),
-                    instructions=(
-                        WriteMetadata(sub.metadata_id),
-                        GotoTable(ROUTE_TABLE),
-                    ),
-                    cookie=cookie,
-                ),
-            )
-
-    # --- table 1: destination-based routing within each sub-switch ---
-    for sw, dst, in_vc, hop in routes.entries():
-        sub = projection.subswitches[sw]
-        if dst not in projection.host_map or hop.port.index not in sub.ports:
-            # route-usage pruning: this destination or port got no
-            # hardware, so no packet can ever need the rule
-            continue
-        phys_out = sub.phys_port_of(hop.port)
-        actions: list = []
-        if in_vc is None:
-            match = Match(metadata=sub.metadata_id, dst=projection.host_map[dst])
-            priority = PRIORITY_ROUTE_WILD
-            if hop.vc != 0:
-                actions.append(SetVC(hop.vc))
+        resolved = _resolved_entries(projection, sub, by_switch.get(sw, []))
+        if cache is None:
+            compiled = _compile_subswitch(sub, resolved, cookie)
         else:
-            match = Match(
-                metadata=sub.metadata_id,
-                dst=projection.host_map[dst],
-                vc=in_vc,
-            )
-            priority = PRIORITY_ROUTE_EXACT
-            if hop.vc != in_vc:
-                actions.append(SetVC(hop.vc))
-        actions.append(SetQueue(hop.vc))
-        actions.append(Output(phys_out.port))
-        rules.add(
-            phys_out.switch,
-            FlowMod(
-                table_id=ROUTE_TABLE,
-                priority=priority,
-                match=match,
-                instructions=(ApplyActions(actions),),
-                cookie=cookie,
-            ),
-        )
+            key = switch_rule_key(sub, resolved, cookie)
+            compiled = cache.get(key)
+            if compiled is None:
+                compiled = _compile_subswitch(sub, resolved, cookie)
+                cache.put(key, compiled)
+        for phys, mod in compiled:
+            rules.add(phys, mod)
     return rules
 
 

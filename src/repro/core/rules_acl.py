@@ -36,7 +36,6 @@ def synthesize_acl_rules(
 ) -> RuleSet:
     """Compile to a single flat ACL table: (in_port, dst[, vc]) rules."""
     rules = RuleSet(cookie=cookie)
-    topo = projection.topology
 
     for sw, dst, in_vc, hop in routes.entries():
         sub = projection.subswitches[sw]

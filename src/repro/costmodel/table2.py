@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.costmodel.model import TABLE2_COLUMNS, TpMethod, rate_label
+from repro.costmodel.model import TABLE2_COLUMNS, rate_label
 from repro.topology.dragonfly import dragonfly_stats
 from repro.topology.fattree import fat_tree_stats
 from repro.topology.torus import torus_stats

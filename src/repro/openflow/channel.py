@@ -48,12 +48,36 @@ class FlowMod:
     instructions: tuple
     cookie: int = 0
 
+    def __hash__(self) -> int:
+        # delta staging hashes whole rule generations; memoize so each
+        # FlowMod's (deep) field hash is computed once per object
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.table_id, self.priority, self.match,
+                      self.instructions, self.cookie))
+            object.__setattr__(self, "_hash", h)
+        return h
+
 
 @dataclass(frozen=True)
 class FlowDelete:
-    """Delete all entries carrying ``cookie`` (None = wipe)."""
+    """Delete entries matching every non-``None`` field.
+
+    The classic SDT teardown is cookie-only (``FlowDelete(cookie=c)``
+    retires one deployment generation; all-``None`` wipes the switch).
+    The incremental reconfigurer additionally sets ``table_id`` /
+    ``priority`` / ``match`` for an OFPFC_DELETE_STRICT that removes a
+    single stale entry while its unchanged neighbors stay installed.
+    """
 
     cookie: int | None = None
+    table_id: int | None = None
+    priority: int | None = None
+    match: Match | None = None
+
+    @property
+    def strict(self) -> bool:
+        return self.match is not None
 
 
 @dataclass(frozen=True)
@@ -135,12 +159,20 @@ class ControlChannel:
         if isinstance(msg, FlowDelete):
             self.stats.flow_deletes += 1
             self.stats.modeled_time += self.flow_install_latency
-            removed = self.switch.remove_flows(cookie=msg.cookie)
+            removed = self.switch.remove_flows(
+                cookie=msg.cookie,
+                table_id=msg.table_id,
+                priority=msg.priority,
+                match=msg.match,
+            )
             if tracer is not None:
                 tracer.event(
                     "ctrl.flow_delete",
                     switch=self.switch.dpid,
                     cookie=msg.cookie,
+                    table=msg.table_id,
+                    priority=msg.priority,
+                    match=None if msg.match is None else repr(msg.match),
                     removed=removed,
                     latency=self.flow_install_latency,
                 )

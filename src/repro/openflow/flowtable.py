@@ -34,10 +34,40 @@ class FlowEntry:
 
 @dataclass
 class FlowTable:
-    """A single numbered flow table."""
+    """A single numbered flow table.
+
+    Alongside the priority-ordered entry list the table keeps a
+    (priority, match) index so strict deletes — the bulk of an
+    incremental reconfiguration's delta batch — resolve without
+    comparing every entry's match.
+    """
 
     table_id: int
     _entries: list[FlowEntry] = field(default_factory=list)
+    _exact: dict[tuple[int, Match], list[FlowEntry]] = field(
+        init=False, repr=False, default_factory=dict
+    )
+    #: ids of entries strict-deleted but not yet compacted out of
+    #: ``_entries``; the list keeps referencing them, so the ids cannot
+    #: be recycled before :meth:`_compact` drops both together
+    _dead: set[int] = field(init=False, repr=False, default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self._entries:
+            self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        index: dict[tuple[int, Match], list[FlowEntry]] = {}
+        for e in self._entries:
+            index.setdefault((e.priority, e.match), []).append(e)
+        self._exact = index
+
+    def _compact(self) -> None:
+        if self._dead:
+            self._entries = [
+                e for e in self._entries if id(e) not in self._dead
+            ]
+            self._dead.clear()
 
     def add(self, entry: FlowEntry) -> None:
         """Insert keeping descending priority; stable for equal priority
@@ -49,9 +79,36 @@ class FlowTable:
                 idx = i
                 break
         self._entries.insert(idx, entry)
+        self._exact.setdefault((entry.priority, entry.match), []).append(entry)
 
-    def remove(self, *, cookie: int | None = None, match: Match | None = None) -> int:
-        """Remove entries by cookie and/or exact match; returns count."""
+    def remove(
+        self,
+        *,
+        cookie: int | None = None,
+        match: Match | None = None,
+        priority: int | None = None,
+    ) -> int:
+        """Remove entries by cookie / exact match / priority (``None``
+        fields are wildcards); returns count."""
+        if match is not None and priority is not None:
+            # strict path: resolve through the index and only *mark*
+            # the victims dead — a delta batch of hundreds of strict
+            # deletes then costs O(victims), with one compaction at the
+            # next read instead of a list rebuild per message
+            bucket = self._exact.get((priority, match), [])
+            victims = [
+                e for e in bucket if cookie is None or e.cookie == cookie
+            ]
+            if not victims:
+                return 0
+            self._dead.update(map(id, victims))
+            survivors = [e for e in bucket if id(e) not in self._dead]
+            if survivors:
+                self._exact[(priority, match)] = survivors
+            else:
+                del self._exact[(priority, match)]
+            return len(victims)
+        self._compact()
         before = len(self._entries)
         self._entries = [
             e
@@ -59,36 +116,47 @@ class FlowTable:
             if not (
                 (cookie is None or e.cookie == cookie)
                 and (match is None or e.match == match)
+                and (priority is None or e.priority == priority)
             )
         ]
-        return before - len(self._entries)
+        removed = before - len(self._entries)
+        if removed:
+            self._rebuild_index()
+        return removed
 
     def clear(self) -> int:
-        n = len(self._entries)
+        n = len(self)
         self._entries.clear()
+        self._exact.clear()
+        self._dead.clear()
         return n
 
     def snapshot(self) -> tuple[FlowEntry, ...]:
         """The table's entries in priority order, as an immutable copy
         of the membership (entry objects are shared, so counters keep
         accumulating across snapshot/restore)."""
+        self._compact()
         return tuple(self._entries)
 
     def restore(self, entries: tuple[FlowEntry, ...]) -> None:
         """Replace the table's contents with a prior :meth:`snapshot`."""
         self._entries = list(entries)
+        self._dead.clear()
+        self._rebuild_index()
 
     def lookup(
         self, in_port: int, metadata: int, header: PacketHeader
     ) -> FlowEntry | None:
         """Highest-priority matching entry, or None (table miss)."""
+        self._compact()
         for e in self._entries:
             if e.match.matches(in_port, metadata, header):
                 return e
         return None
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._entries) - len(self._dead)
 
     def __iter__(self) -> Iterator[FlowEntry]:
+        self._compact()
         return iter(self._entries)

@@ -12,7 +12,7 @@ the TCAM limit that §VII-C identifies as SDT's scarcest resource.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.openflow.actions import (
     ApplyActions,
@@ -146,11 +146,29 @@ class OpenFlowSwitch:
     def remove_group(self, group_id: int) -> bool:
         return self.groups.pop(group_id, None) is not None
 
-    def remove_flows(self, *, cookie: int | None = None) -> int:
-        """Remove entries by cookie across all tables (None = all)."""
+    def remove_flows(
+        self,
+        *,
+        cookie: int | None = None,
+        table_id: int | None = None,
+        priority: int | None = None,
+        match: Match | None = None,
+    ) -> int:
+        """Remove entries matching every given filter across the
+        selected table(s); all-``None`` wipes the switch. A fully
+        specified (table, priority, match, cookie) filter is the
+        OFPFC_DELETE_STRICT the incremental reconfigurer uses to retire
+        individual stale rules."""
+        strict = not (cookie is None and priority is None and match is None)
         removed = 0
-        for t in self.tables:
-            removed += t.clear() if cookie is None else t.remove(cookie=cookie)
+        for tid, t in enumerate(self.tables):
+            if table_id is not None and tid != table_id:
+                continue
+            removed += (
+                t.remove(cookie=cookie, match=match, priority=priority)
+                if strict
+                else t.clear()
+            )
         if removed and trace.enabled():
             self._publish_occupancy()
         return removed
@@ -162,6 +180,16 @@ class OpenFlowSwitch:
         return sum(
             1 for t in self.tables for e in t if e.cookie == cookie
         )
+
+    def entry_keys(self) -> list[tuple[int, int, Match, int]]:
+        """Every installed entry as a (table, priority, match, cookie)
+        identity tuple — the currency of transaction peak-capacity
+        simulation and delta staging."""
+        return [
+            (tid, e.priority, e.match, e.cookie)
+            for tid, t in enumerate(self.tables)
+            for e in t
+        ]
 
     def snapshot(self) -> SwitchSnapshot:
         """Capture the full rule state for transaction rollback."""

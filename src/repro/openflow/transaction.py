@@ -55,6 +55,23 @@ StagedMessage = FlowMod | FlowDelete
 
 
 @dataclass(frozen=True)
+class DeltaStats:
+    """What :meth:`ControlTransaction.stage_delta` actually staged."""
+
+    #: FlowMods for entries only in the new generation
+    installs: int
+    #: strict FlowDeletes for entries only in the old generation
+    deletes: int
+    #: entries shared by both generations, left untouched on-switch
+    unchanged: int
+
+    @property
+    def pushed(self) -> int:
+        """Control messages the delta costs (the Fig. 13 currency)."""
+        return self.installs + self.deletes
+
+
+@dataclass(frozen=True)
 class RollbackReport:
     """What a failed commit's rollback did."""
 
@@ -111,6 +128,90 @@ class ControlTransaction:
         for name in switch_names:
             self.stage(name, FlowDelete(cookie=cookie))
 
+    def stage_delta(
+        self,
+        old_mods: Mapping[str, Iterable[FlowMod]],
+        new_mods: Mapping[str, Iterable[FlowMod]],
+    ) -> DeltaStats:
+        """Stage only the difference between two rule generations.
+
+        For each switch, entries present in both generations are left
+        untouched on the hardware; entries only in ``new_mods`` are
+        staged as installs, entries only in ``old_mods`` as strict
+        deletes (table + priority + match + cookie). Fresh installs are
+        staged before any delete, so the per-switch discipline is
+        make-before-break with a transient peak of ``steady state +
+        additions`` — O(changed rules), not O(topology).
+
+        A *modified* rule — same switch identity (table, priority,
+        match, cookie) in both generations but different instructions —
+        is the one exception: its strict delete cannot tell the old
+        entry from the new one, so its delete is staged immediately
+        *before* its install (a per-entry break-before-make; OpenFlow
+        has OFPFC_MODIFY for this, which this channel does not model).
+
+        Each generation must be duplicate-free per switch under that
+        identity (rule synthesis guarantees this: matches are keyed by
+        port or by (metadata, dst, vc)); a duplicate would make a
+        strict delete ambiguous, so it is rejected.
+        """
+        self._check_open()
+
+        def identity(m: FlowMod) -> tuple:
+            return (m.table_id, m.priority, m.match, m.cookie)
+
+        installs = deletes = unchanged = 0
+        for name in {*old_mods, *new_mods}:
+            old_list = list(old_mods.get(name, ()))
+            new_list = list(new_mods.get(name, ()))
+            old_keys = {identity(m) for m in old_list}
+            new_keys = {identity(m) for m in new_list}
+            if (
+                len(old_keys) != len(old_list)
+                or len(new_keys) != len(new_list)
+            ):
+                raise TransactionError(
+                    f"{self._tag}: duplicate rules on {name!r} make a "
+                    "delta ambiguous; stage full generations instead"
+                )
+            old_set, new_set = set(old_list), set(new_list)
+            added = [m for m in new_list if m not in old_set]
+            removed = [m for m in old_list if m not in new_set]
+            unchanged += len(old_list) - len(removed)
+            installs += len(added)
+            deletes += len(removed)
+
+            removed_keys = {identity(m) for m in removed}
+            fresh = [m for m in added if identity(m) not in removed_keys]
+            modified = [m for m in added if identity(m) in removed_keys]
+            modified_keys = {identity(m) for m in modified}
+
+            def strict_delete(m: FlowMod) -> FlowDelete:
+                return FlowDelete(
+                    cookie=m.cookie,
+                    table_id=m.table_id,
+                    priority=m.priority,
+                    match=m.match,
+                )
+
+            self.stage(name, *fresh)
+            for mod in modified:
+                old_mod = next(
+                    m for m in removed if identity(m) == identity(mod)
+                )
+                self.stage(name, strict_delete(old_mod), mod)
+            self.stage(
+                name,
+                *(
+                    strict_delete(m)
+                    for m in removed
+                    if identity(m) not in modified_keys
+                ),
+            )
+        return DeltaStats(
+            installs=installs, deletes=deletes, unchanged=unchanged
+        )
+
     def add_validator(self, check: Callable[[], None]) -> None:
         """Register an extra pre-commit check (raise to veto the
         commit); runs after the built-in capacity validation."""
@@ -124,30 +225,64 @@ class ControlTransaction:
     # --- validation ---------------------------------------------------
     def peak_entry_counts(self) -> dict[str, int]:
         """Worst-case installed-entry count per switch while the staged
-        batch applies, walking messages in staging order."""
+        batch applies, walking messages in staging order.
+
+        This is an exact multiset simulation over entry identities
+        (table, priority, match, cookie): a delete — wildcard, cookie,
+        or strict — subtracts precisely the entries it would remove at
+        that point in the batch, including ones staged earlier in the
+        same transaction. Unchanged live entries that the batch never
+        touches are counted once, never re-counted — a delta batch's
+        peak is ``steady state + additions``, not ``2x steady state``.
+        """
         peaks: dict[str, int] = {}
         for name, msgs in self._ops.items():
             switch = self.control.channel(name).switch
-            count = switch.num_entries
+            entries: dict[tuple, int] = {}
+            for key in switch.entry_keys():
+                entries[key] = entries.get(key, 0) + 1
+            count = sum(entries.values())
             peak = count
-            staged_by_cookie: dict[int, int] = {}
             for msg in msgs:
                 if isinstance(msg, FlowMod):
+                    key = (msg.table_id, msg.priority, msg.match, msg.cookie)
+                    entries[key] = entries.get(key, 0) + 1
                     count += 1
-                    staged_by_cookie[msg.cookie] = (
-                        staged_by_cookie.get(msg.cookie, 0) + 1
-                    )
                 else:  # FlowDelete
-                    if msg.cookie is None:
-                        count = 0
-                        staged_by_cookie.clear()
-                    else:
-                        count -= switch.count_entries(
-                            cookie=msg.cookie
-                        ) + staged_by_cookie.pop(msg.cookie, 0)
+                    count -= self._simulate_delete(entries, msg)
                 peak = max(peak, count)
             peaks[name] = peak
         return peaks
+
+    @staticmethod
+    def _simulate_delete(entries: dict[tuple, int], msg: FlowDelete) -> int:
+        """Apply ``msg`` to a simulated entry multiset; returns how many
+        entries it removes (mirrors OpenFlowSwitch.remove_flows)."""
+        if (
+            msg.table_id is not None
+            and msg.priority is not None
+            and msg.match is not None
+            and msg.cookie is not None
+        ):
+            # fully-strict delete: the filter IS an entry identity, so
+            # it maps to one multiset key (O(1), not a table scan —
+            # delta batches stage hundreds of these)
+            return entries.pop(
+                (msg.table_id, msg.priority, msg.match, msg.cookie), 0
+            )
+        removed = 0
+        for key in list(entries):
+            table_id, priority, match, cookie = key
+            if msg.table_id is not None and table_id != msg.table_id:
+                continue
+            if msg.priority is not None and priority != msg.priority:
+                continue
+            if msg.match is not None and match != msg.match:
+                continue
+            if msg.cookie is not None and cookie != msg.cookie:
+                continue
+            removed += entries.pop(key)
+        return removed
 
     def validate(self) -> None:
         """Run every check a commit would run, without committing."""

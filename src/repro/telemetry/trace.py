@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Callable, Iterable
+from typing import Any, Callable
 
 #: bumped when the record layout changes incompatibly
 SCHEMA_VERSION = 1

@@ -32,7 +32,7 @@ from repro.core.controller.controller import SDTController
 from repro.core.projection.pruning import route_usage
 from repro.hardware.cluster import PhysicalCluster
 from repro.hardware.spec import EVAL_256x10G, SwitchSpec
-from repro.mpi.engine import MpiJob, MpiResult
+from repro.mpi.engine import MpiJob
 from repro.netsim.network import (
     NetworkConfig,
     build_logical_network,

@@ -12,7 +12,7 @@ from repro.core import build_cluster_for
 from repro.core.projection import LinkProjection
 from repro.core.rules import synthesize_rules
 from repro.core.rules_acl import synthesize_acl_rules
-from repro.hardware import H3C_S6861, OPENFLOW_128x100G, PhysicalCluster
+from repro.hardware import OPENFLOW_128x100G
 from repro.openflow import OpenFlowSwitch, PacketHeader
 from repro.routing import routes_for
 from repro.topology import chain, dragonfly, fat_tree, torus2d

@@ -23,6 +23,7 @@ def test_check_projects_exactly_once(controller, monkeypatch):
     """Regression: check() used to partition twice and project the same
     topology a second time inside the flow-capacity estimate."""
     import repro.core.projection.linkproj as lp
+    import repro.partition.cache as pc
 
     calls = {"project": 0, "partition": 0}
     orig_project = lp.LinkProjection.project
@@ -38,6 +39,8 @@ def test_check_projects_exactly_once(controller, monkeypatch):
 
     monkeypatch.setattr(lp.LinkProjection, "project", counting_project)
     monkeypatch.setattr(lp, "partition_topology", counting_partition)
+    # the controller routes partitioning through its PartitionCache
+    monkeypatch.setattr(pc, "partition_topology", counting_partition)
 
     assert controller.check(FT4) == []
     assert calls == {"project": 1, "partition": 1}

@@ -7,7 +7,6 @@ from repro.hardware import EVAL_256x10G
 from repro.mpi import MpiJob
 from repro.netsim import build_sdt_network
 from repro.routing import reroute_avoiding, routes_for
-from repro.routing.table import RouteTable
 from repro.topology import chain, fat_tree, torus2d
 from repro.util.errors import RoutingError
 from repro.workloads import workload
@@ -87,7 +86,6 @@ def test_failed_link_carries_no_traffic(torus_deployment):
     link = dep.topology.link_between("s0-0", "s1-0")
     controller.fail_link(dep, link.index)
 
-    net = build_sdt_network(controller.cluster, dep)
     realization = dep.projection.link_realization[link.index]
     run_alltoall(controller, dep)  # separate network; just reuse rules
 

@@ -10,7 +10,7 @@ from repro.hardware import (
     PhysicalCluster,
     default_wiring,
 )
-from repro.topology import chain, fat_tree
+from repro.topology import chain
 from repro.util.errors import CapacityError, WiringError
 
 

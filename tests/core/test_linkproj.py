@@ -12,7 +12,7 @@ from repro.core.projection import (
 from repro.hardware import H3C_S6861, PhysicalCluster
 from repro.hardware.wiring import HostPort, InterSwitchLink, SelfLink
 from repro.partition import partition_topology
-from repro.topology import chain, fat_tree, torus2d
+from repro.topology import fat_tree, torus2d
 from repro.util.errors import CapacityError
 
 

@@ -1,6 +1,6 @@
 """Network Monitor (§V-3): polling, load estimation, steering."""
 
-from repro.core import SDTController, TopologyConfig
+from repro.core import TopologyConfig
 from repro.core.controller.monitor import NetworkMonitor
 from repro.core.rules import PRIORITY_OVERRIDE
 from repro.netsim import RoceTransport, build_sdt_network
@@ -52,7 +52,7 @@ def test_logical_port_load_maps_through_projection(controller):
 
 
 def test_unpolled_port_reports_zero(controller):
-    dep = controller.deploy(TopologyConfig("fat-tree", {"k": 4}))
+    controller.deploy(TopologyConfig("fat-tree", {"k": 4}))
     assert controller.monitor.port_utilization("phys0", 1) == 0.0
 
 

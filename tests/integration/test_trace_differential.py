@@ -20,11 +20,13 @@ import json
 
 import pytest
 
+from repro.bench import _config_for
 from repro.core import SDTController, TopologyConfig, build_cluster_for
 from repro.hardware import H3C_S6861
 from repro.openflow.channel import _entry_record
 from repro.telemetry import Tracer, install_tracer, load_trace, uninstall_tracer
 from repro.topology import fat_tree, torus2d
+from repro.topology.diff import rebuild, removable_switch_links
 from repro.util.errors import ReproError
 from tests.proptools import seeded_cases
 
@@ -47,14 +49,28 @@ def _fresh_controller() -> SDTController:
 
 
 def _random_ops(controller: SDTController, rng) -> None:
-    """Deploy, then a random mix of swaps, failures, and repairs."""
+    """Deploy, then a random mix of swaps, edits, failures, repairs."""
     deployment = controller.deploy(CONFIGS[int(rng.integers(len(CONFIGS)))])
     for _ in range(int(rng.integers(3, 7))):
-        op = int(rng.integers(3))
+        op = int(rng.integers(4))
         if op == 0:
             deployment, _t = controller.reconfigure(
                 CONFIGS[int(rng.integers(len(CONFIGS)))]
             )
+        elif op == 3:
+            # a 1-link edit: exercises the incremental path's strict
+            # FlowDelete delta (falls back to cold when pinned)
+            keys = removable_switch_links(deployment.topology)
+            if not keys:
+                continue
+            edited = rebuild(
+                deployment.topology,
+                drop_links={keys[int(rng.integers(len(keys)))]},
+            )
+            try:
+                deployment, _t = controller.reconfigure(_config_for(edited))
+            except ReproError:
+                pass  # edit refused (capacity): still journaled
         elif op == 1:
             links = deployment.topology.switch_links
             try:
@@ -81,10 +97,24 @@ def _replay(path) -> dict[str, list[dict]]:
                 {k: attrs[k] for k in _ENTRY_KEYS}
             )
         elif rec["name"] == "ctrl.flow_delete":
-            cookie = attrs["cookie"]
             table = state.setdefault(attrs["switch"], [])
-            kept = [e for e in table
-                    if cookie is not None and e["cookie"] != cookie]
+
+            def doomed(e: dict) -> bool:
+                # every non-None filter must match (strict deletes set
+                # table/priority/match; classic teardown is cookie-only;
+                # all-None wipes the switch)
+                for field, key in (
+                    ("cookie", "cookie"),
+                    ("table", "table"),
+                    ("priority", "priority"),
+                    ("match", "match"),
+                ):
+                    want = attrs.get(field)
+                    if want is not None and e[key] != want:
+                        return False
+                return True
+
+            kept = [e for e in table if not doomed(e)]
             assert len(table) - len(kept) == attrs["removed"], (
                 f"journal said {attrs['removed']} entries removed, "
                 f"replay removed {len(table) - len(kept)}"
@@ -138,3 +168,47 @@ def test_trace_replay_matches_live_switch_state(case, rng, tmp_path):
         assert _multiset(replayed.get(switch, [])) == _multiset(entries), (
             f"case {case}: replayed state diverges on {switch}"
         )
+
+
+def test_incremental_edit_journals_strict_deletes_faithfully(tmp_path):
+    """A 1-link incremental edit pushes strict deletes; the journal must
+    capture them precisely enough that replay reconstructs the exact
+    post-edit switch state — and that state must be bit-identical to a
+    from-scratch install of the deployment's compiled rules."""
+    base = fat_tree(4)
+    edited = rebuild(base, drop_links={removable_switch_links(base)[0]})
+
+    controller = _fresh_controller()
+    tracer = install_tracer(Tracer())
+    try:
+        controller.deploy(_config_for(base))
+        deployment, _t = controller.reconfigure(_config_for(edited))
+    finally:
+        uninstall_tracer()
+    path = tmp_path / "incremental.jsonl"
+    tracer.dump(path)
+
+    strict = [
+        r for r in load_trace(path)
+        if r["type"] == "event"
+        and r["name"] == "ctrl.flow_delete"
+        and r["attrs"].get("match") is not None
+    ]
+    assert strict, "incremental edit staged no strict deletes"
+
+    live = _live_state(controller)
+    replayed = _replay(path)
+    for switch, entries in live.items():
+        assert _multiset(replayed.get(switch, [])) == _multiset(entries)
+
+    # from-scratch differential: replaying only the *final* rule set as
+    # plain installs onto an empty model gives the same multisets
+    scratch = {
+        switch: [
+            _entry_record(mod.table_id, mod)
+            for mod in mods
+        ]
+        for switch, mods in deployment.rules.mods.items()
+    }
+    for switch, entries in live.items():
+        assert _multiset(scratch.get(switch, [])) == _multiset(entries)

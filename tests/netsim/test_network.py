@@ -11,7 +11,7 @@ from repro.netsim import (
     build_sdt_network,
 )
 from repro.routing import routes_for
-from repro.topology import chain, fat_tree
+from repro.topology import fat_tree
 
 
 def pingpong_rtt(net, a, b, nbytes=1024, reps=10):

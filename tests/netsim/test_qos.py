@@ -1,7 +1,6 @@
 """QoS: DWRR egress scheduling (bandwidth shares by weight)."""
 
 import numpy as np
-import pytest
 
 from repro.netsim import HostNode, Packet, PortConfig, Simulator
 from repro.openflow import PacketHeader

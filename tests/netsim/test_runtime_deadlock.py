@@ -63,9 +63,8 @@ def pressure_programs(n, nbytes):
 def tiny_buffer_config():
     """Small PFC thresholds so the cycle closes quickly."""
     cfg = NetworkConfig()
-    pc = cfg.port_config()
-    # monkey-free: NetworkConfig doesn't expose thresholds directly;
-    # build and then shrink every port's thresholds
+    # NetworkConfig doesn't expose thresholds directly; callers build
+    # the network and then shrink every port's thresholds afterwards
     return cfg
 
 

@@ -2,7 +2,7 @@
 
 from repro.core import SDTController
 from repro.hardware import H3C_S6861, PhysicalCluster
-from repro.netsim import RoceTransport, Sniffer, build_logical_network, build_sdt_network
+from repro.netsim import RoceTransport, Sniffer, build_logical_network
 from repro.routing import routes_for
 from repro.topology import chain
 

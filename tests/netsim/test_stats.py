@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim import NetworkConfig, build_logical_network
+from repro.netsim import build_logical_network
 from repro.netsim.stats import FlowStats
 from repro.routing import routes_for
 from repro.topology import chain

@@ -108,7 +108,7 @@ def test_dcqcn_alpha_decays_without_cnp():
 def test_cnp_generated_on_marking():
     """Saturating incast with ECN on must elicit CNPs and rate cuts."""
     topo, net = simple_net(ecn=True)
-    rx = RoceTransport(net, "h3")
+    RoceTransport(net, "h3")  # receiver must exist to generate CNPs
     senders = [RoceTransport(net, h) for h in ("h0", "h1", "h2")]
     for tx in senders:
         tx.send("h3", 2 * 1024 * 1024)

@@ -1,0 +1,145 @@
+"""Reconfiguration benchmark harness: gate logic and a smoke run."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import (
+    MIN_GATE_SECONDS,
+    SCENARIOS,
+    compare_to_baseline,
+    render_report,
+    run_scenario,
+    run_suite,
+)
+from repro.cli import build_parser
+
+
+def _scenario(
+    name: str = "fattree-k8",
+    *,
+    cold: float = 0.8,
+    inc: float = 0.2,
+    pushed: int = 500,
+    mode: str = "incremental",
+) -> dict:
+    return {
+        "scenario": name,
+        "mode": mode,
+        "cold_deploy_s": cold,
+        "incremental_reconfigure_s": inc,
+        "rules_pushed": pushed,
+    }
+
+
+def _report(*scenarios: dict) -> dict:
+    return {"scenarios": list(scenarios)}
+
+
+def test_identical_reports_pass():
+    base = _report(_scenario())
+    assert compare_to_baseline(_report(_scenario()), base) == []
+
+
+def test_wall_time_regression_fails_on_measurable_scenario():
+    base = _report(_scenario(cold=0.8, inc=0.2))
+    cur = _report(_scenario(cold=0.8, inc=0.5))  # ratio 0.25 -> 0.625
+    problems = compare_to_baseline(cur, base)
+    assert len(problems) == 1
+    assert "wall-time ratio regressed" in problems[0]
+
+
+def test_wall_time_regression_is_machine_normalized():
+    # a uniformly 3x slower machine keeps the incremental/cold ratio:
+    # not a regression of the incremental path itself
+    base = _report(_scenario(cold=0.8, inc=0.2))
+    cur = _report(_scenario(cold=2.4, inc=0.6))
+    assert compare_to_baseline(cur, base) == []
+
+
+def test_small_scenario_wall_jitter_is_not_gated():
+    cold = MIN_GATE_SECONDS / 2  # single-digit-ms scenarios jitter >25%
+    base = _report(_scenario("fattree-k4", cold=cold, inc=cold / 4))
+    cur = _report(_scenario("fattree-k4", cold=cold, inc=cold))
+    assert compare_to_baseline(cur, base) == []
+
+
+def test_rules_pushed_regression_fails_even_on_small_scenarios():
+    cold = MIN_GATE_SECONDS / 2
+    base = _report(_scenario("fattree-k4", cold=cold, pushed=100))
+    cur = _report(_scenario("fattree-k4", cold=cold, pushed=200))
+    problems = compare_to_baseline(cur, base)
+    assert len(problems) == 1
+    assert "rules pushed regressed" in problems[0]
+
+
+def test_cold_fallback_fails_when_baseline_ran_incrementally():
+    base = _report(_scenario())
+    cur = _report(_scenario(mode="cold"))
+    problems = compare_to_baseline(cur, base)
+    assert len(problems) == 1
+    assert "fell back to the cold path" in problems[0]
+
+
+def test_cold_baseline_does_not_gate_mode():
+    base = _report(_scenario(mode="cold"))
+    assert compare_to_baseline(_report(_scenario(mode="cold")), base) == []
+
+
+def test_scenarios_missing_from_baseline_are_skipped():
+    # quick runs gate against a full baseline and vice versa
+    base = _report(_scenario("fattree-k8"))
+    cur = _report(_scenario("torus-10x10", inc=0.79, pushed=9999))
+    assert compare_to_baseline(cur, base) == []
+
+
+def test_within_tolerance_passes():
+    base = _report(_scenario(inc=0.2, pushed=500))
+    cur = _report(_scenario(inc=0.23, pushed=550))  # +15%, +10%
+    assert compare_to_baseline(cur, base) == []
+    assert compare_to_baseline(cur, base, tolerance=0.05) != []
+
+
+def test_run_scenario_smoke():
+    record = run_scenario(SCENARIOS[0], repeats=1)  # fattree-k4
+    assert record["scenario"] == "fattree-k4"
+    assert record["mode"] == "incremental"
+    assert record["cold_deploy_s"] > 0
+    assert record["incremental_reconfigure_s"] > 0
+    assert record["speedup"] > 0
+    assert 0 < record["rules_pushed"] < record["rules_installed_cold"]
+    assert record["rules_unchanged"] > 0
+    assert 0.0 < record["rule_cache_hit_rate"] <= 1.0
+    # clean sub-switches were not recompiled
+    assert (
+        record["rules_synthesized_incremental"]
+        < record["rules_synthesized_cold"]
+    )
+    # the record is a self-comparison fixed point and JSON-serializable
+    report = {"scenarios": [record]}
+    assert compare_to_baseline(report, json.loads(json.dumps(report))) == []
+    assert "fattree-k4" in render_report(
+        {**report, "quick": True, "repeats": 1}
+    )
+
+
+def test_run_suite_shape(monkeypatch):
+    # keep the smoke fast: suite plumbing with only the smallest scenario
+    import repro.bench as bench
+
+    monkeypatch.setattr(bench, "SCENARIOS", SCENARIOS[:1])
+    report = bench.run_suite(quick=True, repeats=1)
+    assert report["schema"] == 1
+    assert report["suite"] == "reconfig"
+    assert [s["scenario"] for s in report["scenarios"]] == ["fattree-k4"]
+    assert set(report["cache"]) == {"hits", "misses", "hit_rate"}
+
+
+def test_cli_bench_parser_defaults():
+    args = build_parser().parse_args(["bench", "--quick"])
+    assert args.quick is True
+    assert args.repeats == 3
+    assert args.out == "BENCH_reconfig.json"
+    assert args.baseline is None
+    assert args.tolerance == 0.25
+    assert args.fn.__name__ == "cmd_bench"

@@ -1,7 +1,5 @@
 """Emulator cost model — quantifying Table I's emulator column."""
 
-import pytest
-
 from repro.testbed import EmulationHost, estimate_emulation
 from repro.topology import chain, fat_tree
 from repro.util.units import gbps

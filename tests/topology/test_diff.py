@@ -1,0 +1,114 @@
+"""Logical-topology diffing and editing helpers (DESIGN.md §6)."""
+
+import pytest
+
+from repro.topology import Topology, chain, fat_tree
+from repro.topology.diff import (
+    diff_topologies,
+    link_key,
+    link_keys,
+    rebuild,
+    removable_switch_links,
+)
+from repro.util.errors import TopologyError
+
+
+def _triangle(name="tri") -> Topology:
+    t = Topology(name)
+    for s in ("a", "b", "c"):
+        t.add_switch(s)
+    t.connect("a", "b")
+    t.connect("b", "c")
+    t.connect("a", "c")
+    t.add_host("h0")
+    t.connect("a", "h0")
+    return t
+
+
+def test_link_key_is_order_independent():
+    assert link_key("x", "y") == link_key("y", "x") == ("x", "y")
+
+
+def test_link_keys_covers_every_link():
+    t = _triangle()
+    assert link_keys(t) == {
+        ("a", "b"), ("b", "c"), ("a", "c"), ("a", "h0"),
+    }
+
+
+def test_diff_identical_topologies_is_empty():
+    d = diff_topologies(fat_tree(4), fat_tree(4))
+    assert d.is_empty()
+    assert d.num_changes == 0
+    assert d.touched_nodes() == set()
+
+
+def test_diff_reports_each_change_class():
+    old = _triangle()
+    new = Topology("tri")
+    for s in ("a", "b", "d"):  # c removed, d added
+        new.add_switch(s)
+    new.connect("a", "b")
+    new.connect("b", "d")
+    new.add_host("h1")  # h0 removed, h1 added
+    new.connect("a", "h1")
+
+    d = diff_topologies(old, new)
+    assert d.added_switches == {"d"}
+    assert d.removed_switches == {"c"}
+    assert d.added_hosts == {"h1"}
+    assert d.removed_hosts == {"h0"}
+    assert d.added_links == {("b", "d"), ("a", "h1")}
+    assert d.removed_links == {("b", "c"), ("a", "c"), ("a", "h0")}
+    assert d.num_changes == 9
+    # endpoints of changed links + changed nodes
+    assert d.touched_nodes() == {"a", "b", "c", "d", "h0", "h1"}
+
+
+def test_diff_rejects_node_kind_change():
+    old = _triangle()
+    new = Topology("tri")
+    for s in ("a", "b", "c"):
+        new.add_switch(s)
+    new.add_switch("h0")  # was a host
+    new.connect("a", "b")
+    new.connect("b", "c")
+    new.connect("a", "c")
+    new.connect("a", "h0")
+    with pytest.raises(TopologyError, match="changed kind"):
+        diff_topologies(old, new)
+
+
+def test_rebuild_single_link_edit_round_trips():
+    base = fat_tree(4)
+    key = removable_switch_links(base)[0]
+    edited = rebuild(base, drop_links={key})
+
+    d = diff_topologies(base, edited)
+    assert d.removed_links == {key}
+    assert d.added_links == set()
+    assert not d.added_switches and not d.removed_switches
+
+    # re-adding the link restores the original link set
+    restored = rebuild(edited, add_links=[key])
+    assert link_keys(restored) == link_keys(base)
+    assert diff_topologies(base, restored).is_empty()
+
+
+def test_rebuild_is_deterministic():
+    base = fat_tree(4)
+    key = removable_switch_links(base)[0]
+    a = rebuild(base, drop_links={key})
+    b = rebuild(base, drop_links={key})
+    assert [l.endpoints for l in a.links] == [l.endpoints for l in b.links]
+    assert a.switches == b.switches and a.hosts == b.hosts
+
+
+def test_removable_switch_links_excludes_bridges():
+    # a chain is all bridges: nothing is removable
+    assert removable_switch_links(chain(6)) == []
+    # every fat-tree switch link sits on a cycle: all removable
+    ft = fat_tree(4)
+    assert set(removable_switch_links(ft)) == {
+        link_key(*l.endpoints) for l in ft.switch_links
+    }
