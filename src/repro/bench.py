@@ -1,7 +1,7 @@
 """Reconfiguration benchmarks: cold deploy vs incremental reconfigure.
 
 The paper's headline operational claim (Fig. 2, Table II) is that SDT
-turns topology changes into a flow-table push; DESIGN.md §6 sharpens
+turns topology changes into a flow-table push; DESIGN.md §5b sharpens
 that into *incremental* reconfiguration — a small logical edit should
 cost O(changed links), not O(topology). This module measures exactly
 that contrast, per scenario:
@@ -215,6 +215,172 @@ def run_suite(*, quick: bool = False, repeats: int = DEFAULT_REPEATS) -> dict:
     }
 
 
+#: the multi-tenant bench scenario: three tenants sharing one pool,
+#: plus one deliberately over-quota tenant whose rejection (and its
+#: zero-mutation guarantee) is part of what the gate pins down
+_MT_TENANTS: tuple[tuple[str, int, int, str, dict], ...] = (
+    # (tenant, host_ports, tcam_share, kind, params)
+    ("hpc-lab", 24, 2500, "fat-tree", {"k": 4}),
+    ("torus-team", 12, 2000, "torus2d",
+     {"x": 3, "y": 3, "hosts_per_switch": 1}),
+    # the 6-chain partitions unevenly (3 hosts on one switch), so the
+    # lease must cover 3 per switch under round-robin allocation
+    ("chain-crew", 9, 1500, "chain",
+     {"num_switches": 6, "hosts_per_switch": 1}),
+    # 4 leased ports cannot host fat-tree k=4's 16 hosts: rejected
+    ("greedy", 4, 2000, "fat-tree", {"k": 4}),
+)
+
+
+def run_multitenant_suite(*, repeats: int = DEFAULT_REPEATS) -> dict:
+    """Benchmark the multi-tenant service path on a fixed scenario.
+
+    Wall time covers the whole serve: session admission, scheduling,
+    preparation, transactional install, and the post-commit isolation
+    verification. The deterministic fields the baseline gate pins are
+    per-tenant installed rule counts, the admitted/rejected split, and
+    ``isolation_ok`` — any drift there is a behavior change, not noise.
+    """
+    from repro.tenancy import (
+        TenantQuota,
+        TestbedService,
+        build_pool_for_tenants,
+    )
+    from repro.util.errors import AdmissionError
+
+    configs = {
+        t: TopologyConfig(kind, dict(params))
+        for t, _, _, kind, params in _MT_TENANTS
+    }
+    planned = [
+        configs[t].build()
+        for t, _, _, _, _ in _MT_TENANTS
+        if t != "greedy"  # the pool is sized for the admitted set only
+    ]
+    serve_s = float("inf")
+    record: dict = {}
+    for _ in range(max(1, repeats)):
+        cluster = build_pool_for_tenants(
+            planned, 3, EVAL_256x10G, spare_hosts=4
+        )
+        service = TestbedService(cluster, max_workers=3)
+        tenants: dict = {}
+        rejected: list[str] = []
+        t0 = time.perf_counter()
+        try:
+            futures = []
+            for tenant, ports, share, _, _ in _MT_TENANTS:
+                try:
+                    service.open_session(
+                        tenant,
+                        TenantQuota(host_ports=ports, tcam_share=share),
+                    )
+                except AdmissionError:
+                    rejected.append(tenant)
+                    continue
+                futures.append(
+                    (tenant, service.submit_deploy(tenant, configs[tenant]))
+                )
+            for tenant, future in futures:
+                try:
+                    dep = future.result()
+                except AdmissionError:
+                    rejected.append(tenant)
+                else:
+                    tenants[tenant] = {
+                        "rules_installed": dep.rules.count(),
+                        "host_ports_used": sum(
+                            1
+                            for r in (
+                                dep.projection.link_realization.values()
+                            )
+                            if type(r).__name__ == "HostPort"
+                        ),
+                    }
+            service.drain(60)
+            serve_s = min(serve_s, time.perf_counter() - t0)
+            report = service.verifier.verify(
+                [
+                    s
+                    for s in service.sessions.values()
+                    if s.state == "active"
+                ],
+                strict=False,
+            )
+            record = {
+                "tenants": tenants,
+                "admitted": sorted(tenants),
+                "rejected": sorted(rejected),
+                "isolation_ok": report.ok,
+                "isolation_problems": report.problems,
+                "total_rules_installed": sum(
+                    v["rules_installed"] for v in tenants.values()
+                ),
+            }
+        finally:
+            service.shutdown()
+    record["serve_s"] = serve_s
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "multitenant",
+        "repeats": repeats,
+        **record,
+    }
+
+
+def compare_multitenant_to_baseline(
+    current: dict, baseline: dict
+) -> list[str]:
+    """Regressions in the multi-tenant suite are exact mismatches: the
+    scenario is deterministic, so rule counts and the admitted/rejected
+    split must match the baseline bit-for-bit, and isolation must hold.
+    (``serve_s`` is machine-dependent and informational only.)"""
+    problems: list[str] = []
+    if not current.get("isolation_ok", False):
+        problems.append(
+            "isolation verification failed: "
+            + "; ".join(current.get("isolation_problems", []))
+        )
+    for key in ("admitted", "rejected"):
+        if current.get(key) != baseline.get(key):
+            problems.append(
+                f"{key} tenants changed: "
+                f"{baseline.get(key)} -> {current.get(key)}"
+            )
+    base_tenants = baseline.get("tenants", {})
+    for tenant, cur in current.get("tenants", {}).items():
+        base = base_tenants.get(tenant)
+        if base is None:
+            continue
+        for field in ("rules_installed", "host_ports_used"):
+            if cur.get(field) != base.get(field):
+                problems.append(
+                    f"{tenant}: {field} changed "
+                    f"{base.get(field)} -> {cur.get(field)}"
+                )
+    return problems
+
+
+def render_multitenant_report(report: dict) -> str:
+    rows = [
+        [t, v["rules_installed"], v["host_ports_used"]]
+        for t, v in sorted(report["tenants"].items())
+    ]
+    rows.append([
+        "(rejected)", ", ".join(report["rejected"]) or "-", "",
+    ])
+    table = format_table(
+        ["Tenant", "Rules", "Host ports"],
+        rows,
+        title="Multi-tenant benchmark (3 tenants + 1 over-quota)",
+    )
+    return (
+        f"{table}\n"
+        f"serve wall time: {report['serve_s'] * 1e3:.1f} ms   "
+        f"isolation: {'OK' if report['isolation_ok'] else 'VIOLATED'}"
+    )
+
+
 def compare_to_baseline(
     current: dict, baseline: dict, *, tolerance: float = DEFAULT_TOLERANCE
 ) -> list[str]:
@@ -297,16 +463,30 @@ def run_and_report(
     out: str | None,
     baseline: str | None,
     tolerance: float = DEFAULT_TOLERANCE,
+    suite: str = "reconfig",
 ) -> int:
     """Run, write JSON, print the table, gate against a baseline."""
-    report = run_suite(quick=quick, repeats=repeats)
+    if suite == "multitenant":
+        report = run_multitenant_suite(repeats=repeats)
+    elif suite == "reconfig":
+        report = run_suite(quick=quick, repeats=repeats)
+    else:
+        raise ValueError(f"unknown bench suite {suite!r}")
     if out:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {out}")
-    print(render_report(report))
+    if suite == "multitenant":
+        print(render_multitenant_report(report))
+    else:
+        print(render_report(report))
     if baseline:
         base = json.loads(Path(baseline).read_text())
-        problems = compare_to_baseline(report, base, tolerance=tolerance)
+        if suite == "multitenant":
+            problems = compare_multitenant_to_baseline(report, base)
+        else:
+            problems = compare_to_baseline(
+                report, base, tolerance=tolerance
+            )
         if problems:
             print(f"\nREGRESSION vs {baseline}:", file=sys.stderr)
             for p in problems:
@@ -333,6 +513,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE,
                         help="allowed regression fraction (default 0.25)")
+    parser.add_argument("--suite", choices=["reconfig", "multitenant"],
+                        default="reconfig",
+                        help="benchmark suite to run (default reconfig)")
     args = parser.parse_args(argv)
     return run_and_report(
         quick=args.quick,
@@ -340,4 +523,5 @@ def main(argv: list[str] | None = None) -> int:
         out=args.out,
         baseline=args.baseline,
         tolerance=args.tolerance,
+        suite=args.suite,
     )

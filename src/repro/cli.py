@@ -7,6 +7,10 @@ Commands mirror what an SDT operator does with the real controller:
 * ``run``       — deploy and execute a workload, report the ACT
 * ``telemetry`` — scripted deploy/reconfigure/repair run with a full
   metrics summary (add ``--trace-out`` for the JSONL journal)
+* ``serve``     — run a multi-tenant scenario through the testbed
+  service (admission, fair-share scheduling, isolation verification)
+* ``status``    — deploy a scenario and print per-switch TCAM
+  occupancy/headroom and per-tenant usage (``--json`` for machines)
 * ``tables``    — regenerate the paper's Table I / II / III as text
 * ``zoo``       — the synthetic Internet Topology Zoo summary
 * ``list``      — available topology kinds and workloads
@@ -160,6 +164,86 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run a multi-tenant scenario: admit every tenant, deploy their
+    topologies through the fair-share scheduler, report the outcome."""
+    import json
+
+    from repro.tenancy import Scenario, run_scenario
+
+    scenario = Scenario.from_file(args.scenario)
+    run = run_scenario(scenario)
+    try:
+        report = run.report
+        print(f"served {len(scenario.tenants)} tenants on "
+              f"{scenario.switches}x {scenario.spec.model}")
+        for tenant, info in sorted(report["tenants"].items()):
+            print(f"  {tenant:12s} {info['deployment']:16s} "
+                  f"{info['rules_installed']:5d} rules  "
+                  f"install {time_str(info['install_time'])}")
+        for rej in report["rejected"]:
+            print(f"  {rej['tenant']:12s} REJECTED ({rej['stage']}): "
+                  + "; ".join(rej["problems"]))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+            print(f"report written: {args.json}")
+        return 1 if report["rejected"] else 0
+    finally:
+        run.service.shutdown()
+
+
+def _print_status(status: dict) -> None:
+    rows = []
+    for name, info in status["switches"].items():
+        rows.append([
+            name,
+            info["flow_entries"],
+            info["flow_capacity"],
+            info["flow_headroom"],
+            info["host_ports"],
+        ])
+    print(format_table(
+        ["Switch", "Entries", "Capacity", "Headroom", "Host ports"],
+        rows,
+        title="Pool occupancy",
+    ))
+    if status["tenants"]:
+        print()
+        rows = []
+        for tenant, snap in status["tenants"].items():
+            rows.append([
+                tenant,
+                snap["state"],
+                f"{snap['host_ports_used']}/{snap['host_ports_leased']}",
+                sum(snap["tcam_used"].values()),
+                ", ".join(snap["deployments"]) or "-",
+            ])
+        print(format_table(
+            ["Tenant", "State", "Hosts", "Entries", "Deployments"],
+            rows,
+            title="Tenants",
+        ))
+
+
+def cmd_status(args) -> int:
+    """Deploy a scenario and print the live pool/tenant status."""
+    import json
+
+    from repro.tenancy import Scenario, run_scenario
+
+    run = run_scenario(Scenario.from_file(args.scenario))
+    try:
+        status = run.report["status"]
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            _print_status(status)
+        return 0
+    finally:
+        run.service.shutdown()
+
+
 def cmd_bench(args) -> int:
     from repro.bench import run_and_report
 
@@ -169,6 +253,7 @@ def cmd_bench(args) -> int:
         out=args.out,
         baseline=args.baseline,
         tolerance=args.tolerance,
+        suite=args.suite,
     )
 
 
@@ -259,6 +344,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_telemetry)
 
     p = sub.add_parser(
+        "serve",
+        help="run a multi-tenant scenario through the testbed service",
+    )
+    p.add_argument("scenario", help="scenario JSON (see examples/)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the full run report as JSON")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write the run's telemetry trace (JSONL)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "status",
+        help="deploy a scenario and print pool/tenant occupancy",
+    )
+    p.add_argument("scenario", help="scenario JSON (see examples/)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of tables")
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser(
         "bench",
         help="reconfiguration benchmark: cold deploy vs incremental",
     )
@@ -273,6 +378,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "regression)")
     p.add_argument("--tolerance", type=float, default=0.25,
                    help="allowed regression fraction (default 0.25)")
+    p.add_argument("--suite", choices=["reconfig", "multitenant"],
+                   default="reconfig",
+                   help="benchmark suite to run (default reconfig)")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("tables", help="regenerate paper tables")

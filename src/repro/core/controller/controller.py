@@ -44,6 +44,7 @@ from repro.hardware.cluster import PhysicalCluster
 from repro.hardware.optical import OpticalCircuitSwitch
 from repro.openflow.transaction import ControlTransaction
 from repro.partition.cache import PartitionCache, extend_partition
+from repro.partition.occupancy import occupancy_order
 from repro.routing.deadlock import assert_deadlock_free
 from repro.topology.diff import diff_topologies
 from repro.routing.repair import reroute_avoiding
@@ -106,8 +107,16 @@ class Deployment:
 
 
 @dataclass
-class _Prepared:
-    """Everything a deployment needs, computed before touching hardware."""
+class Prepared:
+    """Everything a deployment needs, computed before touching hardware.
+
+    Produced by :meth:`SDTController.prepare` and consumed by
+    :meth:`SDTController.deploy_prepared` /
+    :meth:`SDTController.swap_deployment`. Callers that abandon a
+    preparation on a hybrid rig must hand it to
+    :meth:`SDTController.release_preparation` so minted flex circuits
+    are returned (everything else in a preparation is pure state).
+    """
 
     config: TopologyConfig | None
     topology: Topology
@@ -127,6 +136,13 @@ class SDTController:
     cluster: PhysicalCluster
     partition_method: str = "multilevel"
     seed: int = 0
+    #: part→physical-switch placement policy: "fixed" keeps the pool's
+    #: wiring order (part i on switch i, the paper's layout);
+    #: "occupancy" re-ranks the pool most-headroom-first before every
+    #: projection so coexisting deployments spread across the switches
+    #: with the most remaining TCAM/ports (the multi-tenant service's
+    #: default)
+    placement: str = "fixed"
     #: optional optical circuit switch for §VII-A flex links; when set,
     #: deployments that outgrow the fixed wiring mint optical links
     #: instead of failing
@@ -138,7 +154,7 @@ class SDTController:
     _next_cookie: int = 1
     _next_metadata: int = 1
     monitor: NetworkMonitor = field(init=False)
-    #: content-hash caches behind the incremental pipeline (DESIGN.md §6)
+    #: content-hash caches behind the incremental pipeline (DESIGN.md §5b)
     rule_cache: RuleCache = field(init=False)
     partition_cache: PartitionCache = field(init=False)
 
@@ -166,13 +182,23 @@ class SDTController:
         return used
 
     def _projector(self, exclude: set | None = None) -> LinkProjection:
+        excl = self._occupied() if exclude is None else exclude
+        phys_names = None
+        if self.placement == "occupancy":
+            phys_names = occupancy_order(self.cluster, excl)
+        elif self.placement != "fixed":
+            raise ConfigurationError(
+                f"unknown placement policy {self.placement!r}; "
+                "choose 'fixed' or 'occupancy'"
+            )
         return LinkProjection(
             self.cluster,
             partition_method=self.partition_method,
             seed=self.seed,
-            exclude=self._occupied() if exclude is None else exclude,
+            exclude=excl,
             metadata_base=self._next_metadata,
             partition_cache=self.partition_cache,
+            phys_names=phys_names,
         )
 
     # --- Topology Customization: checking function ----------------------
@@ -226,22 +252,34 @@ class SDTController:
         )
 
     # --- preparation (pure: no hardware mutation except optics) ----------
-    def _prepare(
+    def prepare(
         self,
         config: TopologyConfig | Topology,
         *,
         routes: RouteTable | None = None,
         active_hosts: list[str] | None = None,
         exclude: set | None = None,
-    ) -> _Prepared:
+        cookie: int | None = None,
+    ) -> Prepared:
         """Build, vet, and project a topology; synthesize its rules.
 
         Runs the full validation pipeline — routing strategy, Deadlock
         Avoidance (lossless), projection feasibility — without sending
         a single control message. Only the optical circuit switch is
         touched (flex circuits are minted here); callers must release
-        the returned ``hybrid_plan`` if they abandon the preparation.
+        the returned preparation (:meth:`release_preparation`) if they
+        abandon it. ``cookie`` overrides the controller's sequential
+        cookie — the multi-tenant service allocates from per-tenant
+        namespaces; a cookie already owned by a live deployment is
+        refused here, before any rule is synthesized against it.
         """
+        if cookie is None:
+            cookie = self._next_cookie
+        elif any(d.cookie == cookie for d in self.deployments):
+            raise ConfigurationError(
+                f"cookie {cookie} already tags a live deployment; "
+                "coexisting deployments need disjoint cookies"
+            )
         if isinstance(config, Topology):
             topology, cfg = config, None
             strategy = "auto"
@@ -278,11 +316,10 @@ class SDTController:
             )
         else:
             projection = self._projector(exclude).project(topology, usage=usage)
-        cookie = self._next_cookie
         rules = synthesize_rules(
             projection, routes, cookie=cookie, cache=self.rule_cache
         )
-        return _Prepared(
+        return Prepared(
             config=cfg,
             topology=topology,
             routes=routes,
@@ -294,8 +331,21 @@ class SDTController:
             optical_time=optical_time,
         )
 
-    def _register(self, prep: _Prepared, deployment_time: float) -> Deployment:
-        """Adopt a committed preparation as a live deployment."""
+    def _register(self, prep: Prepared, deployment_time: float) -> Deployment:
+        """Adopt a committed preparation as a live deployment.
+
+        Cookie-disjointness across live deployments is the foundation of
+        every isolation guarantee (cookie deletes, per-tenant ledgers,
+        the multi-tenant verifier), so a cookie reuse is refused here as
+        a hard error rather than silently merging two deployments'
+        rules.
+        """
+        if any(d.cookie == prep.cookie for d in self.deployments):
+            raise ConfigurationError(
+                f"cookie {prep.cookie} already tags live deployment "
+                f"{next(d.name for d in self.deployments if d.cookie == prep.cookie)!r}; "
+                "coexisting deployments need disjoint cookies"
+            )
         deployment = Deployment(
             config=prep.config,
             topology=prep.topology,
@@ -308,7 +358,9 @@ class SDTController:
             hybrid_plan=prep.hybrid_plan,
         )
         self.deployments.append(deployment)
-        self._next_cookie += 1
+        if prep.cookie == self._next_cookie:
+            # a tenant-namespace cookie leaves the sequence untouched
+            self._next_cookie += 1
         self._next_metadata += len(prep.topology.switches)
         return deployment
 
@@ -363,25 +415,123 @@ class SDTController:
         flex circuits minted for the deployment) before re-raising.
         """
         with trace.span("controller.deploy") as sp:
-            prep = self._prepare(
+            prep = self.prepare(
                 config, routes=routes, active_hosts=active_hosts
             )
-            sp.set("topology", prep.topology.name)
-            sp.set("cookie", prep.cookie)
-            sp.set("rules", prep.rules.count())
-            txn = ControlTransaction(
-                self.cluster.control, label=f"deploy {prep.topology.name}"
+            return self._install(prep, sp)
+
+    def deploy_prepared(self, prep: Prepared) -> Deployment:
+        """Install an already-:meth:`prepare`-d topology.
+
+        Splitting preparation from installation lets a front-end (the
+        multi-tenant admission controller) run every check against the
+        exact rules that will be installed and still guarantee that a
+        rejection touches no switch. The same transactional install as
+        :meth:`deploy`.
+        """
+        with trace.span("controller.deploy") as sp:
+            return self._install(prep, sp)
+
+    def _install(self, prep: Prepared, sp) -> Deployment:
+        sp.set("topology", prep.topology.name)
+        sp.set("cookie", prep.cookie)
+        sp.set("rules", prep.rules.count())
+        if any(d.cookie == prep.cookie for d in self.deployments):
+            # _register re-checks, but catching the collision here keeps
+            # the reject zero-mutation (no commit, optics returned)
+            self._release_optics(prep.hybrid_plan)
+            raise ConfigurationError(
+                f"cookie {prep.cookie} already tags a live deployment; "
+                "coexisting deployments need disjoint cookies"
             )
-            txn.stage_rules(prep.rules.mods)
-            try:
-                install_time = txn.commit()
-            except Exception:
-                self._release_optics(prep.hybrid_plan)
-                raise
-            deployment = self._register(prep, prep.optical_time + install_time)
-            sp.set("modeled_time", deployment.deployment_time)
-            self._record_mutation("deploy", deployment.deployment_time)
-            return deployment
+        txn = ControlTransaction(
+            self.cluster.control, label=f"deploy {prep.topology.name}"
+        )
+        txn.stage_rules(prep.rules.mods)
+        try:
+            install_time = txn.commit()
+        except Exception:
+            self._release_optics(prep.hybrid_plan)
+            raise
+        deployment = self._register(prep, prep.optical_time + install_time)
+        sp.set("modeled_time", deployment.deployment_time)
+        self._record_mutation("deploy", deployment.deployment_time)
+        return deployment
+
+    def release_preparation(self, prep: Prepared) -> float:
+        """Abandon a preparation that will not be installed, returning
+        any flex circuits it minted; returns the modeled optical time
+        (0.0 on pure-wiring rigs, where abandonment is free)."""
+        return self._release_optics(prep.hybrid_plan)
+
+    def swap_deployment(
+        self,
+        old: Deployment,
+        prep: Prepared,
+        *,
+        prefer_make_before_break: bool = True,
+    ) -> tuple[Deployment, float]:
+        """Replace one live deployment with a prepared one, atomically.
+
+        Unlike :meth:`reconfigure` — which swaps *every* live deployment
+        and is therefore unusable on a shared pool — this exchanges a
+        single generation: one transaction stages the new rules and the
+        old cookie's deletes, committing make-before-break when the flow
+        tables can hold both generations and falling back to
+        break-before-make otherwise. Callers whose preparation *reuses*
+        the old deployment's wiring (projected with the old resources
+        excluded from ``exclude``) must pass
+        ``prefer_make_before_break=False``: both generations would
+        claim the same physical ports, so the old rules have to leave
+        first. Returns ``(new deployment, modeled swap time)``; a
+        mid-commit failure rolls every switch back with ``old`` still
+        live.
+        """
+        if old not in self.deployments:
+            raise ConfigurationError(f"{old.name!r} is not deployed")
+        with trace.span(
+            "controller.swap", topology=prep.topology.name
+        ) as sp:
+
+            def build(make_first: bool) -> ControlTransaction:
+                txn = ControlTransaction(
+                    self.cluster.control,
+                    label=f"swap {old.name}->{prep.topology.name}",
+                )
+                if make_first:
+                    txn.stage_rules(prep.rules.mods)
+                    txn.stage_delete(old.rules.mods, old.cookie)
+                else:
+                    txn.stage_delete(old.rules.mods, old.cookie)
+                    txn.stage_rules(prep.rules.mods)
+                return txn
+
+            strategy = BREAK_BEFORE_MAKE
+            if prefer_make_before_break:
+                txn = build(True)
+                try:
+                    txn.validate()
+                    strategy = MAKE_BEFORE_BREAK
+                except CapacityError:
+                    txn = build(False)
+            else:
+                txn = build(False)
+            elapsed = txn.commit()
+            self.last_commit_strategy = strategy
+            self.deployments.remove(old)
+            release_time = self._release_optics(old.hybrid_plan)
+            deployment = self._register(
+                prep,
+                prep.optical_time + self._estimated_install_time(prep.rules),
+            )
+            sp.set("strategy", strategy)
+            sp.set("rules", prep.rules.count())
+            sp.set("modeled_time", elapsed)
+            metrics.registry().counter(
+                "sdt_controller_commit_strategy_total"
+            ).inc(1, strategy=strategy)
+            self._record_mutation("swap", elapsed)
+            return deployment, elapsed + release_time
 
     def undeploy(self, deployment: Deployment) -> float:
         """Remove a deployment's rules; returns modeled removal time.
@@ -454,10 +604,10 @@ class SDTController:
         ocs_before = self._ocs_circuits()
         release_time = 0.0
         released_old_optics = False
-        prep: _Prepared | None = None
+        prep: Prepared | None = None
         try:
             # make-before-break: project alongside the live deployments
-            prep = self._prepare(
+            prep = self.prepare(
                 config, active_hosts=active_hosts, exclude=self._occupied()
             )
             txn = ControlTransaction(
@@ -478,7 +628,7 @@ class SDTController:
                 release_time += self._release_optics(old.hybrid_plan)
             released_old_optics = True
             try:
-                prep = self._prepare(
+                prep = self.prepare(
                     config, active_hosts=active_hosts, exclude=set()
                 )
             except Exception:
@@ -531,7 +681,7 @@ class SDTController:
         active_hosts: list[str] | None,
         span,
     ) -> tuple[Deployment, float] | None:
-        """Try the O(changed links) reconfiguration path (DESIGN.md §6).
+        """Try the O(changed links) reconfiguration path (DESIGN.md §5b).
 
         Diffs the live topology against the requested one, re-projects
         only the changed links (placement stability keeps every

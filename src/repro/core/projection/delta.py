@@ -1,4 +1,4 @@
-"""Incremental Link Projection: re-project only what changed (§IV + DESIGN.md §6).
+"""Incremental Link Projection: re-project only what changed (§IV + DESIGN.md §5b).
 
 A full :class:`~repro.core.projection.linkproj.LinkProjection` run
 re-partitions the topology and re-allocates every cable from scratch —

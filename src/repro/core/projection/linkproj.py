@@ -40,6 +40,7 @@ class LinkProjection:
         exclude: set | None = None,
         metadata_base: int = 1,
         partition_cache=None,
+        phys_names: list[str] | None = None,
     ) -> None:
         """``exclude`` holds wiring resources (SelfLink / InterSwitchLink
         / HostPort objects) already claimed by a coexisting deployment;
@@ -48,13 +49,28 @@ class LinkProjection:
         ``partition_cache`` (a
         :class:`~repro.partition.cache.PartitionCache`) memoizes the
         partitioning stage by content hash — re-checking or re-deploying
-        an unchanged topology skips the multilevel run entirely."""
+        an unchanged topology skips the multilevel run entirely.
+        ``phys_names`` reorders the part→physical-switch assignment
+        (part ``i`` lands on ``phys_names[i]``); it must be a
+        permutation of the cluster's switches. The multi-tenant service
+        passes an occupancy ranking here so new deployments prefer the
+        switches with the most remaining capacity."""
         self.cluster = cluster
         self.partition_method = partition_method
         self.seed = seed
         self.exclude = exclude or set()
         self.metadata_base = metadata_base
         self.partition_cache = partition_cache
+        if phys_names is None:
+            self.names = cluster.switch_names
+        else:
+            if sorted(phys_names) != sorted(cluster.switch_names):
+                raise ProjectionError(
+                    "phys_names must be a permutation of the cluster's "
+                    f"switches {sorted(cluster.switch_names)}, "
+                    f"got {sorted(phys_names)}"
+                )
+            self.names = list(phys_names)
 
     def _partition(self, topology: Topology, parts: int) -> Partition:
         if self.partition_cache is not None:
@@ -98,7 +114,7 @@ class LinkProjection:
             partition = self._partition(topology, parts)
         problems: list[str] = []
         wiring = self.cluster.wiring
-        names = self.cluster.switch_names
+        names = self.names
 
         selfd = self_link_demand(topology, partition, usage)
         for part, needed in sorted(selfd.items()):
@@ -145,7 +161,7 @@ class LinkProjection:
                 f"cannot project {topology.name!r}: " + "; ".join(problems)
             )
 
-        names = self.cluster.switch_names
+        names = self.names
         wiring = self.cluster.wiring
         part_to_phys = {p: names[p] for p in range(partition.num_parts)}
 

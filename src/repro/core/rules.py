@@ -84,7 +84,7 @@ class RuleCache:
     repartitioned neighbor shifting the sub-switch to another physical
     switch, a new host address, a fresh cookie — misses the cache,
     while sub-switches untouched by a topology edit hit it and skip
-    recompilation entirely (the "dirty set" of DESIGN.md §6).
+    recompilation entirely (the "dirty set" of DESIGN.md §5b).
     """
 
     def __init__(self, max_entries: int = 8192) -> None:

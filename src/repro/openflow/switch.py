@@ -181,6 +181,16 @@ class OpenFlowSwitch:
             1 for t in self.tables for e in t if e.cookie == cookie
         )
 
+    def occupancy_by_cookie(self) -> dict[int, int]:
+        """Installed entries per cookie — the switch-side ledger of
+        per-deployment (and, through cookie namespaces, per-tenant)
+        TCAM consumption that admission control charges quotas against."""
+        counts: dict[int, int] = {}
+        for t in self.tables:
+            for e in t:
+                counts[e.cookie] = counts.get(e.cookie, 0) + 1
+        return counts
+
     def entry_keys(self) -> list[tuple[int, int, Match, int]]:
         """Every installed entry as a (table, priority, match, cookie)
         identity tuple — the currency of transaction peak-capacity

@@ -12,6 +12,7 @@ import networkx as nx
 
 from repro.partition.greedy import greedy_partition
 from repro.partition.multilevel import multilevel_partition
+from repro.partition.occupancy import occupancy_order, switch_headroom
 from repro.partition.objective import (
     Partition,
     PartitionQuality,
@@ -87,7 +88,9 @@ __all__ = [
     "greedy_partition",
     "multilevel_partition",
     "objective",
+    "occupancy_order",
     "partition_topology",
+    "switch_headroom",
     "quality",
     "spectral_partition",
 ]

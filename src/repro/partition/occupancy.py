@@ -1,0 +1,61 @@
+"""Occupancy-aware physical placement for shared (multi-tenant) pools.
+
+Link Projection maps partition part ``i`` to physical switch
+``names[i]`` — with the default name order, every deployment piles onto
+the pool's first switches and the binding resource (§VII-C: TCAM)
+exhausts there first while later switches idle. When several tenants
+share one pool, the part→switch assignment should instead prefer the
+switches with the most *remaining* capacity, so tenant topologies
+spread and admission headroom stays balanced.
+
+:func:`occupancy_order` ranks the pool's switches most-headroom-first;
+the controller feeds that order to
+:class:`~repro.core.projection.linkproj.LinkProjection` as
+``phys_names`` when its ``placement`` policy is ``"occupancy"``.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cluster import PhysicalCluster
+
+
+def switch_headroom(
+    cluster: PhysicalCluster, name: str, exclude: set | None = None
+) -> dict[str, int]:
+    """Remaining capacity of one physical switch: free flow entries and
+    the wiring resources (host ports, self-links) not claimed by a live
+    deployment (``exclude`` — the controller's occupied-resource set)."""
+    excl = exclude or set()
+    wiring = cluster.wiring
+    return {
+        "flow_entries": cluster.switches[name].free_entries,
+        "host_ports": sum(
+            1 for hp in wiring.hosts_of(name) if hp not in excl
+        ),
+        "self_links": sum(
+            1 for sl in wiring.self_links_of(name) if sl not in excl
+        ),
+    }
+
+
+def occupancy_order(
+    cluster: PhysicalCluster, exclude: set | None = None
+) -> list[str]:
+    """Pool switch names ordered most-headroom-first.
+
+    The primary key is free flow-table entries (the resource Table 2
+    identifies as binding), then free host ports, then free self-links;
+    ties break on the name so the order — and therefore placement — is
+    deterministic for a given pool state.
+    """
+
+    def key(name: str):
+        h = switch_headroom(cluster, name, exclude)
+        return (
+            -h["flow_entries"],
+            -h["host_ports"],
+            -h["self_links"],
+            name,
+        )
+
+    return sorted(cluster.switch_names, key=key)

@@ -1,0 +1,167 @@
+"""Isolation verification: prove no cross-tenant state overlap.
+
+SDT's isolation story (§VI-B) rests on three disjointness invariants,
+and the multi-tenant service re-proves all of them against *actual
+switch state* after every commit:
+
+1. **cookie-disjoint flow tables** — every installed entry's cookie is
+   owned by at most one tenant, and every tenant-owned cookie found on
+   a switch belongs to one of that tenant's *live* deployments (no
+   stale generations);
+2. **disjoint wiring ownership** — no physical resource (host port,
+   self-link, inter-switch link) is claimed by deployments of two
+   different tenants, and every host port a tenant's deployment binds
+   is inside that tenant's lease;
+3. **quota conformance** — each tenant's on-switch entry count stays
+   within its admitted per-switch TCAM share.
+
+Violations raise :class:`~repro.util.errors.IsolationError` — they are
+invariant breaches, never expected outcomes. Each verification also
+publishes the per-tenant occupancy gauges (``tenant_*`` series) that
+make the shared pool observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.hardware.cluster import PhysicalCluster
+from repro.hardware.wiring import HostPort
+from repro.telemetry import metrics, trace
+from repro.tenancy.session import TenantSession
+from repro.util.errors import IsolationError
+
+
+@dataclass
+class IsolationReport:
+    """Outcome of one verification pass."""
+
+    problems: list[str] = field(default_factory=list)
+    #: per-tenant, per-switch installed entry counts observed on-switch
+    tenant_entries: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+class IsolationVerifier:
+    """Audits switch + lease state against the tenant ledgers."""
+
+    def __init__(self, cluster: PhysicalCluster) -> None:
+        self.cluster = cluster
+
+    def verify(
+        self, sessions: Iterable[TenantSession], *, strict: bool = True
+    ) -> IsolationReport:
+        """Run every check; raises :class:`IsolationError` on any
+        violation when ``strict`` (the service's post-commit mode),
+        otherwise returns the report for inspection."""
+        sessions = [s for s in sessions]
+        with trace.span("tenant.isolation_verify", tenants=len(sessions)):
+            report = IsolationReport()
+            self._check_cookie_ownership(sessions, report)
+            self._check_flow_tables(sessions, report)
+            self._check_wiring(sessions, report)
+            self._publish(report)
+            if strict and not report.ok:
+                raise IsolationError(
+                    "cross-tenant isolation violated: "
+                    + "; ".join(report.problems)
+                )
+            return report
+
+    # --- checks ---------------------------------------------------------
+    def _check_cookie_ownership(
+        self, sessions: list[TenantSession], report: IsolationReport
+    ) -> None:
+        owner: dict[int, str] = {}
+        for s in sessions:
+            for cookie in s.cookies:
+                if cookie in owner:
+                    report.problems.append(
+                        f"cookie {cookie} claimed by tenants "
+                        f"{owner[cookie]!r} and {s.tenant_id!r}"
+                    )
+                owner[cookie] = s.tenant_id
+                if not s.owns_cookie(cookie):
+                    report.problems.append(
+                        f"tenant {s.tenant_id!r} deployment cookie {cookie} "
+                        f"is outside its namespace "
+                        f"[{s.cookie_base}, {s.cookie_base + (1 << 20)})"
+                    )
+
+    def _check_flow_tables(
+        self, sessions: list[TenantSession], report: IsolationReport
+    ) -> None:
+        live = {c: s for s in sessions for c in s.cookies}
+        namespaces = {s.tenant_id: s for s in sessions}
+        for s in sessions:
+            report.tenant_entries[s.tenant_id] = {}
+        for name, sw in self.cluster.switches.items():
+            for cookie, count in sw.occupancy_by_cookie().items():
+                session = live.get(cookie)
+                if session is None:
+                    # not a live tenant cookie: either a non-tenant
+                    # deployment (below every namespace) or a leak
+                    for t, s in namespaces.items():
+                        if s.owns_cookie(cookie):
+                            report.problems.append(
+                                f"{name}: {count} entries carry cookie "
+                                f"{cookie} from tenant {t!r}'s namespace "
+                                "but no live deployment owns it"
+                            )
+                    continue
+                per_switch = report.tenant_entries[session.tenant_id]
+                per_switch[name] = per_switch.get(name, 0) + count
+        for s in sessions:
+            share = s.quota.tcam_share
+            for name, count in sorted(
+                report.tenant_entries[s.tenant_id].items()
+            ):
+                if count > share:
+                    report.problems.append(
+                        f"{name}: tenant {s.tenant_id!r} holds {count} "
+                        f"entries, over its {share}-entry share"
+                    )
+
+    def _check_wiring(
+        self, sessions: list[TenantSession], report: IsolationReport
+    ) -> None:
+        resource_owner: dict = {}
+        host_owner: dict[str, str] = {}
+        for s in sessions:
+            for d in s.deployments.values():
+                for r in d.projection.link_realization.values():
+                    prev = resource_owner.get(r)
+                    if prev is not None and prev != s.tenant_id:
+                        report.problems.append(
+                            f"resource {r} owned by tenants {prev!r} "
+                            f"and {s.tenant_id!r}"
+                        )
+                    resource_owner[r] = s.tenant_id
+                    if isinstance(r, HostPort) and r not in s.lease:
+                        report.problems.append(
+                            f"tenant {s.tenant_id!r} bound host port {r} "
+                            "outside its lease"
+                        )
+                for phys in d.projection.host_map.values():
+                    prev = host_owner.get(phys)
+                    if prev is not None and prev != s.tenant_id:
+                        report.problems.append(
+                            f"physical host {phys!r} bound by tenants "
+                            f"{prev!r} and {s.tenant_id!r}"
+                        )
+                    host_owner[phys] = s.tenant_id
+
+    # --- telemetry ------------------------------------------------------
+    @staticmethod
+    def _publish(report: IsolationReport) -> None:
+        reg = metrics.registry()
+        for tenant, per_switch in report.tenant_entries.items():
+            for name, count in per_switch.items():
+                reg.gauge("tenant_tcam_entries").set(
+                    count, tenant=tenant, switch=name
+                )
+        reg.gauge("tenant_isolation_violations").set(len(report.problems))

@@ -1,0 +1,199 @@
+"""Deterministic fair-share scheduling of tenant control-plane operations.
+
+The shared pool's control plane is a serially-consistent resource: two
+transactions that touch the same physical switch must not interleave
+(a commit snapshots and mutates per-switch rule state). The scheduler
+turns the tenants' concurrent requests into a deterministic execution:
+
+* **FIFO per tenant** — one tenant's operations run in the order it
+  submitted them (a reconfigure never overtakes the deploy it edits);
+* **fair share across tenants** — dispatch round-robins over tenants in
+  admission order, so a tenant queueing 50 deploys cannot starve one
+  queueing a single request;
+* **conflict serialization** — each operation declares the physical
+  switches it may touch (its *footprint*; ``None`` means the whole
+  pool, the conservative footprint of a deploy whose placement is not
+  yet known). An operation starts only when no running operation's
+  footprint intersects its own, and a skipped operation blocks its
+  footprint so later-queued work cannot overtake it on those switches
+  (no reordering of conflicting transactions, ever);
+* **concurrency for the rest** — non-conflicting operations dispatch to
+  a thread pool. The underlying :class:`SDTController` is not itself
+  thread-safe, so the service additionally holds a controller mutex
+  around prepare/commit; concurrency covers the per-operation pure work
+  (config build, quota arithmetic, result assembly) while conflicting
+  transactions are *ordered* here, deterministically, rather than by
+  lock-acquisition races.
+
+With a single worker the execution order is a pure function of
+submission order; with more workers, conflicting operations still
+execute in submission order — only disjoint work overlaps.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.telemetry import metrics, trace
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class Operation:
+    """One schedulable unit of tenant work."""
+
+    kind: str  # "deploy" | "reconfigure" | "undeploy" | "teardown"
+    tenant_id: str
+    fn: Callable[[], Any]
+    #: physical switches the operation may touch; None = whole pool
+    footprint: frozenset[str] | None
+    seq: int = -1  # global submission stamp, set by the scheduler
+    future: Future = field(default_factory=Future)
+
+    def conflicts_with(self, switches: set[str] | None) -> bool:
+        if switches is None:
+            return True  # someone holds the whole pool
+        if self.footprint is None:
+            return bool(switches)  # whole-pool op vs anything held
+        return bool(self.footprint & switches)
+
+    @property
+    def label(self) -> str:
+        return f"{self.tenant_id}:{self.kind}#{self.seq}"
+
+
+class Scheduler:
+    """FIFO/fair-share dispatcher over a bounded thread pool."""
+
+    def __init__(self, pool_switches: list[str], *, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"scheduler needs >= 1 worker, got {max_workers}"
+            )
+        self.pool_switches = frozenset(pool_switches)
+        self.max_workers = max_workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="sdt-tenant"
+        )
+        self._lock = threading.Lock()
+        self._pending: dict[str, deque[Operation]] = {}
+        self._tenant_order: list[str] = []
+        self._rr = 0  # round-robin cursor into _tenant_order
+        self._running: list[Operation] = []
+        self._next_seq = 0
+        self._idle = threading.Condition(self._lock)
+        self._shutdown = False
+
+    # --- submission ------------------------------------------------------
+    def submit(self, op: Operation) -> Future:
+        """Queue an operation; returns its future. Dispatch happens
+        immediately if the operation is eligible."""
+        with self._lock:
+            if self._shutdown:
+                raise ConfigurationError("scheduler is shut down")
+            op.seq = self._next_seq
+            self._next_seq += 1
+            if op.tenant_id not in self._pending:
+                self._pending[op.tenant_id] = deque()
+                self._tenant_order.append(op.tenant_id)
+            self._pending[op.tenant_id].append(op)
+            metrics.registry().counter("tenant_ops_submitted_total").inc(
+                1, tenant=op.tenant_id, kind=op.kind
+            )
+            self._dispatch_locked()
+        return op.future
+
+    # --- dispatch --------------------------------------------------------
+    def _dispatch_locked(self) -> None:
+        """Start every eligible operation (caller holds the lock).
+
+        Walks tenants round-robin from the fair-share cursor; per
+        tenant only the queue head is a candidate (FIFO per tenant).
+        A candidate that conflicts with running work — or with an
+        earlier-queued candidate that could not start — adds its own
+        footprint to the blocked set, so later candidates cannot
+        overtake it on those switches.
+        """
+        while True:
+            started = None
+            blocked: set[str] | None = set()
+            for sw_set in (op.footprint for op in self._running):
+                if sw_set is None:
+                    blocked = None
+                    break
+                blocked |= sw_set
+            if blocked is None and self._running:
+                return  # a whole-pool operation is running: nothing starts
+            free_workers = self.max_workers - len(self._running)
+            if free_workers <= 0:
+                return
+            n = len(self._tenant_order)
+            for i in range(n):
+                tenant = self._tenant_order[(self._rr + i) % n]
+                queue = self._pending.get(tenant)
+                if not queue:
+                    continue
+                op = queue[0]
+                if not op.conflicts_with(blocked):
+                    queue.popleft()
+                    self._rr = (self._rr + i + 1) % n
+                    started = op
+                    break
+                # no overtaking: a blocked head reserves its footprint
+                if op.footprint is None:
+                    blocked = None
+                    break
+                blocked |= op.footprint
+            if started is None:
+                return
+            self._running.append(started)
+            self._executor.submit(self._run, started)
+
+    def _run(self, op: Operation) -> None:
+        with trace.span(
+            "tenant.op", tenant=op.tenant_id, kind=op.kind, seq=op.seq
+        ):
+            try:
+                result = op.fn()
+            except BaseException as exc:  # delivered via the future
+                op.future.set_exception(exc)
+                metrics.registry().counter("tenant_ops_finished_total").inc(
+                    1, tenant=op.tenant_id, kind=op.kind, status="error"
+                )
+            else:
+                op.future.set_result(result)
+                metrics.registry().counter("tenant_ops_finished_total").inc(
+                    1, tenant=op.tenant_id, kind=op.kind, status="ok"
+                )
+        with self._lock:
+            self._running.remove(op)
+            self._dispatch_locked()
+            if not self._running and not any(self._pending.values()):
+                self._idle.notify_all()
+
+    # --- lifecycle -------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every submitted operation has finished; returns
+        False on timeout."""
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: not self._running
+                and not any(self._pending.values()),
+                timeout=timeout,
+            )
+
+    def shutdown(self) -> None:
+        """Drain and stop the worker pool; further submits are refused."""
+        self.drain()
+        with self._lock:
+            self._shutdown = True
+        self._executor.shutdown(wait=True)
+
+    @property
+    def queue_depths(self) -> dict[str, int]:
+        with self._lock:
+            return {t: len(q) for t, q in self._pending.items() if q}

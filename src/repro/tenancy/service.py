@@ -1,0 +1,362 @@
+"""The multi-tenant testbed service: sessions + admission + scheduling.
+
+:class:`TestbedService` is the front-end that turns one SDT pool into a
+shared facility. It owns the :class:`SDTController` (created with
+occupancy-aware placement, so tenants spread over the pool instead of
+piling onto the first switch), an
+:class:`~repro.tenancy.admission.AdmissionController` that vets every
+request before a switch is touched, a
+:class:`~repro.tenancy.scheduler.Scheduler` that serializes conflicting
+control-plane transactions while letting disjoint tenant work overlap,
+and an :class:`~repro.tenancy.isolation.IsolationVerifier` that
+re-proves cross-tenant disjointness after every commit.
+
+Threading model: the scheduler orders operations deterministically;
+the actual controller mutation (prepare/commit/register) additionally
+runs under one service-wide mutex because :class:`SDTController` is not
+thread-safe. Concurrency therefore overlaps the schedulable work and
+keeps conflicting transactions strictly in submission order.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+from repro.core.controller.config import TopologyConfig
+from repro.core.controller.controller import Deployment, SDTController
+from repro.hardware.cluster import PhysicalCluster
+from repro.hardware.wiring import HostPort
+from repro.telemetry import metrics, trace
+from repro.tenancy.admission import AdmissionController
+from repro.tenancy.isolation import IsolationVerifier
+from repro.tenancy.scheduler import Operation, Scheduler
+from repro.tenancy.session import (
+    SESSION_ACTIVE,
+    SESSION_CLOSED,
+    SESSION_EVICTED,
+    TenantQuota,
+    TenantSession,
+)
+from repro.topology.graph import Topology
+from repro.util.errors import AdmissionError, ConfigurationError
+
+ConfigLike = TopologyConfig | Topology
+
+
+class TestbedService:
+    """Shared-pool front-end with per-tenant deploy/reconfigure APIs."""
+
+    __test__ = False  # "Test" prefix is the product name, not a pytest class
+
+    def __init__(
+        self,
+        cluster: PhysicalCluster,
+        *,
+        max_workers: int = 4,
+        placement: str = "occupancy",
+    ) -> None:
+        self.cluster = cluster
+        self.controller = SDTController(cluster, placement=placement)
+        self.admission = AdmissionController(self.controller)
+        self.scheduler = Scheduler(
+            cluster.switch_names, max_workers=max_workers
+        )
+        self.verifier = IsolationVerifier(cluster)
+        self.sessions: dict[str, TenantSession] = {}
+        self._next_index = 1  # indices are never reused: cookie blocks stay unique
+        self._lock = threading.RLock()  # guards controller + session state
+
+    # --- session lifecycle ----------------------------------------------
+    def open_session(
+        self, tenant_id: str, quota: TenantQuota
+    ) -> TenantSession:
+        """Admit a tenant: grant a host-port lease and a cookie block.
+
+        Lease allocation is deterministic: free host ports are taken
+        round-robin across name-sorted switches, so a tenant's hosts
+        spread over the pool (and two runs of the same scenario lease
+        identical ports). Raises :class:`AdmissionError` when fewer
+        than ``quota.host_ports`` ports are free.
+        """
+        with self._lock, trace.span(
+            "tenant.open_session", tenant=tenant_id
+        ):
+            live = self.sessions.get(tenant_id)
+            if live is not None and live.state == SESSION_ACTIVE:
+                raise ConfigurationError(
+                    f"tenant {tenant_id!r} already has an active session"
+                )
+            lease = self._allocate_lease(tenant_id, quota.host_ports)
+            session = TenantSession(
+                tenant_id=tenant_id,
+                index=self._next_index,
+                quota=quota,
+                lease=lease,
+            )
+            self._next_index += 1
+            self.sessions[tenant_id] = session
+            reg = metrics.registry()
+            reg.gauge("tenant_host_ports_leased").set(
+                len(lease), tenant=tenant_id
+            )
+            reg.gauge("tenant_sessions_active").set(
+                sum(
+                    1
+                    for s in self.sessions.values()
+                    if s.state == SESSION_ACTIVE
+                )
+            )
+            return session
+
+    def _allocate_lease(
+        self, tenant_id: str, count: int
+    ) -> tuple[HostPort, ...]:
+        taken: set[HostPort] = set()
+        for s in self.sessions.values():
+            if s.state == SESSION_ACTIVE:
+                taken.update(s.lease)
+        free_by_switch: dict[str, list[HostPort]] = {}
+        for hp in self.cluster.wiring.host_ports:
+            if hp not in taken:
+                free_by_switch.setdefault(hp.switch, []).append(hp)
+        for ports in free_by_switch.values():
+            ports.sort(key=lambda hp: hp.port)
+        order = sorted(free_by_switch)
+        lease: list[HostPort] = []
+        while len(lease) < count and order:
+            progressed = False
+            for name in list(order):
+                ports = free_by_switch[name]
+                if ports:
+                    lease.append(ports.pop(0))
+                    progressed = True
+                    if len(lease) == count:
+                        break
+                else:
+                    order.remove(name)
+            if not progressed:
+                break
+        if len(lease) < count:
+            raise AdmissionError(
+                f"tenant {tenant_id!r} asked for {count} host ports, "
+                f"only {len(lease)} are free",
+                problems=[
+                    f"{count - len(lease)} host ports short of the quota"
+                ],
+            )
+        return tuple(lease)
+
+    def close_session(self, tenant_id: str) -> None:
+        """Tear down every deployment and release the lease."""
+        self._end_session(tenant_id, SESSION_CLOSED)
+
+    def evict(self, tenant_id: str) -> None:
+        """Forcibly reclaim a tenant's resources (operator action).
+
+        The session ends EVICTED; the tenant may later be re-admitted
+        with :meth:`open_session`, receiving a fresh cookie block and a
+        fresh lease.
+        """
+        self._end_session(tenant_id, SESSION_EVICTED)
+
+    def _end_session(self, tenant_id: str, final_state: str) -> None:
+        with self._lock, trace.span(
+            "tenant.end_session", tenant=tenant_id, state=final_state
+        ):
+            session = self._session(tenant_id)
+            for name in sorted(session.deployments):
+                self.controller.undeploy(session.deployments.pop(name))
+            session.state = final_state
+            session.lease = ()
+            reg = metrics.registry()
+            reg.gauge("tenant_host_ports_leased").set(0, tenant=tenant_id)
+            reg.gauge("tenant_deployments").set(0, tenant=tenant_id)
+            reg.gauge("tenant_sessions_active").set(
+                sum(
+                    1
+                    for s in self.sessions.values()
+                    if s.state == SESSION_ACTIVE
+                )
+            )
+            self._verify()
+
+    def _session(self, tenant_id: str) -> TenantSession:
+        session = self.sessions.get(tenant_id)
+        if session is None:
+            raise ConfigurationError(f"unknown tenant {tenant_id!r}")
+        return session
+
+    # --- async operation API --------------------------------------------
+    def submit_deploy(
+        self, tenant_id: str, config: ConfigLike
+    ) -> Future:
+        """Queue a deployment; resolves to the live Deployment."""
+        self._session(tenant_id).check_active()
+        return self.scheduler.submit(
+            Operation(
+                kind="deploy",
+                tenant_id=tenant_id,
+                fn=lambda: self._do_deploy(tenant_id, config),
+                footprint=None,  # placement unknown until projection
+            )
+        )
+
+    def submit_reconfigure(
+        self, tenant_id: str, name: str, config: ConfigLike
+    ) -> Future:
+        """Queue an atomic swap of deployment ``name`` to ``config``."""
+        self._session(tenant_id).check_active()
+        return self.scheduler.submit(
+            Operation(
+                kind="reconfigure",
+                tenant_id=tenant_id,
+                fn=lambda: self._do_reconfigure(tenant_id, name, config),
+                footprint=None,  # new placement unknown until projection
+            )
+        )
+
+    def submit_undeploy(self, tenant_id: str, name: str) -> Future:
+        """Queue removal of deployment ``name``; resolves to the
+        modeled removal time.
+
+        ``name`` may refer to a deployment an earlier-queued operation
+        of the same tenant will create (per-tenant FIFO guarantees the
+        order); existence is checked when the operation runs. The
+        footprint is exact when the deployment is already live and
+        conservative (whole pool) otherwise.
+        """
+        with self._lock:
+            session = self._session(tenant_id)
+            session.check_active()
+            deployment = session.deployments.get(name)
+            footprint = (
+                frozenset(deployment.rules.mods)
+                if deployment is not None
+                else None
+            )
+        return self.scheduler.submit(
+            Operation(
+                kind="undeploy",
+                tenant_id=tenant_id,
+                fn=lambda: self._do_undeploy(tenant_id, name),
+                footprint=footprint,
+            )
+        )
+
+    # --- sync wrappers ---------------------------------------------------
+    def deploy(self, tenant_id: str, config: ConfigLike) -> Deployment:
+        return self.submit_deploy(tenant_id, config).result()
+
+    def reconfigure(
+        self, tenant_id: str, name: str, config: ConfigLike
+    ) -> Deployment:
+        return self.submit_reconfigure(tenant_id, name, config).result()
+
+    def undeploy(self, tenant_id: str, name: str) -> float:
+        return self.submit_undeploy(tenant_id, name).result()
+
+    # --- operation bodies (run on scheduler workers) ---------------------
+    def _do_deploy(self, tenant_id: str, config: ConfigLike) -> Deployment:
+        with self._lock:
+            session = self._session(tenant_id)
+            session.check_active()
+            prep = self.admission.admit_deploy(session, config)
+            if prep.topology.name in session.deployments:
+                self.controller.release_preparation(prep)
+                raise ConfigurationError(
+                    f"tenant {tenant_id!r} already deploys "
+                    f"{prep.topology.name!r}"
+                )
+            deployment = self.controller.deploy_prepared(prep)
+            session.deployments[deployment.name] = deployment
+            self._after_commit(session)
+            return deployment
+
+    def _do_reconfigure(
+        self, tenant_id: str, name: str, config: ConfigLike
+    ) -> Deployment:
+        with self._lock:
+            session = self._session(tenant_id)
+            session.check_active()
+            old = session.deployments.get(name)
+            if old is None:
+                raise ConfigurationError(
+                    f"tenant {tenant_id!r} has no deployment {name!r}"
+                )
+            prep, mbb = self.admission.admit_swap(session, old, config)
+            deployment, _ = self.controller.swap_deployment(
+                old, prep, prefer_make_before_break=mbb
+            )
+            del session.deployments[name]
+            session.deployments[deployment.name] = deployment
+            self._after_commit(session)
+            return deployment
+
+    def _do_undeploy(self, tenant_id: str, name: str) -> float:
+        with self._lock:
+            session = self._session(tenant_id)
+            session.check_active()
+            deployment = session.deployments.pop(name, None)
+            if deployment is None:
+                raise ConfigurationError(
+                    f"tenant {tenant_id!r} has no deployment {name!r}"
+                )
+            elapsed = self.controller.undeploy(deployment)
+            self._after_commit(session)
+            return elapsed
+
+    def _after_commit(self, session: TenantSession) -> None:
+        reg = metrics.registry()
+        reg.gauge("tenant_deployments").set(
+            len(session.deployments), tenant=session.tenant_id
+        )
+        reg.gauge("tenant_host_ports_used").set(
+            session.host_ports_used(), tenant=session.tenant_id
+        )
+        self._verify()
+
+    def _verify(self) -> None:
+        """Re-prove cross-tenant isolation against actual switch state."""
+        self.verifier.verify(
+            [s for s in self.sessions.values() if s.state == SESSION_ACTIVE]
+        )
+
+    # --- observability ----------------------------------------------------
+    def status(self) -> dict:
+        """JSON-safe snapshot: pool occupancy + headroom, per tenant."""
+        with self._lock:
+            switches = {}
+            for name, info in sorted(
+                self.cluster.capacity_report().items()
+            ):
+                occupancy = self.cluster.switches[name].occupancy_by_cookie()
+                switches[name] = {
+                    "flow_entries": info["flow_entries"],
+                    "flow_capacity": info["flow_capacity"],
+                    "flow_headroom": info["flow_capacity"]
+                    - info["flow_entries"],
+                    "host_ports": info["host_ports"],
+                    "by_cookie": {
+                        str(c): n for c, n in sorted(occupancy.items())
+                    },
+                }
+            return {
+                "switches": switches,
+                "tenants": {
+                    t: s.snapshot() for t, s in sorted(self.sessions.items())
+                },
+                "queue_depths": self.scheduler.queue_depths,
+                "deployments": sorted(
+                    d.name for d in self.controller.deployments
+                ),
+            }
+
+    # --- lifecycle --------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        return self.scheduler.drain(timeout)
+
+    def shutdown(self) -> None:
+        """Drain pending work and stop the scheduler. Sessions stay
+        queryable via :meth:`status`."""
+        self.scheduler.shutdown()

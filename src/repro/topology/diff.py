@@ -4,7 +4,7 @@ SDT's reconfiguration story is "push new flow tables" — and when the
 *logical* topology barely changes, the new flow tables barely change
 either. :func:`diff_topologies` computes exactly what changed between
 two logical topologies so the controller can recompile only the dirty
-sub-switches and stage only the rule delta (DESIGN.md §6).
+sub-switches and stage only the rule delta (DESIGN.md §5b).
 
 Links are identified by their unordered endpoint-name pair: the
 :class:`~repro.topology.graph.Topology` builder rejects parallel links

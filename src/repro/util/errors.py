@@ -67,3 +67,22 @@ class TransactionError(ReproError):
         #: a :class:`repro.openflow.transaction.RollbackReport` (or None
         #: when the transaction failed before touching any switch)
         self.rollback = rollback
+
+
+class AdmissionError(ReproError):
+    """A tenant request was refused by admission control.
+
+    Raised *before* any switch is touched: a rejected request leaves
+    every flow table, lease and deployment bit-identical to before it
+    arrived. ``problems`` lists the specific quota/capacity violations.
+    """
+
+    def __init__(self, message: str, *, problems: list | None = None) -> None:
+        super().__init__(message)
+        self.problems: list[str] = list(problems or [])
+
+
+class IsolationError(ReproError):
+    """The isolation verifier found cross-tenant state overlap (shared
+    cookie, shared flow entry, or shared wiring resource) after a
+    commit — an invariant violation, never an expected outcome."""

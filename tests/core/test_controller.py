@@ -156,3 +156,41 @@ def test_install_flow_override(controller):
     )
     after = sum(sw.num_entries for sw in controller.cluster.switches.values())
     assert after == before + 1
+
+
+def test_prepare_rejects_cookie_of_live_deployment(controller):
+    dep = controller.deploy(FT4)
+    with pytest.raises(ConfigurationError, match="already tags"):
+        controller.prepare(TORUS44, cookie=dep.cookie)
+
+
+def test_install_rejects_cookie_collision_without_mutation(controller):
+    """Regression: two preparations minted with the same explicit cookie
+    (a TOCTOU a concurrent front-end could race into) must refuse the
+    second install before any switch is touched — not silently merge
+    two deployments under one cookie."""
+    prep1 = controller.prepare(FT4, cookie=77)
+    prep2 = controller.prepare(TORUS44, cookie=77)
+    controller.deploy_prepared(prep1)
+    before = {
+        name: sw.entry_keys()
+        for name, sw in controller.cluster.switches.items()
+    }
+    with pytest.raises(ConfigurationError, match="cookie 77"):
+        controller.deploy_prepared(prep2)
+    after = {
+        name: sw.entry_keys()
+        for name, sw in controller.cluster.switches.items()
+    }
+    assert before == after
+    assert [d.cookie for d in controller.deployments] == [77]
+
+
+def test_explicit_cookie_leaves_sequence_untouched(controller):
+    """A tenant-namespace cookie must not advance the controller's own
+    sequential cookie allocator."""
+    prep = controller.prepare(FT4, cookie=1 << 20)
+    dep1 = controller.deploy_prepared(prep)
+    controller.undeploy(dep1)  # the small rig can't hold both at once
+    dep2 = controller.deploy(TORUS44)
+    assert dep2.cookie < (1 << 20)

@@ -1,4 +1,4 @@
-"""Incremental reconfiguration: delta staging, caches, convergence (DESIGN.md §6)."""
+"""Incremental reconfiguration: delta staging, caches, convergence (DESIGN.md §5b)."""
 
 from __future__ import annotations
 

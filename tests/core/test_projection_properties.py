@@ -24,10 +24,15 @@ import math
 from repro.core import build_cluster_for
 from repro.core.projection.linkproj import LinkProjection
 from repro.hardware import H3C_S6861
-from tests.proptools import physical_ports_of, random_topology, seeded_cases
+from tests.proptools import (
+    physical_ports_of,
+    prop_cases,
+    random_topology,
+    seeded_cases,
+)
 
 ROOT_SEED = 20260806
-NUM_CASES = 200
+NUM_CASES = prop_cases(200)
 
 
 def _project(rng):

@@ -1,0 +1,148 @@
+"""Property tests for FlowTable's strict-delete `_dead` bookkeeping.
+
+Strict deletes only *mark* victims dead (``_dead`` holds their ids)
+and defer the list rebuild to the next compaction. That optimization
+is only sound if two invariants hold under arbitrary interleavings of
+adds, strict deletes, wildcard deletes, and reads:
+
+* **no id recycling before compaction** — every marked id stays
+  referenced by ``_entries`` until :meth:`FlowTable._compact` drops
+  the entry and the id together. If the list ever stopped referencing
+  a dead entry first, CPython could hand its ``id()`` to a *new* entry,
+  and a stale ``_dead`` id would silently delete it.
+* **index consistency** — the (priority, match) index always agrees
+  with the live membership: every bucket entry is alive and in
+  ``_entries``, every live entry is in its bucket, and ``len(table)``
+  equals the number of live entries.
+
+Cases are seeded (reproduce with the printed case index); counts scale
+with ``SDT_PROP_CASES`` for CI's stress job.
+"""
+
+from __future__ import annotations
+
+from repro.openflow.actions import ApplyActions, Output
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match
+from tests.proptools import prop_cases, seeded_cases
+
+ROOT_SEED = 20260806
+NUM_CASES = prop_cases(120)
+
+#: small universes force heavy (priority, match) collisions — the
+#: interesting regime for the index and the dead-mark path
+PRIORITIES = (1, 2, 3)
+PORTS = (1, 2, 3, 4)
+COOKIES = (7, 8, 9)
+
+
+def _entry(rng) -> FlowEntry:
+    return FlowEntry(
+        priority=int(rng.choice(PRIORITIES)),
+        match=Match(in_port=int(rng.choice(PORTS))),
+        instructions=(ApplyActions((Output(1),)),),
+        cookie=int(rng.choice(COOKIES)),
+    )
+
+
+def _check_invariants(table: FlowTable, case: int) -> None:
+    live = [e for e in table._entries if id(e) not in table._dead]
+    # every dead id still referenced by _entries (no recycling window)
+    referenced = {id(e) for e in table._entries}
+    assert table._dead <= referenced, (
+        f"case {case}: dead ids {table._dead - referenced} no longer "
+        "referenced by _entries — their ids could be recycled"
+    )
+    # __len__ counts live entries only
+    assert len(table) == len(live), case
+    # index agrees with live membership, bucket by bucket
+    indexed = [e for bucket in table._exact.values() for e in bucket]
+    assert len(indexed) == len(set(map(id, indexed))), (
+        f"case {case}: an entry appears in two index buckets"
+    )
+    assert {id(e) for e in indexed} == {id(e) for e in live}, (
+        f"case {case}: index membership diverged from live entries"
+    )
+    for (prio, match), bucket in table._exact.items():
+        for e in bucket:
+            assert (e.priority, e.match) == (prio, match), (
+                f"case {case}: entry filed under the wrong key"
+            )
+
+
+def _random_ops(table: FlowTable, rng, steps: int, case: int) -> None:
+    for _ in range(steps):
+        op = rng.random()
+        if op < 0.5:
+            table.add(_entry(rng))
+        elif op < 0.85:
+            # strict delete: the deferred-compaction path under test
+            table.remove(
+                match=Match(in_port=int(rng.choice(PORTS))),
+                priority=int(rng.choice(PRIORITIES)),
+                cookie=(
+                    int(rng.choice(COOKIES)) if rng.random() < 0.5 else None
+                ),
+            )
+        elif op < 0.95:
+            # wildcard delete: compacts, then rebuilds the index
+            table.remove(cookie=int(rng.choice(COOKIES)))
+        else:
+            table.snapshot()  # forces a compaction mid-stream
+        _check_invariants(table, case)
+
+
+def test_dead_marks_stay_referenced_until_compact():
+    """Ids in ``_dead`` are never dropped from ``_entries`` separately:
+    compaction removes entry and mark together, so a dead id can never
+    be recycled onto a live entry."""
+    for case, rng in seeded_cases(NUM_CASES, ROOT_SEED, "dead"):
+        table = FlowTable(table_id=0)
+        _random_ops(table, rng, steps=40, case=case)
+        table._compact()
+        assert not table._dead, case
+        _check_invariants(table, case)
+
+
+def test_index_consistent_under_interleaved_bursts():
+    """Bursts of adds then strict deletes (the delta-batch shape from
+    incremental reconfiguration) keep the (priority, match) index in
+    lock-step with live membership."""
+    for case, rng in seeded_cases(NUM_CASES, ROOT_SEED, "burst"):
+        table = FlowTable(table_id=0)
+        for _ in range(int(rng.integers(1, 5))):
+            added = [_entry(rng) for _ in range(int(rng.integers(1, 12)))]
+            for e in added:
+                table.add(e)
+            _check_invariants(table, case)
+            for e in added:
+                if rng.random() < 0.6:
+                    table.remove(
+                        match=e.match, priority=e.priority, cookie=e.cookie
+                    )
+            _check_invariants(table, case)
+        # reads see exactly the live entries, in descending priority
+        seen = list(table)
+        assert not table._dead  # iteration compacts
+        assert [id(e) for e in seen] == [id(e) for e in table._entries]
+        assert all(
+            a.priority >= b.priority for a, b in zip(seen, seen[1:])
+        ), case
+
+
+def test_strict_delete_counts_match_membership():
+    """remove() return values stay consistent with len() across an
+    interleaved run: adds - removals == live count."""
+    for case, rng in seeded_cases(NUM_CASES, ROOT_SEED, "count"):
+        table = FlowTable(table_id=0)
+        added = removed = 0
+        for _ in range(40):
+            if rng.random() < 0.55:
+                table.add(_entry(rng))
+                added += 1
+            else:
+                removed += table.remove(
+                    match=Match(in_port=int(rng.choice(PORTS))),
+                    priority=int(rng.choice(PRIORITIES)),
+                )
+        assert added - removed == len(table), case

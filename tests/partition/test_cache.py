@@ -1,4 +1,4 @@
-"""PartitionCache keying/invalidation and extend_partition (DESIGN.md §6)."""
+"""PartitionCache keying/invalidation and extend_partition (DESIGN.md §5b)."""
 
 import pytest
 

@@ -13,12 +13,35 @@ differential suite (``tests/integration/test_trace_differential.py``).
 
 from __future__ import annotations
 
+import os
 from typing import Iterator
 
 import numpy as np
 
 from repro.topology.graph import Topology
 from repro.util.rng import make_rng
+
+
+def prop_cases(default: int) -> int:
+    """Number of cases a property test should run.
+
+    ``SDT_PROP_CASES`` overrides the per-test default so CI's scheduled
+    stress job can run the same suites at elevated counts (and a
+    developer can drop to a handful while iterating) without touching
+    the tests.
+    """
+    raw = os.environ.get("SDT_PROP_CASES", "").strip()
+    if not raw:
+        return default
+    try:
+        n = int(raw)
+    except ValueError:
+        raise RuntimeError(
+            f"SDT_PROP_CASES must be an integer, got {raw!r}"
+        ) from None
+    if n < 1:
+        raise RuntimeError(f"SDT_PROP_CASES must be >= 1, got {n}")
+    return n
 
 
 def seeded_cases(

@@ -1,0 +1,1 @@
+"""Multi-tenant service tests."""

@@ -143,3 +143,53 @@ def test_cli_bench_parser_defaults():
     assert args.baseline is None
     assert args.tolerance == 0.25
     assert args.fn.__name__ == "cmd_bench"
+
+
+def test_multitenant_suite_deterministic_and_isolated():
+    from repro.bench import run_multitenant_suite
+
+    report = run_multitenant_suite(repeats=1)
+    assert report["suite"] == "multitenant"
+    assert report["isolation_ok"], report["isolation_problems"]
+    assert report["rejected"] == ["greedy"]
+    assert set(report["admitted"]) == {"chain-crew", "hpc-lab", "torus-team"}
+    assert report["total_rules_installed"] == sum(
+        v["rules_installed"] for v in report["tenants"].values()
+    )
+    # deterministic: a second run must match bit-for-bit on gated fields
+    from repro.bench import compare_multitenant_to_baseline
+
+    again = run_multitenant_suite(repeats=1)
+    assert compare_multitenant_to_baseline(again, report) == []
+
+
+def test_multitenant_gate_catches_drift():
+    from repro.bench import compare_multitenant_to_baseline
+
+    base = {
+        "admitted": ["a"],
+        "rejected": [],
+        "isolation_ok": True,
+        "tenants": {"a": {"rules_installed": 10, "host_ports_used": 2}},
+    }
+    cur = json.loads(json.dumps(base))
+    cur["tenants"]["a"]["rules_installed"] = 11
+    assert any(
+        "rules_installed" in p
+        for p in compare_multitenant_to_baseline(cur, base)
+    )
+    cur = json.loads(json.dumps(base))
+    cur["isolation_ok"] = False
+    cur["isolation_problems"] = ["leak"]
+    assert any(
+        "isolation" in p for p in compare_multitenant_to_baseline(cur, base)
+    )
+    cur = json.loads(json.dumps(base))
+    cur["rejected"] = ["a"]
+    cur["admitted"] = []
+    assert compare_multitenant_to_baseline(cur, base)
+
+
+def test_cli_bench_suite_flag():
+    args = build_parser().parse_args(["bench", "--suite", "multitenant"])
+    assert args.suite == "multitenant"

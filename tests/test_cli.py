@@ -124,3 +124,64 @@ def test_trace_out_written_even_on_error(tmp_path, capsys):
     ])
     assert rc == 2
     assert trace_path.exists()  # empty trace, but the file lands
+
+
+@pytest.fixture()
+def scenario_file(tmp_path):
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps({
+        "switches": 3,
+        "spec": {"num_ports": 256, "flow_table_capacity": 4096},
+        "spare_hosts": 4,
+        "max_workers": 2,
+        "tenants": [
+            {"id": "alice",
+             "quota": {"host_ports": 24, "tcam_share": 2500},
+             "topology": {"kind": "fat-tree", "params": {"k": 4}}},
+            {"id": "bob",
+             "quota": {"host_ports": 12, "tcam_share": 2000},
+             "topology": {"kind": "torus2d",
+                          "params": {"x": 3, "y": 3,
+                                     "hosts_per_switch": 1}}},
+        ],
+    }))
+    return str(path)
+
+
+def test_serve_deploys_all_tenants(scenario_file, tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    assert main(["serve", scenario_file, "--json", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "alice" in out and "bob" in out
+    report = json.loads(report_path.read_text())
+    assert set(report["tenants"]) == {"alice", "bob"}
+    assert report["rejected"] == []
+    assert report["tenants"]["alice"]["rules_installed"] > 0
+
+
+def test_serve_reports_rejection(tmp_path, capsys):
+    path = tmp_path / "over.json"
+    path.write_text(json.dumps({
+        "switches": 3,
+        "spec": {"num_ports": 256, "flow_table_capacity": 4096},
+        "tenants": [
+            {"id": "greedy",
+             "quota": {"host_ports": 4, "tcam_share": 2000},
+             "topology": {"kind": "fat-tree", "params": {"k": 4}}},
+        ],
+    }))
+    assert main(["serve", str(path)]) == 1
+    assert "REJECTED" in capsys.readouterr().out
+
+
+def test_status_tables_and_json(scenario_file, capsys):
+    assert main(["status", scenario_file]) == 0
+    out = capsys.readouterr().out
+    assert "Pool occupancy" in out and "Headroom" in out
+    assert main(["status", scenario_file, "--json"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert set(status["tenants"]) == {"alice", "bob"}
+    for info in status["switches"].values():
+        assert info["flow_headroom"] == (
+            info["flow_capacity"] - info["flow_entries"]
+        )

@@ -1,4 +1,4 @@
-"""Logical-topology diffing and editing helpers (DESIGN.md §6)."""
+"""Logical-topology diffing and editing helpers (DESIGN.md §5b)."""
 
 import pytest
 
