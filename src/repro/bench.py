@@ -36,7 +36,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.core import SDTController, TopologyConfig, build_cluster_for
-from repro.hardware import EVAL_256x10G
+from repro.hardware import EVAL_256x10G, SCALE_2048x10G, SwitchSpec
 from repro.telemetry import metrics
 from repro.topology import dragonfly, fat_tree, torus2d
 from repro.topology.diff import rebuild, removable_switch_links
@@ -129,6 +129,7 @@ def run_scenario(scenario: Scenario, *, repeats: int = DEFAULT_REPEATS) -> dict:
 
     cold_s = float("inf")
     inc_s = float("inf")
+    warm_s = float("inf")
     record: dict = {}
     for _ in range(max(1, repeats)):
         # a fresh rig per repeat: every repeat measures the same cold
@@ -154,6 +155,12 @@ def run_scenario(scenario: Scenario, *, repeats: int = DEFAULT_REPEATS) -> dict:
                 "mode_cold": _counter(
                     "sdt_controller_reconfigure_mode_total", mode="cold"
                 ),
+                "partition_hits": _counter(
+                    "sdt_partition_cache_total", result="hit"
+                ),
+                "partition_misses": _counter(
+                    "sdt_partition_cache_total", result="miss"
+                ),
             }
 
         before_deploy = snap()
@@ -167,8 +174,17 @@ def run_scenario(scenario: Scenario, *, repeats: int = DEFAULT_REPEATS) -> dict:
         inc_s = min(inc_s, time.perf_counter() - t0)
         after = snap()
 
+        # warm re-check of the now-live topology: the incremental path
+        # seeds the partition cache with the extended partition, so
+        # this must be served from the cache (the gate asserts it)
+        t0 = time.perf_counter()
+        controller.check(edited_cfg)
+        warm_s = min(warm_s, time.perf_counter() - t0)
+        after_warm = snap()
+
         deploy_d = _delta(before_reconf, before_deploy)
         reconf_d = _delta(after, before_reconf)
+        warm_d = _delta(after_warm, after)
         reconf_lookups = reconf_d["cache_hits"] + reconf_d["cache_misses"]
         record = {
             "scenario": scenario.name,
@@ -193,9 +209,12 @@ def run_scenario(scenario: Scenario, *, repeats: int = DEFAULT_REPEATS) -> dict:
                 else 0.0
             ),
             "modeled_reconfigure_s": modeled,
+            "partition_cache_hits_warm": int(warm_d["partition_hits"]),
+            "partition_cache_misses_warm": int(warm_d["partition_misses"]),
         }
     record["cold_deploy_s"] = cold_s
     record["incremental_reconfigure_s"] = inc_s
+    record["warm_check_s"] = warm_s
     record["speedup"] = cold_s / inc_s if inc_s > 0 else 0.0
     return record
 
@@ -213,6 +232,131 @@ def run_suite(*, quick: bool = False, repeats: int = DEFAULT_REPEATS) -> dict:
         "partition_cache": _cache_stats("sdt_partition_cache_total"),
         "scenarios": results,
     }
+
+
+#: scale-curve points: fat-tree k, physical switch count, and the rig
+#: spec. k=16 (320 switches, 1024 hosts, ~340k rules) needs the
+#: synthetic 1024-port chassis; it is excluded from ``--quick`` runs.
+SCALE_POINTS: tuple[tuple[int, int, SwitchSpec, bool], ...] = (
+    (4, 2, EVAL_256x10G, True),
+    (8, 4, EVAL_256x10G, True),
+    (16, 8, SCALE_2048x10G, False),
+)
+
+
+def run_scale_suite(
+    *, quick: bool = False, repeats: int = DEFAULT_REPEATS
+) -> dict:
+    """Cold-deploy scaling curve over fat-tree k (the data-plane fast
+    path end to end: partition, projection, routing, columnar rule
+    synthesis, batched install).
+
+    Each point deploys on a fresh controller (cold caches) and reports
+    min-of-``repeats`` wall time plus the deterministic rule count.
+    ``rules_per_s`` is the derived install throughput — the number the
+    scaling claim in DESIGN.md is pinned against.
+    """
+    points = []
+    for k, num_switches, spec, in_quick in SCALE_POINTS:
+        if quick and not in_quick:
+            continue
+        topo = fat_tree(k)
+        cfg = _config_for(topo)
+        cold_s = float("inf")
+        rules_installed = 0
+        for _ in range(max(1, repeats)):
+            cluster = build_cluster_for([topo], num_switches, spec)
+            controller = SDTController(cluster)
+            t0 = time.perf_counter()
+            deployment = controller.deploy(cfg)
+            cold_s = min(cold_s, time.perf_counter() - t0)
+            rules_installed = deployment.rules.count()
+        points.append({
+            "k": k,
+            "logical_switches": len(topo.switches),
+            "logical_hosts": len(topo.hosts),
+            "logical_links": len(topo.links),
+            "phys_switches": num_switches,
+            "spec": spec.model,
+            "rules_installed": rules_installed,
+            "cold_deploy_s": cold_s,
+            "rules_per_s": rules_installed / cold_s if cold_s > 0 else 0.0,
+        })
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "scale",
+        "quick": quick,
+        "repeats": repeats,
+        "points": points,
+    }
+
+
+def compare_scale_to_baseline(
+    current: dict, baseline: dict, *, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Scale-suite regressions.
+
+    ``rules_installed`` is deterministic and must match the baseline
+    exactly. Wall time is machine-dependent, so the gated quantity is
+    the *shape* of the curve: the cold-deploy time ratio between
+    consecutive points, which cancels absolute machine speed the same
+    way the reconfig suite's incremental/cold ratio does. Ratios are
+    only gated when the smaller point's cold deploy exceeds
+    :data:`MIN_GATE_SECONDS` in both reports; points present in only
+    one report are skipped (quick runs gate against a full baseline).
+    """
+    problems: list[str] = []
+    base_by_k = {p["k"]: p for p in baseline.get("points", [])}
+    cur_points = [
+        p for p in current.get("points", []) if p["k"] in base_by_k
+    ]
+    for cur in cur_points:
+        base = base_by_k[cur["k"]]
+        if cur["rules_installed"] != base["rules_installed"]:
+            problems.append(
+                f"k={cur['k']}: rules installed changed "
+                f"{base['rules_installed']} -> {cur['rules_installed']} "
+                "(synthesis is deterministic; this is a behavior change)"
+            )
+    for prev, cur in zip(cur_points, cur_points[1:]):
+        base_prev = base_by_k[prev["k"]]
+        base_cur = base_by_k[cur["k"]]
+        measurable = (
+            prev["cold_deploy_s"] >= MIN_GATE_SECONDS
+            and base_prev["cold_deploy_s"] >= MIN_GATE_SECONDS
+        )
+        if not measurable:
+            continue
+        base_ratio = base_cur["cold_deploy_s"] / base_prev["cold_deploy_s"]
+        cur_ratio = cur["cold_deploy_s"] / prev["cold_deploy_s"]
+        if cur_ratio > base_ratio * (1 + tolerance):
+            problems.append(
+                f"k={prev['k']}->k={cur['k']}: cold-deploy growth ratio "
+                f"regressed {base_ratio:.2f} -> {cur_ratio:.2f} "
+                f"(> {tolerance:.0%} over baseline)"
+            )
+    return problems
+
+
+def render_scale_report(report: dict) -> str:
+    rows = [
+        [
+            f"k={p['k']}",
+            p["logical_switches"],
+            p["logical_hosts"],
+            p["phys_switches"],
+            p["rules_installed"],
+            f"{p['cold_deploy_s'] * 1e3:.1f}",
+            f"{p['rules_per_s'] / 1e3:.0f}k",
+        ]
+        for p in report["points"]
+    ]
+    return format_table(
+        ["Point", "Switches", "Hosts", "Phys", "Rules", "Cold (ms)",
+         "Rules/s"],
+        rows,
+        title="Cold-deploy scaling curve (fat-tree)",
+    )
 
 
 #: the multi-tenant bench scenario: three tenants sharing one pool,
@@ -431,6 +575,26 @@ def compare_to_baseline(
                 f"{base['rules_pushed']} -> {cur['rules_pushed']} "
                 f"(> {tolerance:.0%} over baseline)"
             )
+        # scenarios that reconfigure incrementally must serve the warm
+        # re-check from the partition cache (the incremental path seeds
+        # it); zero hits means the warm path silently fell back to a
+        # from-scratch partition. Old baselines predate the field, so
+        # only gate when the current report carries it.
+        warm_hits = cur.get("partition_cache_hits_warm")
+        if (
+            warm_hits == 0
+            and cur["mode"] == "incremental"
+        ):
+            problems.append(
+                f"{name}: warm re-check missed the partition cache "
+                "(0 hits; incremental reconfigure should have seeded it)"
+            )
+    pc = current.get("partition_cache")
+    if pc is not None and pc.get("hits", 0) == 0:
+        problems.append(
+            "partition cache saw zero hits across the whole suite — "
+            "warm paths are not exercising it"
+        )
     return problems
 
 
@@ -468,6 +632,12 @@ def run_and_report(
     """Run, write JSON, print the table, gate against a baseline."""
     if suite == "multitenant":
         report = run_multitenant_suite(repeats=repeats)
+    elif suite == "scale":
+        report = run_scale_suite(quick=quick, repeats=repeats)
+        # the CLI default out name belongs to the reconfig suite; give
+        # the scale curve its own artifact unless the user chose a path
+        if out == "BENCH_reconfig.json":
+            out = "BENCH_scale.json"
     elif suite == "reconfig":
         report = run_suite(quick=quick, repeats=repeats)
     else:
@@ -477,12 +647,18 @@ def run_and_report(
         print(f"wrote {out}")
     if suite == "multitenant":
         print(render_multitenant_report(report))
+    elif suite == "scale":
+        print(render_scale_report(report))
     else:
         print(render_report(report))
     if baseline:
         base = json.loads(Path(baseline).read_text())
         if suite == "multitenant":
             problems = compare_multitenant_to_baseline(report, base)
+        elif suite == "scale":
+            problems = compare_scale_to_baseline(
+                report, base, tolerance=tolerance
+            )
         else:
             problems = compare_to_baseline(
                 report, base, tolerance=tolerance
@@ -513,7 +689,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE,
                         help="allowed regression fraction (default 0.25)")
-    parser.add_argument("--suite", choices=["reconfig", "multitenant"],
+    parser.add_argument("--suite",
+                        choices=["reconfig", "multitenant", "scale"],
                         default="reconfig",
                         help="benchmark suite to run (default reconfig)")
     args = parser.parse_args(argv)

@@ -378,7 +378,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "regression)")
     p.add_argument("--tolerance", type=float, default=0.25,
                    help="allowed regression fraction (default 0.25)")
-    p.add_argument("--suite", choices=["reconfig", "multitenant"],
+    p.add_argument("--suite",
+                   choices=["reconfig", "multitenant", "scale"],
                    default="reconfig",
                    help="benchmark suite to run (default reconfig)")
     p.set_defaults(fn=cmd_bench)

@@ -1,0 +1,263 @@
+"""Columnar compiled-rule blocks.
+
+One :class:`CompiledBlock` is the compilation output for one
+sub-switch: a handful of *columns* (classification ports, route
+destinations, VC and output-port vectors) instead of a list of FlowMod
+objects. Blocks are what the :class:`~repro.core.rules.RuleCache`
+stores and what rule synthesis passes around, so the hot
+reconfiguration path moves O(columns) of data per sub-switch and only
+*materializes* FlowMods — the per-rule Python objects — when a block's
+rules actually have to cross the control channel. A block shared
+between two rule generations (cache-hit identity) is proof that every
+rule in it is unchanged, which is what lets the transaction delta skip
+whole sub-switches without comparing (or even creating) their FlowMods.
+
+Integer columns are numpy arrays when numpy is available
+(``pip install .[fast]``) and plain tuples otherwise; the two
+representations materialize bit-identical FlowMods
+(``SDT_NO_NUMPY=1`` forces the fallback, and CI runs tier-1 both
+ways).
+"""
+
+from __future__ import annotations
+
+from repro.openflow.actions import (
+    ApplyActions,
+    GotoTable,
+    Instruction,
+    Output,
+    SetQueue,
+    SetVC,
+    WriteMetadata,
+)
+from repro.openflow.channel import FlowMod
+from repro.openflow.match import Match
+from repro.util.optdeps import numpy_or_none
+
+CLASSIFY_TABLE = 0
+ROUTE_TABLE = 1
+
+#: Priorities: exact-VC routing beats wildcard-VC routing; per-flow
+#: overrides (active routing) use PRIORITY_OVERRIDE.
+PRIORITY_CLASSIFY = 100
+PRIORITY_ROUTE_EXACT = 60
+PRIORITY_ROUTE_WILD = 50
+PRIORITY_OVERRIDE = 200
+
+#: encodes "no incoming-VC constraint" in the in_vc integer column
+NO_VC = -1
+
+#: shared route-action tuples keyed by (in_vc, out_vc, out_port) —
+#: across a deployment most rules repeat a small set of action
+#: combinations, and sharing the tuples lets the switch validate each
+#: distinct one once (see OpenFlowSwitch._check_instructions)
+_route_instr_pool: dict[tuple[int, int, int], tuple[Instruction, ...]] = {}
+_ROUTE_POOL_MAX = 1 << 16
+
+#: classification matches keyed by in_port — the same port numbers
+#: recur on every physical switch, and Match is immutable
+_classify_match_pool: dict[int, Match] = {}
+_CLASSIFY_POOL_MAX = 1 << 14
+
+
+def _classify_match(port: int) -> Match:
+    m = _classify_match_pool.get(port)
+    if m is None:
+        m = Match(in_port=port)
+        if len(_classify_match_pool) < _CLASSIFY_POOL_MAX:
+            _classify_match_pool[port] = m
+    return m
+
+
+def route_instructions(
+    in_vc: int, out_vc: int, out_port: int
+) -> tuple[Instruction, ...]:
+    """The instruction tuple for one routing row (``in_vc`` may be
+    :data:`NO_VC`), pooled so equal rows share one tuple."""
+    key = (in_vc, out_vc, out_port)
+    cached = _route_instr_pool.get(key)
+    if cached is not None:
+        return cached
+    actions: list = []
+    if in_vc == NO_VC:
+        if out_vc != 0:
+            actions.append(SetVC(out_vc))
+    else:
+        if out_vc != in_vc:
+            actions.append(SetVC(out_vc))
+    actions.append(SetQueue(out_vc))
+    actions.append(Output(out_port))
+    instrs = (ApplyActions(actions),)
+    if len(_route_instr_pool) < _ROUTE_POOL_MAX:
+        _route_instr_pool[key] = instrs
+    return instrs
+
+
+def _int_column(values: list[int]):
+    """An integer column: numpy-backed when available, tuple otherwise."""
+    np = numpy_or_none()
+    if np is not None:
+        return np.asarray(values, dtype=np.int32)
+    return tuple(values)
+
+
+def _column_list(column) -> list[int]:
+    """Back to a plain Python list (one bulk hop for numpy columns)."""
+    if isinstance(column, tuple):
+        return list(column)
+    return column.tolist()
+
+
+class CompiledBlock:
+    """One sub-switch's compiled rules in columnar form.
+
+    Columns (all aligned by row index for the route table):
+
+    * ``classify_switches`` / ``classify_ports`` — table-0 rows, one
+      per in-use physical port (parallel sequences).
+    * ``dsts`` — destination physical addresses (strings).
+    * ``in_vcs`` — incoming VC per row, :data:`NO_VC` for wildcard.
+    * ``out_vcs`` / ``out_ports`` — the action columns.
+
+    ``pairs()`` materializes the classic ``(phys_switch, FlowMod)``
+    sequence lazily and caches it on the block — blocks are shared
+    across rule generations via the RuleCache, so each block's FlowMods
+    are built at most once no matter how many deployments reuse it.
+    """
+
+    __slots__ = (
+        "phys_switch", "metadata_id", "cookie",
+        "classify_switches", "classify_ports",
+        "dsts", "in_vcs", "out_vcs", "out_ports",
+        "_pairs",
+    )
+
+    def __init__(
+        self,
+        *,
+        phys_switch: str,
+        metadata_id: int,
+        cookie: int,
+        classify_switches: tuple[str, ...],
+        classify_ports: list[int],
+        dsts: tuple[str, ...],
+        in_vcs: list[int],
+        out_vcs: list[int],
+        out_ports: list[int],
+    ) -> None:
+        self.phys_switch = phys_switch
+        self.metadata_id = metadata_id
+        self.cookie = cookie
+        self.classify_switches = classify_switches
+        self.classify_ports = _int_column(classify_ports)
+        self.dsts = dsts
+        self.in_vcs = _int_column(in_vcs)
+        self.out_vcs = _int_column(out_vcs)
+        self.out_ports = _int_column(out_ports)
+        self._pairs: tuple[tuple[str, FlowMod], ...] | None = None
+
+    @property
+    def count(self) -> int:
+        """Rules in this block (classification + routing)."""
+        return len(self.classify_switches) + len(self.dsts)
+
+    def per_switch_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for sw in self.classify_switches:
+            counts[sw] = counts.get(sw, 0) + 1
+        if len(self.dsts):
+            counts[self.phys_switch] = (
+                counts.get(self.phys_switch, 0) + len(self.dsts)
+            )
+        return counts
+
+    def pairs(self) -> tuple[tuple[str, FlowMod], ...]:
+        """Materialize (physical switch, FlowMod) rows, cached."""
+        if self._pairs is not None:
+            return self._pairs
+        cookie = self.cookie
+        metadata_id = self.metadata_id
+        out: list[tuple[str, FlowMod]] = []
+        # --- table 0: port -> sub-switch classification ---
+        classify_instrs = (
+            WriteMetadata(metadata_id), GotoTable(ROUTE_TABLE),
+        )
+        for sw, port in zip(
+            self.classify_switches, _column_list(self.classify_ports)
+        ):
+            out.append((
+                sw,
+                FlowMod(
+                    table_id=CLASSIFY_TABLE,
+                    priority=PRIORITY_CLASSIFY,
+                    match=_classify_match(port),
+                    instructions=classify_instrs,
+                    cookie=cookie,
+                ),
+            ))
+        # --- table 1: destination-based routing within the sub-switch ---
+        phys = self.phys_switch
+        for dst, in_vc, out_vc, out_port in zip(
+            self.dsts,
+            _column_list(self.in_vcs),
+            _column_list(self.out_vcs),
+            _column_list(self.out_ports),
+        ):
+            if in_vc == NO_VC:
+                match = Match(metadata=metadata_id, dst=dst)
+                priority = PRIORITY_ROUTE_WILD
+            else:
+                match = Match(metadata=metadata_id, dst=dst, vc=in_vc)
+                priority = PRIORITY_ROUTE_EXACT
+            out.append((
+                phys,
+                FlowMod(
+                    table_id=ROUTE_TABLE,
+                    priority=priority,
+                    match=match,
+                    instructions=route_instructions(in_vc, out_vc, out_port),
+                    cookie=cookie,
+                ),
+            ))
+        self._pairs = tuple(out)
+        return self._pairs
+
+
+def build_block(
+    sub,
+    resolved: list[tuple[str, int | None, int, int]],
+    cookie: int,
+) -> CompiledBlock:
+    """Compile one sub-switch's classification + routing columns.
+
+    ``resolved`` rows are (phys dst address, in-VC or None, out-VC,
+    phys out port) — see ``repro.core.rules._resolved_entries``. A pure
+    function of its arguments, which is what makes the sharded compile
+    pool safe: shards can build blocks in any order on any worker and
+    the merge is bit-identical to a serial compile.
+    """
+    classify_switches = []
+    classify_ports = []
+    for _idx, phys_port in sorted(sub.ports.items()):
+        classify_switches.append(phys_port.switch)
+        classify_ports.append(phys_port.port)
+    dsts = []
+    in_vcs = []
+    out_vcs = []
+    out_ports = []
+    for phys_dst, in_vc, out_vc, out_port in resolved:
+        dsts.append(phys_dst)
+        in_vcs.append(NO_VC if in_vc is None else in_vc)
+        out_vcs.append(out_vc)
+        out_ports.append(out_port)
+    return CompiledBlock(
+        phys_switch=sub.phys_switch,
+        metadata_id=sub.metadata_id,
+        cookie=cookie,
+        classify_switches=tuple(classify_switches),
+        classify_ports=classify_ports,
+        dsts=tuple(dsts),
+        in_vcs=in_vcs,
+        out_vcs=out_vcs,
+        out_ports=out_ports,
+    )

@@ -39,7 +39,13 @@ from repro.core.projection.delta import project_delta
 from repro.core.projection.hybrid import HybridLinkProjection, HybridPlan
 from repro.core.projection.linkproj import LinkProjection
 from repro.core.projection.pruning import route_usage
-from repro.core.rules import RuleCache, RuleSet, flow_override, synthesize_rules
+from repro.core.rules import (
+    RuleCache,
+    RuleSet,
+    flow_override,
+    split_ruleset_delta,
+    synthesize_rules,
+)
 from repro.hardware.cluster import PhysicalCluster
 from repro.hardware.optical import OpticalCircuitSwitch
 from repro.openflow.transaction import ControlTransaction
@@ -390,9 +396,9 @@ class SDTController:
         """Modeled time to install ``rules`` alone (parallel channels:
         per-switch batch + barrier, max across switches)."""
         times = [0.0]
-        for name, mods in rules.mods.items():
+        for name, count in rules.per_switch_counts().items():
             channel = self.cluster.control.channel(name)
-            times.append(len(mods) * channel.flow_install_latency + channel.rtt)
+            times.append(count * channel.flow_install_latency + channel.rtt)
         return max(times)
 
     # --- Topology Customization: deployment function ------------------------
@@ -747,7 +753,12 @@ class SDTController:
             self.cluster.control,
             label=f"reconfigure-incremental {topology.name}",
         )
-        stats = txn.stage_delta(old.rules.mods, rules.mods)
+        # Block-identity fast path: sub-switches whose compiled block
+        # came back from the rule cache unchanged are excluded from the
+        # per-rule diff entirely (no FlowMod materialization for them).
+        delta = split_ruleset_delta(old.rules, rules)
+        stats = txn.stage_delta(delta.old_mods, delta.new_mods)
+        unchanged = stats.unchanged + delta.shared_rules
         try:
             elapsed = txn.commit()
         except CapacityError:
@@ -757,6 +768,16 @@ class SDTController:
             return None
 
         self.last_commit_strategy = MAKE_BEFORE_BREAK
+        # the extended partition is now the edited topology's partition
+        # of record: seed the cache so a later check/deploy of this
+        # same topology hits instead of re-running the multilevel
+        # partitioner from scratch
+        self.partition_cache.seed(
+            topology,
+            partition,
+            method=self.partition_method,
+            seed=self.seed,
+        )
         self._next_metadata += len(diff.added_switches)
         old.config = cfg
         old.topology = topology
@@ -771,7 +792,7 @@ class SDTController:
         span.set("changes", diff.num_changes)
         span.set("rules", rules.count())
         span.set("rules_pushed", stats.pushed)
-        span.set("rules_unchanged", stats.unchanged)
+        span.set("rules_unchanged", unchanged)
         reg = metrics.registry()
         reg.counter("sdt_controller_commit_strategy_total").inc(
             1, strategy=MAKE_BEFORE_BREAK
@@ -780,9 +801,7 @@ class SDTController:
             1, mode="incremental"
         )
         reg.counter("sdt_reconfig_rules_pushed_total").inc(stats.pushed)
-        reg.counter("sdt_reconfig_rules_unchanged_total").inc(
-            stats.unchanged
-        )
+        reg.counter("sdt_reconfig_rules_unchanged_total").inc(unchanged)
         return old, elapsed
 
     # --- failure handling ----------------------------------------------------

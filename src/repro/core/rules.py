@@ -16,61 +16,120 @@ SDT its hardware isolation (§VI-B). Rule counts stay small because
 routing is destination-based: the paper's ~300 entries/switch for a
 k=4 Fat-Tree on two switches falls out of this synthesis (see the
 ``test_flowtable_usage`` benchmark).
+
+Synthesis is *columnar*: each sub-switch compiles into one
+:class:`~repro.core.columnar.CompiledBlock` (aligned integer/string
+columns), and FlowMod objects are only materialized when a block's
+rules actually cross the control channel. Blocks are the unit of
+caching and of the sharded compile pool — see DESIGN.md
+"Data-plane performance architecture".
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import hashlib
-from dataclasses import dataclass, field
+import os
+import threading
+from dataclasses import dataclass
 
-from repro.core.projection.base import ProjectionResult, SubSwitch
-from repro.openflow.actions import (
-    ApplyActions,
-    GotoTable,
-    Output,
-    SetQueue,
-    SetVC,
-    WriteMetadata,
+from repro.core.columnar import (
+    CLASSIFY_TABLE,
+    PRIORITY_CLASSIFY,
+    PRIORITY_OVERRIDE,
+    PRIORITY_ROUTE_EXACT,
+    PRIORITY_ROUTE_WILD,
+    ROUTE_TABLE,
+    CompiledBlock,
+    build_block,
 )
+from repro.core.projection.base import ProjectionResult, SubSwitch
+from repro.openflow.actions import ApplyActions, Output, SetQueue, SetVC
 from repro.openflow.channel import FlowMod
 from repro.openflow.match import Match
 from repro.routing.table import Hop, RouteTable
 from repro.telemetry import metrics
 from repro.util.errors import ProjectionError
 
-CLASSIFY_TABLE = 0
-ROUTE_TABLE = 1
+__all__ = [
+    "CLASSIFY_TABLE",
+    "ROUTE_TABLE",
+    "PRIORITY_CLASSIFY",
+    "PRIORITY_ROUTE_EXACT",
+    "PRIORITY_ROUTE_WILD",
+    "PRIORITY_OVERRIDE",
+    "RuleSet",
+    "RuleCache",
+    "switch_rule_key",
+    "synthesize_rules",
+    "flow_override",
+]
 
-#: Priorities: exact-VC routing beats wildcard-VC routing; per-flow
-#: overrides (active routing) use PRIORITY_OVERRIDE.
-PRIORITY_CLASSIFY = 100
-PRIORITY_ROUTE_EXACT = 60
-PRIORITY_ROUTE_WILD = 50
-PRIORITY_OVERRIDE = 200
 
-
-@dataclass
 class RuleSet:
-    """FlowMods per physical switch, plus provenance counters."""
+    """FlowMods per physical switch, plus provenance counters.
 
-    cookie: int
-    mods: dict[str, list[FlowMod]] = field(default_factory=dict)
+    Internally a list of :class:`CompiledBlock` (one per compiled
+    sub-switch, in ``topology.switches`` order) plus an ``_extra``
+    overflow for rules added one at a time (ECMP groups, ACLs,
+    overrides). ``mods`` — the classic ``{phys_switch: [FlowMod]}``
+    mapping — is materialized lazily and cached: rule *counting*
+    (admission control, install-time estimates) never has to build a
+    FlowMod, and a block shared with a previous generation reuses the
+    FlowMods it already materialized.
+    """
+
+    __slots__ = ("cookie", "_blocks", "_extra", "_mods")
+
+    def __init__(self, cookie: int) -> None:
+        self.cookie = cookie
+        self._blocks: list[CompiledBlock] = []
+        self._extra: dict[str, list[FlowMod]] = {}
+        self._mods: dict[str, list[FlowMod]] | None = None
+
+    @property
+    def blocks(self) -> list[CompiledBlock]:
+        return self._blocks
+
+    def add_block(self, block: CompiledBlock) -> None:
+        self._blocks.append(block)
+        self._mods = None
 
     def add(self, phys_switch: str, mod: FlowMod) -> None:
-        self.mods.setdefault(phys_switch, []).append(mod)
+        self._extra.setdefault(phys_switch, []).append(mod)
+        self._mods = None
+
+    @property
+    def mods(self) -> dict[str, list[FlowMod]]:
+        if self._mods is None:
+            mods: dict[str, list[FlowMod]] = {}
+            for block in self._blocks:
+                for phys, mod in block.pairs():
+                    bucket = mods.get(phys)
+                    if bucket is None:
+                        mods[phys] = [mod]
+                    else:
+                        bucket.append(mod)
+            for phys, extra in self._extra.items():
+                mods.setdefault(phys, []).extend(extra)
+            self._mods = mods
+        return self._mods
 
     def count(self, phys_switch: str | None = None) -> int:
         if phys_switch is not None:
-            return len(self.mods.get(phys_switch, []))
-        return sum(len(v) for v in self.mods.values())
+            return self.per_switch_counts().get(phys_switch, 0)
+        return sum(b.count for b in self._blocks) + sum(
+            len(v) for v in self._extra.values()
+        )
 
     def per_switch_counts(self) -> dict[str, int]:
-        return {s: len(v) for s, v in self.mods.items()}
-
-
-#: cached compilation output: (physical switch, FlowMod) pairs.
-#: FlowMods are frozen, so sharing them across RuleSets is safe.
-CompiledSwitch = tuple[tuple[str, FlowMod], ...]
+        counts: dict[str, int] = {}
+        for block in self._blocks:
+            for sw, n in block.per_switch_counts().items():
+                counts[sw] = counts.get(sw, 0) + n
+        for sw, extra in self._extra.items():
+            counts[sw] = counts.get(sw, 0) + len(extra)
+        return counts
 
 
 class RuleCache:
@@ -85,32 +144,41 @@ class RuleCache:
     switch, a new host address, a fresh cookie — misses the cache,
     while sub-switches untouched by a topology edit hit it and skip
     recompilation entirely (the "dirty set" of DESIGN.md §5b).
+
+    The cache stores :class:`CompiledBlock` objects. A hit hands the
+    *same* block object to the new RuleSet — block identity is what
+    :func:`stage_ruleset_delta` uses to skip whole sub-switches in the
+    reconfiguration delta without materializing their FlowMods.
     """
 
     def __init__(self, max_entries: int = 8192) -> None:
         self.max_entries = max_entries
-        self._store: dict[str, CompiledSwitch] = {}
+        self._store: dict[str, CompiledBlock] = {}
+        self._lock = threading.Lock()
 
-    def get(self, key: str) -> CompiledSwitch | None:
-        hit = self._store.get(key)
+    def get(self, key: str) -> CompiledBlock | None:
+        with self._lock:
+            hit = self._store.get(key)
+            if hit is not None:
+                # move-to-back so eviction drops the least recently used
+                self._store[key] = self._store.pop(key)
         metrics.registry().counter("sdt_rules_cache_total").inc(
             1, result="hit" if hit is not None else "miss"
         )
-        if hit is not None:
-            # move-to-back so eviction drops the least recently used
-            self._store[key] = self._store.pop(key)
         return hit
 
-    def put(self, key: str, compiled: CompiledSwitch) -> None:
-        while len(self._store) >= self.max_entries:
-            self._store.pop(next(iter(self._store)))
-        self._store[key] = compiled
+    def put(self, key: str, compiled: CompiledBlock) -> None:
+        with self._lock:
+            while len(self._store) >= self.max_entries:
+                self._store.pop(next(iter(self._store)))
+            self._store[key] = compiled
 
     def __len__(self) -> int:
         return len(self._store)
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
 
 def _resolved_entries(
@@ -123,13 +191,17 @@ def _resolved_entries(
     out-VC, phys out port). Entries whose destination or port got no
     hardware are dropped here (route-usage pruning)."""
     resolved = []
+    host_map = projection.host_map
+    ports = sub.ports
     for dst, in_vc, hop in entries:
-        if dst not in projection.host_map or hop.port.index not in sub.ports:
+        phys_dst = host_map.get(dst)
+        if phys_dst is None:
             continue
-        phys_out = sub.phys_port_of(hop.port)
-        resolved.append(
-            (projection.host_map[dst], in_vc, hop.vc, phys_out.port)
-        )
+        port = hop.port
+        if port.index not in ports:
+            continue
+        phys_out = sub.phys_port_of(port)
+        resolved.append((phys_dst, in_vc, hop.vc, phys_out.port))
     return resolved
 
 
@@ -149,55 +221,68 @@ def switch_rule_key(
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def _compile_subswitch(
-    sub: SubSwitch,
-    resolved: list[tuple[str, int | None, int, int]],
+# --- sharded compilation ----------------------------------------------
+
+def _compile_shard(
+    shard: list[tuple[SubSwitch, list[tuple[str, int | None, int, int]]]],
     cookie: int,
-) -> CompiledSwitch:
-    """Emit one sub-switch's classification + routing FlowMods."""
-    out: list[tuple[str, FlowMod]] = []
-    # --- table 0: port -> sub-switch classification ---
-    for _idx, phys_port in sorted(sub.ports.items()):
-        out.append((
-            phys_port.switch,
-            FlowMod(
-                table_id=CLASSIFY_TABLE,
-                priority=PRIORITY_CLASSIFY,
-                match=Match(in_port=phys_port.port),
-                instructions=(
-                    WriteMetadata(sub.metadata_id),
-                    GotoTable(ROUTE_TABLE),
-                ),
-                cookie=cookie,
-            ),
-        ))
-    # --- table 1: destination-based routing within the sub-switch ---
-    for phys_dst, in_vc, out_vc, out_port in resolved:
-        actions: list = []
-        if in_vc is None:
-            match = Match(metadata=sub.metadata_id, dst=phys_dst)
-            priority = PRIORITY_ROUTE_WILD
-            if out_vc != 0:
-                actions.append(SetVC(out_vc))
-        else:
-            match = Match(metadata=sub.metadata_id, dst=phys_dst, vc=in_vc)
-            priority = PRIORITY_ROUTE_EXACT
-            if out_vc != in_vc:
-                actions.append(SetVC(out_vc))
-        actions.append(SetQueue(out_vc))
-        actions.append(Output(out_port))
-        out.append((
-            sub.phys_switch,
-            FlowMod(
-                table_id=ROUTE_TABLE,
-                priority=priority,
-                match=match,
-                instructions=(ApplyActions(actions),),
-                cookie=cookie,
-            ),
-        ))
-    metrics.registry().counter("sdt_rules_synthesized_total").inc(len(out))
-    return tuple(out)
+) -> list[CompiledBlock]:
+    """Compile one shard's sub-switches. Top-level (picklable) so the
+    process backend can ship it to workers; :func:`build_block` is a
+    pure function of its arguments, so shards can run anywhere in any
+    order and the name-ordered merge stays bit-identical to serial."""
+    return [build_block(sub, resolved, cookie) for sub, resolved in shard]
+
+
+def _resolve_workers(workers: int | None) -> int:
+    if workers is None:
+        raw = os.environ.get("SDT_COMPILE_WORKERS", "").strip()
+        if not raw:
+            return 0
+        try:
+            workers = int(raw)
+        except ValueError:
+            return 0
+    return max(0, workers)
+
+
+def _compile_missing(
+    misses: list[tuple[SubSwitch, list[tuple[str, int | None, int, int]]]],
+    cookie: int,
+    workers: int | None,
+) -> list[CompiledBlock]:
+    """Compile cache misses, optionally sharded across a pool.
+
+    Shards are grouped by *physical* switch so one worker handles all
+    sub-switches co-located on a device (their resolved entries share
+    string interning and action pools). Results are re-flattened in
+    submission order, keeping the output independent of worker timing.
+    """
+    workers = _resolve_workers(workers)
+    if workers <= 1 or len(misses) <= 1:
+        return _compile_shard(misses, cookie)
+
+    by_phys: dict[str, list] = {}
+    for item in misses:
+        by_phys.setdefault(item[0].phys_switch, []).append(item)
+    shards = [by_phys[phys] for phys in sorted(by_phys)]
+    if len(shards) == 1:
+        return _compile_shard(shards[0], cookie)
+
+    backend = os.environ.get("SDT_COMPILE_BACKEND", "thread").strip().lower()
+    pool_cls: type[concurrent.futures.Executor]
+    if backend == "process":
+        pool_cls = concurrent.futures.ProcessPoolExecutor
+    else:
+        pool_cls = concurrent.futures.ThreadPoolExecutor
+    with pool_cls(max_workers=min(workers, len(shards))) as pool:
+        shard_blocks = list(pool.map(_compile_shard, shards,
+                                     [cookie] * len(shards)))
+    # re-associate: shards were grouped per physical switch; flatten
+    # back into the original miss order via a per-switch cursor
+    cursors = {phys: iter(blocks)
+               for phys, blocks in zip(sorted(by_phys), shard_blocks)}
+    return [next(cursors[item[0].phys_switch]) for item in misses]
 
 
 def synthesize_rules(
@@ -206,14 +291,20 @@ def synthesize_rules(
     *,
     cookie: int = 1,
     cache: RuleCache | None = None,
+    workers: int | None = None,
 ) -> RuleSet:
-    """Compile a projection + route table into per-switch FlowMods.
+    """Compile a projection + route table into per-switch rule blocks.
 
     Compilation runs sub-switch by sub-switch; with a ``cache``, clean
     sub-switches (content hash unchanged since a previous compile)
-    reuse their FlowMods instead of rebuilding them. The output is
-    identical with and without a cache — the incremental == from-
-    scratch property the differential tests pin down.
+    reuse their compiled block instead of rebuilding it. ``workers``
+    shards cache-miss compilation across a pool (default serial; the
+    ``SDT_COMPILE_WORKERS`` / ``SDT_COMPILE_BACKEND`` environment
+    variables set a default count and choose thread vs process
+    workers). The output is identical with and without a cache, and
+    bit-identical at any worker count — cache lookups happen in the
+    calling thread and blocks merge in ``topology.switches`` order,
+    properties the differential tests pin down.
     """
     if routes.topology is not projection.topology:
         # allow equal-by-structure tables but insist on matching names
@@ -222,27 +313,102 @@ def synthesize_rules(
                 f"route table is for {routes.topology.name!r}, projection is "
                 f"for {projection.topology.name!r}"
             )
-    rules = RuleSet(cookie=cookie)
     topo = projection.topology
 
     by_switch: dict[str, list[tuple[str, int | None, Hop]]] = {}
     for sw, dst, in_vc, hop in routes.entries():
-        by_switch.setdefault(sw, []).append((dst, in_vc, hop))
+        bucket = by_switch.get(sw)
+        if bucket is None:
+            by_switch[sw] = [(dst, in_vc, hop)]
+        else:
+            bucket.append((dst, in_vc, hop))
 
+    # Phase 1 (calling thread): resolve routes + probe the cache. Keys
+    # and hit/miss metrics are sequential no matter the worker count.
+    empty: list[tuple[str, int | None, Hop]] = []
+    plan: list[tuple[SubSwitch, list, str | None, CompiledBlock | None]] = []
+    misses: list[tuple[SubSwitch, list]] = []
     for sw in topo.switches:
         sub = projection.subswitches[sw]
-        resolved = _resolved_entries(projection, sub, by_switch.get(sw, []))
+        resolved = _resolved_entries(projection, sub, by_switch.get(sw, empty))
         if cache is None:
-            compiled = _compile_subswitch(sub, resolved, cookie)
+            plan.append((sub, resolved, None, None))
+            misses.append((sub, resolved))
         else:
             key = switch_rule_key(sub, resolved, cookie)
-            compiled = cache.get(key)
-            if compiled is None:
-                compiled = _compile_subswitch(sub, resolved, cookie)
-                cache.put(key, compiled)
-        for phys, mod in compiled:
-            rules.add(phys, mod)
+            block = cache.get(key)
+            plan.append((sub, resolved, key, block))
+            if block is None:
+                misses.append((sub, resolved))
+
+    # Phase 2 (pool when sharded): compile the misses.
+    fresh = iter(_compile_missing(misses, cookie, workers))
+
+    # Phase 3 (calling thread): merge in topology order, fill the cache.
+    rules = RuleSet(cookie=cookie)
+    synthesized = 0
+    for _sub, _resolved, key, block in plan:
+        if block is None:
+            block = next(fresh)
+            synthesized += block.count
+            if cache is not None and key is not None:
+                cache.put(key, block)
+        rules.add_block(block)
+    if synthesized:
+        metrics.registry().counter("sdt_rules_synthesized_total").inc(
+            synthesized
+        )
     return rules
+
+
+@dataclass(frozen=True)
+class RulesDelta:
+    """What :func:`split_ruleset_delta` found: per-switch FlowMod
+    mappings restricted to switches whose blocks actually changed,
+    plus the number of rules proven unchanged by block identity."""
+
+    old_mods: dict[str, list[FlowMod]]
+    new_mods: dict[str, list[FlowMod]]
+    shared_rules: int
+
+
+def split_ruleset_delta(old: RuleSet, new: RuleSet) -> RulesDelta:
+    """Reduce two RuleSets to the switches that can differ.
+
+    Blocks present in both generations *by identity* (the RuleCache
+    returns the same object for an unchanged content hash) are proof
+    that every rule in them survives unchanged — their switches are
+    excluded from the mappings without materializing a single FlowMod.
+    Only switches touched by a non-shared block or by ``_extra`` rules
+    get their FlowMods built for the transaction's per-rule diff.
+
+    Correctness: a shared block contributes identical (switch, rule)
+    pairs to both sides, so removing it from both mappings leaves the
+    install/delete delta untouched; the per-rule diff then runs on the
+    remainder. Rule *sets* per switch are disjoint across blocks (each
+    block matches on its own metadata tag / in-ports), so a rule from
+    a changed block can never be double-counted against a shared one.
+    """
+    shared = {
+        id(b) for b in old.blocks
+    } & {id(b) for b in new.blocks}
+
+    def reduced(rs: RuleSet) -> tuple[dict[str, list[FlowMod]], int]:
+        mods: dict[str, list[FlowMod]] = {}
+        kept = 0
+        for block in rs.blocks:
+            if id(block) in shared:
+                kept += block.count
+                continue
+            for phys, mod in block.pairs():
+                mods.setdefault(phys, []).append(mod)
+        for phys, extra in rs._extra.items():
+            mods.setdefault(phys, []).extend(extra)
+        return mods, kept
+
+    old_mods, kept = reduced(old)
+    new_mods, _ = reduced(new)
+    return RulesDelta(old_mods=old_mods, new_mods=new_mods, shared_rules=kept)
 
 
 def flow_override(

@@ -9,6 +9,7 @@ from repro.hardware.spec import (
     MEMS_OPTICAL_320,
     OPENFLOW_128x100G,
     OPENFLOW_64x100G,
+    SCALE_2048x10G,
     TOFINO_128x100G,
     TOFINO_64x100G,
     HostSpec,
@@ -33,6 +34,7 @@ __all__ = [
     "MEMS_OPTICAL_320",
     "OPENFLOW_128x100G",
     "OPENFLOW_64x100G",
+    "SCALE_2048x10G",
     "TOFINO_128x100G",
     "TOFINO_64x100G",
     "HostSpec",

@@ -65,6 +65,21 @@ EVAL_256x10G = SwitchSpec(
     price_usd=10_000.0,
 )
 
+#: Synthetic rig for the scaling benchmark (``repro bench --suite
+#: scale``). A fat-tree k=16 on 8 physical switches projects ~1.2k
+#: ports per switch (host + inter-switch + self-link, partition
+#: imbalance included) and ~340k rules total; no commodity 10G box
+#: carries that, so the scale curve runs on an imagined 2048-port
+#: chassis with a correspondingly large TCAM. The point of the suite
+#: is compile/install *throughput* at scale, not hardware realism.
+SCALE_2048x10G = SwitchSpec(
+    model="SDT-Scale-2048x10G",
+    num_ports=2048,
+    port_rate=gbps(10),
+    flow_table_capacity=131072,
+    price_usd=80_000.0,
+)
+
 #: Table II's commodity OpenFlow switches.
 OPENFLOW_64x100G = SwitchSpec(
     model="OpenFlow-64x100G",

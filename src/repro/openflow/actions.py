@@ -72,6 +72,17 @@ class ApplyActions:
     def __init__(self, actions: "tuple[Action, ...] | list[Action]") -> None:
         object.__setattr__(self, "actions", tuple(actions))
 
+    def __hash__(self) -> int:
+        # FlowMods hash their instruction tuples on every delta-staging
+        # dict/set operation, and synthesis pools ApplyActions objects —
+        # memoizing here makes each pooled instance hash its (nested)
+        # action tuple only once
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(self.actions)
+            object.__setattr__(self, "_hash", h)
+        return h
+
 
 Instruction = WriteMetadata | GotoTable | ApplyActions
 

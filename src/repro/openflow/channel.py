@@ -14,7 +14,7 @@ accumulates *modeled* time; nothing sleeps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.openflow.match import Match
 from repro.openflow.switch import OpenFlowSwitch, SwitchSnapshot
@@ -37,26 +37,22 @@ def _entry_record(table_id: int, entry) -> dict:
     }
 
 
-@dataclass(frozen=True)
-class FlowMod:
+class FlowMod(NamedTuple):
     """An ADD flow-mod (the only kind SDT deployment needs, plus
-    cookie-based bulk DELETE below)."""
+    cookie-based bulk DELETE below).
+
+    A NamedTuple for the same reason as :class:`Match`: cold deploys
+    construct one per rule and delta staging hashes whole rule
+    generations, and tuples do both at C speed. The nested-instruction
+    hash cost is amortized by :class:`ApplyActions`'s memoized hash on
+    the pooled instruction objects.
+    """
 
     table_id: int
     priority: int
     match: Match
     instructions: tuple
     cookie: int = 0
-
-    def __hash__(self) -> int:
-        # delta staging hashes whole rule generations; memoize so each
-        # FlowMod's (deep) field hash is computed once per object
-        h = self.__dict__.get("_hash")
-        if h is None:
-            h = hash((self.table_id, self.priority, self.match,
-                      self.instructions, self.cookie))
-            object.__setattr__(self, "_hash", h)
-        return h
 
 
 @dataclass(frozen=True)
@@ -200,6 +196,24 @@ class ControlChannel:
                 )
             return {p: s for p, s in self.switch.port_stats.items()}
         raise TypeError(f"unknown control message {msg!r}")
+
+    def send_batch(self, mods: list[FlowMod]) -> list:
+        """Apply a run of FlowMods as one bulk install.
+
+        Observable behavior is identical to ``for m in mods: send(m)``
+        — per-message latency accounting, per-message fault injection
+        (an armed :meth:`fail_after` fires on exactly the same message
+        it would have fired on, with every earlier mod applied), and
+        per-message trace events — but the hardware install itself goes
+        through :meth:`OpenFlowSwitch.add_flow_batch`, amortizing table
+        maintenance across the batch.
+        """
+        if self._fail_countdown is not None or trace.active_tracer() is not None:
+            # slow paths keep exact per-message semantics trivially
+            return [self.send(m) for m in mods]
+        self.stats.flow_mods += len(mods)
+        self.stats.modeled_time += self.flow_install_latency * len(mods)
+        return self.switch.add_flow_batch(mods)
 
     # --- transaction support ------------------------------------------
     def snapshot_rules(self) -> SwitchSnapshot:

@@ -4,18 +4,99 @@ A :class:`FlowTable` is one numbered table in the switch pipeline; the
 switch holds a list of them. Entry capacity is enforced at the *switch*
 level (hardware TCAM budgets are shared) — see
 :class:`repro.openflow.switch.OpenFlowSwitch`.
+
+Lookup is **hash-first**: every entry whose match constrains only
+exact-comparable fields (the common case — SDT synthesis emits
+``in_port`` classification rules and ``(metadata, dst[, vc])`` routing
+rules, all exact) is filed in a per-*shape* hash index, where a shape
+is the tuple of constrained field names. A packet lookup then probes
+one bucket per shape present in the table — O(#shapes), not
+O(#entries) — and only entries that hash-first cannot serve (a partial
+``metadata_mask``) fall back to the classic priority-ordered scan.
+The winner across probes and scan is ranked by (priority desc,
+insertion order asc), which is exactly what the linear scan over the
+priority-ordered list returns ("first added wins" among equal
+priorities, as commodity switches do).
+
+Strict deletes only *mark* victims dead (``_dead``); the entry list and
+hash buckets are pruned by a deferred compaction that runs on reads
+that need the dense list (snapshot, iteration, wildcard delete) or when
+the dead fraction crosses :data:`COMPACT_DEAD_MIN` /
+:data:`COMPACT_DEAD_FRACTION` — so a delta batch of hundreds of strict
+deletes costs O(victims), not O(table) per message.
 """
 
 from __future__ import annotations
 
+from bisect import insort_right
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.openflow.actions import Instruction
 from repro.openflow.match import Match, PacketHeader
 
+#: deferred compaction triggers once at least this many entries are
+#: dead *and* they exceed COMPACT_DEAD_FRACTION of the list
+COMPACT_DEAD_MIN = 64
+COMPACT_DEAD_FRACTION = 0.25
 
-@dataclass
+#: match fields a hash bucket can key on, in canonical order
+_HASH_FIELDS = (
+    "in_port", "metadata", "dst", "src", "proto",
+    "src_port", "dst_port", "vc",
+)
+_FULL_MASK = 0xFFFFFFFF
+
+
+def _shape_key(match: Match) -> tuple[tuple[str, ...], tuple] | None:
+    """The (shape, key) an entry files under, or ``None`` if only the
+    fallback scan can serve it (a partial metadata mask turns equality
+    into a masked comparison the hash cannot express).
+
+    The field tests are spelled out attribute by attribute — this is
+    the hottest function of a batched install, and a ``getattr``-by-
+    name loop over ``_HASH_FIELDS`` costs ~2x."""
+    md = match.metadata
+    if md is not None and match.metadata_mask != _FULL_MASK:
+        return None
+    shape = []
+    key = []
+    v = match.in_port
+    if v is not None:
+        shape.append("in_port")
+        key.append(v)
+    if md is not None:
+        shape.append("metadata")
+        # mirror Match.matches: metadata compares under the mask
+        key.append(md & _FULL_MASK)
+    v = match.dst
+    if v is not None:
+        shape.append("dst")
+        key.append(v)
+    v = match.src
+    if v is not None:
+        shape.append("src")
+        key.append(v)
+    v = match.proto
+    if v is not None:
+        shape.append("proto")
+        key.append(v)
+    v = match.src_port
+    if v is not None:
+        shape.append("src_port")
+        key.append(v)
+    v = match.dst_port
+    if v is not None:
+        shape.append("dst_port")
+        key.append(v)
+    v = match.vc
+    if v is not None:
+        shape.append("vc")
+        key.append(v)
+    return tuple(shape), tuple(key)
+
+
+@dataclass(slots=True)
 class FlowEntry:
     """One flow-table entry."""
 
@@ -32,6 +113,10 @@ class FlowEntry:
         self.byte_count += nbytes
 
 
+def _neg_priority(entry: FlowEntry) -> int:
+    return -entry.priority
+
+
 @dataclass
 class FlowTable:
     """A single numbered flow table.
@@ -39,7 +124,8 @@ class FlowTable:
     Alongside the priority-ordered entry list the table keeps a
     (priority, match) index so strict deletes — the bulk of an
     incremental reconfiguration's delta batch — resolve without
-    comparing every entry's match.
+    comparing every entry's match, plus the per-shape hash index that
+    serves packet lookups in O(1).
     """
 
     table_id: int
@@ -51,35 +137,118 @@ class FlowTable:
     #: ``_entries``; the list keeps referencing them, so the ids cannot
     #: be recycled before :meth:`_compact` drops both together
     _dead: set[int] = field(init=False, repr=False, default_factory=set)
+    #: hash-first lookup index: shape -> packet-key -> entries (in
+    #: insertion order; may reference dead entries until compaction)
+    _shapes: dict[tuple[str, ...], dict[tuple, list[FlowEntry]]] = field(
+        init=False, repr=False, default_factory=dict
+    )
+    #: entries only the fallback scan can serve (partial metadata mask)
+    _wild: list[FlowEntry] = field(init=False, repr=False, default_factory=list)
+    #: global arrival order per entry id — the equal-priority tie-break
+    _seq: dict[int, int] = field(init=False, repr=False, default_factory=dict)
+    _next_seq: int = field(init=False, repr=False, default=0)
 
     def __post_init__(self) -> None:
         if self._entries:
-            self._rebuild_index()
+            entries, self._entries = self._entries, []
+            self.add_batch(entries)
+
+    # --- index maintenance --------------------------------------------
+    def _index_entry(self, entry: FlowEntry) -> None:
+        self._exact.setdefault((entry.priority, entry.match), []).append(entry)
+        self._seq[id(entry)] = self._next_seq
+        self._next_seq += 1
+        sk = _shape_key(entry.match)
+        if sk is None:
+            self._wild.append(entry)
+        else:
+            shape, key = sk
+            self._shapes.setdefault(shape, {}).setdefault(key, []).append(entry)
 
     def _rebuild_index(self) -> None:
-        index: dict[tuple[int, Match], list[FlowEntry]] = {}
+        self._exact = {}
+        self._shapes = {}
+        self._wild = []
+        self._seq = {}
+        self._next_seq = 0
         for e in self._entries:
-            index.setdefault((e.priority, e.match), []).append(e)
-        self._exact = index
+            self._index_entry(e)
 
     def _compact(self) -> None:
-        if self._dead:
-            self._entries = [
-                e for e in self._entries if id(e) not in self._dead
-            ]
-            self._dead.clear()
+        """Drop dead entries from the list and every index, preserving
+        the stable (priority desc, arrival asc) order of survivors —
+        ``entries()``/``lookup()`` results are identical before and
+        after compaction."""
+        if not self._dead:
+            return
+        dead = self._dead
+        self._entries = [e for e in self._entries if id(e) not in dead]
+        for shape, buckets in list(self._shapes.items()):
+            for key, bucket in list(buckets.items()):
+                live = [e for e in bucket if id(e) not in dead]
+                if live:
+                    buckets[key] = live
+                else:
+                    del buckets[key]
+            if not buckets:
+                del self._shapes[shape]
+        if any(id(e) in dead for e in self._wild):
+            self._wild = [e for e in self._wild if id(e) not in dead]
+        for i in dead:
+            self._seq.pop(i, None)
+        self._dead.clear()
 
+    def _maybe_compact(self) -> None:
+        if (
+            len(self._dead) >= COMPACT_DEAD_MIN
+            and len(self._dead) >= COMPACT_DEAD_FRACTION * len(self._entries)
+        ):
+            self._compact()
+
+    # --- mutation ------------------------------------------------------
     def add(self, entry: FlowEntry) -> None:
         """Insert keeping descending priority; stable for equal priority
         (later adds lose, matching OpenFlow's 'first added wins' among
         equal-priority overlapping entries as commodity switches do)."""
-        idx = len(self._entries)
-        for i, e in enumerate(self._entries):
-            if entry.priority > e.priority:
-                idx = i
-                break
-        self._entries.insert(idx, entry)
-        self._exact.setdefault((entry.priority, entry.match), []).append(entry)
+        insort_right(self._entries, entry, key=_neg_priority)
+        self._index_entry(entry)
+
+    def add_batch(self, entries: Iterable[FlowEntry]) -> None:
+        """Insert many entries at once — one stable re-sort instead of a
+        per-entry bisect, with semantics identical to sequential
+        :meth:`add` calls (batch entries land *after* equal-priority
+        incumbents, in batch order)."""
+        batch = list(entries)
+        if not batch:
+            return
+        # threshold-gated only: a delta commit interleaves small install
+        # runs with strict deletes, and a full compaction per run would
+        # cost O(table) each (dead entries sort and index harmlessly —
+        # every reader skips them, so none are needed for correctness)
+        self._maybe_compact()
+        self._entries.extend(batch)
+        # stable sort keeps incumbents' relative order and places the
+        # (later-appended) batch after equal-priority incumbents: the
+        # same order sequential add() calls would have produced
+        self._entries.sort(key=_neg_priority)
+        # inlined _index_entry: batch installs are the data-plane fast
+        # path and the per-entry call + attribute lookups were measurable
+        exact = self._exact
+        seq = self._seq
+        shapes = self._shapes
+        wild = self._wild
+        nseq = self._next_seq
+        for e in batch:
+            exact.setdefault((e.priority, e.match), []).append(e)
+            seq[id(e)] = nseq
+            nseq += 1
+            sk = _shape_key(e.match)
+            if sk is None:
+                wild.append(e)
+            else:
+                shape, key = sk
+                shapes.setdefault(shape, {}).setdefault(key, []).append(e)
+        self._next_seq = nseq
 
     def remove(
         self,
@@ -93,8 +262,8 @@ class FlowTable:
         if match is not None and priority is not None:
             # strict path: resolve through the index and only *mark*
             # the victims dead — a delta batch of hundreds of strict
-            # deletes then costs O(victims), with one compaction at the
-            # next read instead of a list rebuild per message
+            # deletes then costs O(victims), with one deferred
+            # compaction instead of a list rebuild per message
             bucket = self._exact.get((priority, match), [])
             victims = [
                 e for e in bucket if cookie is None or e.cookie == cookie
@@ -107,6 +276,7 @@ class FlowTable:
                 self._exact[(priority, match)] = survivors
             else:
                 del self._exact[(priority, match)]
+            self._maybe_compact()
             return len(victims)
         self._compact()
         before = len(self._entries)
@@ -129,6 +299,10 @@ class FlowTable:
         self._entries.clear()
         self._exact.clear()
         self._dead.clear()
+        self._shapes.clear()
+        self._wild.clear()
+        self._seq.clear()
+        self._next_seq = 0
         return n
 
     def snapshot(self) -> tuple[FlowEntry, ...]:
@@ -138,21 +312,57 @@ class FlowTable:
         self._compact()
         return tuple(self._entries)
 
+    def entries(self) -> tuple[FlowEntry, ...]:
+        """Alias of :meth:`snapshot`: live entries in lookup order."""
+        return self.snapshot()
+
     def restore(self, entries: tuple[FlowEntry, ...]) -> None:
         """Replace the table's contents with a prior :meth:`snapshot`."""
         self._entries = list(entries)
         self._dead.clear()
+        # snapshots are already priority-ordered; the stable sort is a
+        # no-op for them and re-establishes the invariant otherwise
+        self._entries.sort(key=_neg_priority)
         self._rebuild_index()
 
+    # --- lookup --------------------------------------------------------
     def lookup(
         self, in_port: int, metadata: int, header: PacketHeader
     ) -> FlowEntry | None:
         """Highest-priority matching entry, or None (table miss)."""
-        self._compact()
-        for e in self._entries:
-            if e.match.matches(in_port, metadata, header):
-                return e
-        return None
+        dead = self._dead
+        seq = self._seq
+        best_rank: tuple[int, int] | None = None
+        best: FlowEntry | None = None
+        packet = {
+            "in_port": in_port,
+            "metadata": metadata & _FULL_MASK,
+            "dst": header.dst,
+            "src": header.src,
+            "proto": header.proto,
+            "src_port": header.src_port,
+            "dst_port": header.dst_port,
+            "vc": header.vc,
+        }
+        for shape, buckets in self._shapes.items():
+            bucket = buckets.get(tuple(packet[f] for f in shape))
+            if not bucket:
+                continue
+            for e in bucket:
+                if dead and id(e) in dead:
+                    continue
+                rank = (-e.priority, seq[id(e)])
+                if best_rank is None or rank < best_rank:
+                    best_rank, best = rank, e
+        for e in self._wild:
+            if dead and id(e) in dead:
+                continue
+            rank = (-e.priority, seq[id(e)])
+            if (best_rank is None or rank < best_rank) and e.match.matches(
+                in_port, metadata, header
+            ):
+                best_rank, best = rank, e
+        return best
 
     def __len__(self) -> int:
         return len(self._entries) - len(self._dead)

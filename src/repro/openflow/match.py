@@ -13,6 +13,7 @@ OpenFlow ``metadata/mask`` syntax.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 
 @dataclass(frozen=True)
@@ -34,9 +35,15 @@ class PacketHeader:
         )
 
 
-@dataclass(frozen=True)
-class Match:
-    """An OpenFlow match; unset fields are wildcards."""
+class Match(NamedTuple):
+    """An OpenFlow match; unset fields are wildcards.
+
+    A NamedTuple rather than a frozen dataclass: rule synthesis builds
+    one Match per emitted rule and the flow-table indexes hash them
+    constantly, and the tuple machinery does construction, equality,
+    and hashing at C speed (a frozen dataclass pays a Python-level
+    ``object.__setattr__`` per field just to construct).
+    """
 
     in_port: int | None = None
     metadata: int | None = None

@@ -91,6 +91,10 @@ class OpenFlowSwitch:
         self.flow_table_capacity = flow_table_capacity
         self.tables = [FlowTable(i) for i in range(num_tables)]
         self.groups: dict[int, GroupEntry] = {}
+        # instruction tuples already validated for a given table —
+        # synthesis pools identical tuples across rules, so a bulk
+        # install validates each distinct tuple once, not once per rule
+        self._instr_ok: set[tuple[int, tuple]] = set()
         self.port_stats: dict[int, PortStats] = {
             p: PortStats() for p in range(1, num_ports + 1)
         }
@@ -127,6 +131,59 @@ class OpenFlowSwitch:
         if trace.enabled():
             self._publish_occupancy()
         return entry
+
+    def add_flow_batch(self, mods) -> list[FlowEntry]:
+        """Install a batch of FlowMod-shaped messages (anything with
+        ``table_id``/``priority``/``match``/``instructions``/``cookie``)
+        in order, amortizing table re-sorts and capacity checks across
+        the batch.
+
+        Semantics match a sequential :meth:`add_flow` loop exactly: if
+        the TCAM budget runs out mid-batch, every entry *before* the
+        overflowing one is installed and :class:`CapacityError` is
+        raised for the first that does not fit — the per-message
+        behavior transactions rely on for rollback accounting.
+        """
+        mods = list(mods)
+        free = self.flow_table_capacity - self.num_entries
+        overflow = len(mods) > free
+        if overflow:
+            mods, rejected = mods[:free], mods[free:]
+        by_table: dict[int, list[FlowEntry]] = {}
+        entries: list[FlowEntry] = []
+        # synthesis pools instruction tuples, so batches repeat a small
+        # set of (table, instructions) combinations — validate each
+        # distinct one once per batch, keyed by identity (the mods list
+        # pins the tuples, so ids are stable for the loop's duration)
+        checked: set[tuple[int, int]] = set()
+        for m in mods:
+            tid = m.table_id
+            ck = (tid, id(m.instructions))
+            if ck not in checked:
+                self._check_table(tid)
+                self._check_instructions(tid, m.instructions)
+                checked.add(ck)
+            entry = FlowEntry(
+                m.priority, m.match, tuple(m.instructions), cookie=m.cookie
+            )
+            by_table.setdefault(tid, []).append(entry)
+            entries.append(entry)
+        for table_id, batch in by_table.items():
+            self.tables[table_id].add_batch(batch)
+        if trace.enabled():
+            self._publish_occupancy()
+        if overflow:
+            # validate the doomed message too, so a bad mod is still
+            # reported as such rather than masked by the full table
+            self._check_table(rejected[0].table_id)
+            self._check_instructions(
+                rejected[0].table_id, rejected[0].instructions
+            )
+            raise CapacityError(
+                f"switch {self.dpid}: flow table full "
+                f"({self.flow_table_capacity} entries)"
+            )
+        return entries
 
     def _publish_occupancy(self) -> None:
         metrics.registry().gauge("sdt_switch_table_entries").set(
@@ -231,6 +288,14 @@ class OpenFlowSwitch:
             )
 
     def _check_instructions(self, table_id: int, instructions) -> None:
+        key = (
+            (table_id, instructions)
+            if isinstance(instructions, tuple)
+            else None
+        )
+        if key is not None and key in self._instr_ok:
+            return
+        cacheable = True
         for ins in instructions:
             if isinstance(ins, GotoTable):
                 if ins.table <= table_id:
@@ -246,11 +311,18 @@ class OpenFlowSwitch:
                             f"switch {self.dpid}: Output({a.port}) out of "
                             f"range 1..{self.num_ports}"
                         )
-                    if isinstance(a, Group) and a.group_id not in self.groups:
-                        raise SimulationError(
-                            f"switch {self.dpid}: rule references missing "
-                            f"group {a.group_id} (install the group first)"
-                        )
+                    if isinstance(a, Group):
+                        # group existence is stateful (groups come and
+                        # go): never cache a verdict that involves one
+                        cacheable = False
+                        if a.group_id not in self.groups:
+                            raise SimulationError(
+                                f"switch {self.dpid}: rule references "
+                                f"missing group {a.group_id} (install the "
+                                "group first)"
+                            )
+        if key is not None and cacheable and len(self._instr_ok) < 65536:
+            self._instr_ok.add(key)
 
     # --- data plane -----------------------------------------------------
     def forward(

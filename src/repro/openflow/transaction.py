@@ -238,6 +238,12 @@ class ControlTransaction:
         peaks: dict[str, int] = {}
         for name, msgs in self._ops.items():
             switch = self.control.channel(name).switch
+            if not any(isinstance(msg, FlowDelete) for msg in msgs):
+                # install-only batch (cold deploys): the count only ever
+                # grows, so the peak is just steady state + batch size —
+                # no need to simulate the entry multiset at all
+                peaks[name] = switch.num_entries + len(msgs)
+                continue
             entries: dict[tuple, int] = {}
             for key in switch.entry_keys():
                 entries[key] = entries.get(key, 0) + 1
@@ -248,9 +254,10 @@ class ControlTransaction:
                     key = (msg.table_id, msg.priority, msg.match, msg.cookie)
                     entries[key] = entries.get(key, 0) + 1
                     count += 1
+                    if count > peak:
+                        peak = count
                 else:  # FlowDelete
                     count -= self._simulate_delete(entries, msg)
-                peak = max(peak, count)
             peaks[name] = peak
         return peaks
 
@@ -342,8 +349,19 @@ class ControlTransaction:
                     current = name
                     channel = self.control.channel(name)
                     snapshots[name] = channel.snapshot_rules()
+                    # send maximal runs of consecutive FlowMods as one
+                    # bulk install; deletes and barriers stay one-by-one
+                    run: list[FlowMod] = []
                     for msg in self._ops[name]:
+                        if isinstance(msg, FlowMod):
+                            run.append(msg)
+                            continue
+                        if run:
+                            channel.send_batch(run)
+                            run = []
                         channel.send(msg)
+                    if run:
+                        channel.send_batch(run)
                     channel.send(BarrierRequest())
             except Exception as exc:
                 with trace.span("txn.rollback", label=self.label) as rb:

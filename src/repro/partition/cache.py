@@ -85,10 +85,40 @@ class PartitionCache:
         part = partition_topology(
             topology, num_parts, method=method, seed=seed
         )
+        self._put(key, part)
+        return part
+
+    def seed(
+        self,
+        topology: Topology,
+        part: Partition,
+        *,
+        method: str = "multilevel",
+        seed: int = 0,
+    ) -> None:
+        """Store an already-computed partition under ``topology``'s
+        content key without running the partitioner (and without
+        touching the hit/miss counters).
+
+        This is how :func:`extend_partition` results join the cache:
+        incremental reconfiguration derives the edited topology's
+        partition in O(changes), and seeding it means every later
+        check/deploy of that same topology — the common "verify what I
+        just built" pattern — is a pure hit instead of a from-scratch
+        multilevel run. The seeded partition intentionally *replaces*
+        what ``partition_topology`` would compute: it keeps surviving
+        switches on their physical homes, which is the assignment the
+        live deployment actually uses.
+        """
+        key = partition_key(
+            topology, part.num_parts, method=method, seed=seed
+        )
+        self._put(key, part)
+
+    def _put(self, key: str, part: Partition) -> None:
         while len(self._store) >= self.max_entries:
             self._store.pop(next(iter(self._store)))
         self._store[key] = Partition(dict(part.assignment), part.num_parts)
-        return part
 
     def __len__(self) -> int:
         return len(self._store)

@@ -143,13 +143,23 @@ def _kl_refine(
     tentative sequences and rollback to the best prefix).
     """
     assign = dict(assign)
-    total = sum(_node_weight(g, n) for n in g.nodes)
+    # hoist the graph into plain dicts: the refinement loop reads node
+    # weights and weighted adjacency thousands of times per pass, and
+    # networkx attribute-dict access dominated its runtime
+    nodes = list(g.nodes)
+    nw = {n: g.nodes[n].get("weight", 1) for n in nodes}
+    adj: dict[str, list[tuple[str, int]]] = {
+        n: [(v, d.get("weight", 1)) for v, d in g.adj[n].items()]
+        for n in nodes
+    }
+    total = sum(nw.values())
     max_side = total / 2.0 * (1.0 + balance_tolerance)
 
-    def side_weight(side: int) -> int:
-        return sum(_node_weight(g, n) for n, p in assign.items() if p == side)
-
-    weights = {0: side_weight(0), 1: side_weight(1)}
+    weights = {
+        0: sum(nw[n] for n, p in assign.items() if p == 0),
+        1: sum(nw[n] for n, p in assign.items() if p == 1),
+    }
+    hopeless_tail = 2 * len(nodes) ** 0.5 + 16
 
     for _ in range(max_passes):
         moved: set[str] = set()
@@ -161,38 +171,35 @@ def _kl_refine(
         def gain_of(n: str) -> int:
             here = work[n]
             g_in = g_out = 0
-            for v in g.neighbors(n):
-                w = _edge_weight(g, n, v)
+            for v, w in adj[n]:
                 if work[v] == here:
                     g_in += w
                 else:
                     g_out += w
             return g_out - g_in
 
-        for _step in range(len(g.nodes)):
-            boundary = [
-                n
-                for n in g.nodes
-                if n not in moved
-                and any(work[v] != work[n] for v in g.neighbors(n))
-            ]
-            feasible = [
-                n
-                for n in boundary
-                if wts[1 - work[n]] + _node_weight(g, n) <= max_side
-            ]
+        for _step in range(len(nodes)):
+            feasible = []
+            for n in nodes:
+                if n in moved:
+                    continue
+                here = work[n]
+                if all(work[v] == here for v, _w in adj[n]):
+                    continue  # interior node, not on the boundary
+                if wts[1 - here] + nw[n] <= max_side:
+                    feasible.append(n)
             if not feasible:
                 break
             best = max(sorted(feasible), key=gain_of)
             gain = gain_of(best)
             side = work[best]
             work[best] = 1 - side
-            wts[side] -= _node_weight(g, best)
-            wts[1 - side] += _node_weight(g, best)
+            wts[side] -= nw[best]
+            wts[1 - side] += nw[best]
             moved.add(best)
             sequence.append((best, gain))
             cumulative.append((cumulative[-1] if cumulative else 0) + gain)
-            if len(sequence) > 2 * len(g.nodes) ** 0.5 + 16 and cumulative[-1] < 0:
+            if len(sequence) > hopeless_tail and cumulative[-1] < 0:
                 break  # hopeless tail; stop early
 
         if not sequence:
@@ -203,8 +210,8 @@ def _kl_refine(
         for node, _gain in sequence[: best_prefix + 1]:
             side = assign[node]
             assign[node] = 1 - side
-            weights[side] -= _node_weight(g, node)
-            weights[1 - side] += _node_weight(g, node)
+            weights[side] -= nw[node]
+            weights[1 - side] += nw[node]
     return assign
 
 

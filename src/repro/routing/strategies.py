@@ -48,6 +48,25 @@ def shortest_path_routes(topo: Topology) -> RouteTable:
     """BFS shortest-path, destination-based. The WAN default and the
     fallback for topologies without a dedicated strategy."""
     table = RouteTable(topo, num_vcs=1)
+    switches = topo.switches
+    # switch-only adjacency with per-edge exit ports, computed once:
+    # port_to[v][u] is v's port on the v--u link
+    sw_nbrs: dict[str, list[str]] = {}
+    port_to: dict[str, dict[str, "object"]] = {}
+    for sw in switches:
+        nbrs = []
+        ports = {}
+        for link in topo.links_of(sw):
+            nb = link.other(sw)
+            if topo.is_switch(nb):
+                nbrs.append(nb)
+                ports[nb] = link.port_on(sw)
+        sw_nbrs[sw] = nbrs
+        port_to[sw] = ports
+    # hops are identical across destinations sharing an exit port —
+    # pool them so a k-ary fat-tree allocates O(ports), not O(routes)
+    hop_pool: dict[object, Hop] = {}
+    items: list[tuple[str, str, int | None, Hop]] = []
     for dst in topo.hosts:
         root = topo.host_switch(dst)
         # BFS tree rooted at the destination's switch; each switch's hop
@@ -56,17 +75,21 @@ def shortest_path_routes(topo: Topology) -> RouteTable:
         queue = deque([root])
         while queue:
             u = queue.popleft()
-            for v in topo.neighbors(u):
-                if topo.is_switch(v) and v not in parent:
+            for v in sw_nbrs[u]:
+                if v not in parent:
                     parent[v] = u
                     queue.append(v)
-        for sw in topo.switches:
+        for sw in switches:
             if sw == root:
-                table.set_hop(sw, dst, _host_port_hop(topo, sw, dst))
+                items.append((sw, dst, None, _host_port_hop(topo, sw, dst)))
             elif sw in parent:
-                link = topo.link_between(sw, parent[sw])
-                table.set_hop(sw, dst, Hop(link.port_on(sw), 0))
+                port = port_to[sw][parent[sw]]
+                hop = hop_pool.get(port)
+                if hop is None:
+                    hop = hop_pool[port] = Hop(port, 0)
+                items.append((sw, dst, None, hop))
             # unreachable switches simply get no entry (table miss = drop)
+    table.set_hops(items)
     return table
 
 

@@ -59,6 +59,23 @@ class RouteTable:
         else:
             self._exact[(switch, dst, in_vc)] = hop
 
+    def set_hops(
+        self, items: "list[tuple[str, str, int | None, Hop]]"
+    ) -> None:
+        """Bulk insert of (switch, dst, in_vc, hop) tuples for strategy
+        compilers. Skips :meth:`set_hop`'s per-entry validation — the
+        strategies construct hops directly from the topology's own
+        ports, and their output is validated end-to-end by path
+        tracing; per-call checks were a measurable slice of route
+        compilation at fat-tree k>=8 scale."""
+        wild = self._wild
+        exact = self._exact
+        for sw, dst, in_vc, hop in items:
+            if in_vc is None:
+                wild[(sw, dst)] = hop
+            else:
+                exact[(sw, dst, in_vc)] = hop
+
     def next_hop(self, switch: str, dst: str, in_vc: int = 0) -> Hop:
         hop = self._exact.get((switch, dst, in_vc))
         if hop is None:

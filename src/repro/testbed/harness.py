@@ -24,7 +24,9 @@ volume — is the reproduction target. See EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import gc
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 
 from repro.core.autobuild import build_cluster_for
@@ -47,6 +49,27 @@ from repro.util.rng import make_rng
 #: real RoCE MTU (testbed arms) vs flit granularity (simulator arm)
 TESTBED_MTU = 4096
 SIMULATOR_FLIT = 256
+
+
+@contextmanager
+def _timed_region():
+    """Pause the cyclic collector while a wall-clock measurement runs.
+
+    Generational GC fires on global allocation counts, so whether a
+    gen-2 sweep lands inside a given arm's timed window depends on how
+    much garbage *earlier, unrelated* work left behind — in a long
+    pytest session that can inflate one cell's wall time severalfold
+    and flip cross-workload speedup comparisons. Refcounting still
+    frees acyclic garbage while disabled; cycles are collected after
+    the window closes.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 @dataclass(frozen=True)
@@ -110,9 +133,10 @@ class Experiment:
         """Logical fabric, real MTU, no projection overhead."""
         net = build_logical_network(self.topology, self.routes, self.net_config)
         job = MpiJob(net, self._rank_addresses(), self.programs, mtu=TESTBED_MTU)
-        t0 = time.perf_counter()
-        res = job.run()
-        wall = time.perf_counter() - t0
+        with _timed_region():
+            t0 = time.perf_counter()
+            res = job.run()
+            wall = time.perf_counter() - t0
         return ArmResult(
             arm="full", act=res.act, eval_time=res.act, wall_time=wall,
             events=res.events,
@@ -126,9 +150,10 @@ class Experiment:
         cfg = replace(self.net_config, detail_flit_bytes=flit_bytes)
         net = build_logical_network(self.topology, self.routes, cfg)
         job = MpiJob(net, self._rank_addresses(), self.programs, mtu=TESTBED_MTU)
-        t0 = time.perf_counter()
-        res = job.run()
-        wall = time.perf_counter() - t0
+        with _timed_region():
+            t0 = time.perf_counter()
+            res = job.run()
+            wall = time.perf_counter() - t0
         return ArmResult(
             arm="simulator", act=res.act, eval_time=wall, wall_time=wall,
             events=res.events,
@@ -156,9 +181,10 @@ class Experiment:
         net = build_sdt_network(cluster, deployment, self.net_config)
         addresses = self._rank_addresses(deployment.projection.host_map)
         job = MpiJob(net, addresses, self.programs, mtu=TESTBED_MTU)
-        t0 = time.perf_counter()
-        res = job.run()
-        wall = time.perf_counter() - t0
+        with _timed_region():
+            t0 = time.perf_counter()
+            res = job.run()
+            wall = time.perf_counter() - t0
         return ArmResult(
             arm="sdt",
             act=res.act,

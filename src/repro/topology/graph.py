@@ -80,6 +80,18 @@ class Topology:
     _ports: dict[str, list[Port]] = field(default_factory=dict)
     # port -> link resolution for routing/projection lookups
     _port_link: dict[Port, Link] = field(default_factory=dict)
+    # lazily-built adjacency caches, maintained incrementally by
+    # connect(); partitioning, routing, and projection walk the graph
+    # heavily enough that per-call list rebuilds dominated their cost
+    _adj: dict[str, list[Link]] | None = field(
+        default=None, init=False, repr=False
+    )
+    _nbrs: dict[str, list[str]] | None = field(
+        default=None, init=False, repr=False
+    )
+    _pair_link: dict[tuple[str, str], Link] | None = field(
+        default=None, init=False, repr=False
+    )
 
     # --- construction -------------------------------------------------
     def add_switch(self, name: str) -> str:
@@ -87,6 +99,9 @@ class Topology:
         self._check_fresh(name)
         self._switches[name] = None
         self._ports[name] = []
+        if self._adj is not None:
+            self._adj[name] = []
+            self._nbrs[name] = []  # type: ignore[index]
         return name
 
     def add_host(self, name: str) -> str:
@@ -94,6 +109,9 @@ class Topology:
         self._check_fresh(name)
         self._hosts[name] = None
         self._ports[name] = []
+        if self._adj is not None:
+            self._adj[name] = []
+            self._nbrs[name] = []  # type: ignore[index]
         return name
 
     def _check_fresh(self, name: str) -> None:
@@ -123,6 +141,16 @@ class Topology:
         self._links.append(link)
         self._port_link[pa] = link
         self._port_link[pb] = link
+        if self._adj is not None:
+            # keep the caches current instead of invalidating: connect
+            # itself consults neighbors(), so an invalidate-on-write
+            # scheme would rebuild the whole adjacency once per link
+            self._adj[a].append(link)
+            self._adj[b].append(link)
+            self._nbrs[a].append(b)  # type: ignore[index]
+            self._nbrs[b].append(a)  # type: ignore[index]
+            self._pair_link[(a, b)] = link  # type: ignore[index]
+            self._pair_link[(b, a)] = link  # type: ignore[index]
         return link
 
     # --- accessors ----------------------------------------------------
@@ -182,17 +210,50 @@ class Topology:
         except KeyError:
             raise TopologyError(f"port {port} has no link") from None
 
+    def _build_adjacency(self) -> None:
+        adj: dict[str, list[Link]] = {
+            node: [self._port_link[p] for p in ports]
+            for node, ports in self._ports.items()
+        }
+        self._adj = adj
+        self._nbrs = {
+            node: [l.other(node) for l in links]
+            for node, links in adj.items()
+        }
+        pair: dict[tuple[str, str], Link] = {}
+        for l in self._links:
+            a, b = l.a.node, l.b.node
+            pair[(a, b)] = l
+            pair[(b, a)] = l
+        self._pair_link = pair
+
     def links_of(self, node: str) -> list[Link]:
-        return [self._port_link[p] for p in self.ports_of(node)]
+        """This node's links. The returned list is a shared cache —
+        treat it as read-only."""
+        if self._adj is None:
+            self._build_adjacency()
+        try:
+            return self._adj[node]  # type: ignore[index]
+        except KeyError:
+            raise TopologyError(f"unknown node {node!r}") from None
 
     def neighbors(self, node: str) -> list[str]:
-        return [l.other(node) for l in self.links_of(node)]
+        """This node's neighbor names. The returned list is a shared
+        cache — treat it as read-only."""
+        if self._nbrs is None:
+            self._build_adjacency()
+        try:
+            return self._nbrs[node]  # type: ignore[index]
+        except KeyError:
+            raise TopologyError(f"unknown node {node!r}") from None
 
     def link_between(self, a: str, b: str) -> Link:
-        for l in self.links_of(a):
-            if l.other(a) == b:
-                return l
-        raise TopologyError(f"no link {a!r}--{b!r} in {self.name!r}")
+        if self._pair_link is None:
+            self._build_adjacency()
+        link = self._pair_link.get((a, b))  # type: ignore[union-attr]
+        if link is None:
+            raise TopologyError(f"no link {a!r}--{b!r} in {self.name!r}")
+        return link
 
     def host_switch(self, host: str) -> str:
         """The switch a host is attached to (hosts are single-homed here)."""

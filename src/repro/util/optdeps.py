@@ -1,0 +1,34 @@
+"""Optional-dependency gates.
+
+numpy is an *optional* accelerator for the columnar rule-synthesis
+path (``pip install .[fast]``): every consumer must behave identically
+without it. ``SDT_NO_NUMPY=1`` forces the pure-Python fallback even
+when numpy is importable — CI runs tier-1 both ways to pin down the
+equivalence.
+
+Only modules that can genuinely fall back should use this gate; the
+statistics/simulation stack (:mod:`repro.netsim`, :mod:`repro.util.rng`)
+imports numpy directly and keeps it a hard dependency.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+_cache: dict[str, Any] = {}
+
+
+def numpy_or_none() -> Any:
+    """The numpy module, or ``None`` when unavailable or disabled via
+    ``SDT_NO_NUMPY``. The environment variable is read per call so
+    tests can flip it without reimporting."""
+    if os.environ.get("SDT_NO_NUMPY", "").strip() not in ("", "0"):
+        return None
+    if "numpy" not in _cache:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - exercised via SDT_NO_NUMPY
+            numpy = None
+        _cache["numpy"] = numpy
+    return _cache["numpy"]

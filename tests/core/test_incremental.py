@@ -149,7 +149,7 @@ def test_routing_strategy_change_goes_incremental():
     _assert_converged(controller, dep2)
 
 
-def test_added_host_invalidates_rule_and_partition_caches():
+def test_added_host_invalidates_rule_cache_and_reseeds_partition():
     controller, _ = _rig(FT4, spare_hosts=1)
     cfg = _config_for(FT4)
     controller.deploy(cfg)
@@ -167,10 +167,15 @@ def test_added_host_invalidates_rule_and_partition_caches():
     )
     _assert_converged(controller, dep)
 
-    # the partition key sees the host too (it changes a switch radix)
+    # the partition key sees the host too (it changes a switch radix),
+    # so the old entry cannot serve the edited topology — but the
+    # incremental path *seeds* the extended partition under the new
+    # key, so the warm re-check is a pure hit, not a recompute
     pmiss0 = _counter("sdt_partition_cache_total", result="miss")
+    phits0 = _counter("sdt_partition_cache_total", result="hit")
     controller.check(cfg2)
-    assert _counter("sdt_partition_cache_total", result="miss") == pmiss0 + 1
+    assert _counter("sdt_partition_cache_total", result="miss") == pmiss0
+    assert _counter("sdt_partition_cache_total", result="hit") == phits0 + 1
 
 
 def test_check_of_unchanged_topology_hits_partition_cache():

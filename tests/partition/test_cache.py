@@ -123,6 +123,63 @@ def test_changed_arguments_miss_the_cache(counting):
     assert counting["n"] == 3
 
 
+# --- seed ------------------------------------------------------------------
+
+def test_seed_makes_later_lookup_a_pure_hit(counting):
+    """Seeding an extend_partition result under the edited topology's
+    key means a later check/deploy of that topology never reaches the
+    partitioner — the incremental path's warm re-check contract."""
+    cache = PartitionCache()
+    topo = fat_tree(4)
+    assignment = {sw: i % 2 for i, sw in enumerate(topo.switches)}
+    cache.seed(topo, Partition(assignment, 2))
+    got = cache.partition(topo, 2)
+    assert counting["n"] == 0  # served entirely from the seed
+    assert got.assignment == assignment
+
+
+def test_seed_replaces_what_the_partitioner_would_compute(counting):
+    """A seeded partition intentionally wins over partition_topology's
+    answer: the live deployment's assignment is the useful one."""
+    cache = PartitionCache()
+    topo = fat_tree(4)
+    computed = cache.partition(topo, 2)
+    assert counting["n"] == 1
+    flipped = Partition(
+        {sw: 1 - p for sw, p in computed.assignment.items()}, 2
+    )
+    cache.seed(topo, flipped)
+    assert cache.partition(topo, 2).assignment == flipped.assignment
+    assert counting["n"] == 1  # still no second partitioner run
+
+
+def test_seed_stores_a_copy():
+    cache = PartitionCache()
+    topo = fat_tree(4)
+    expected = {sw: 0 for sw in topo.switches}
+    part = Partition(dict(expected), 1)
+    cache.seed(topo, part)
+    part.assignment.clear()  # caller mutates its copy afterwards
+    assert cache.partition(topo, 1).assignment == expected
+
+
+def test_seed_does_not_touch_hit_miss_counters():
+    from repro.telemetry import metrics
+
+    cache = PartitionCache()
+    topo = fat_tree(4)
+
+    def totals() -> float:
+        inst = metrics.registry().get("sdt_partition_cache_total")
+        if inst is None:
+            return 0.0
+        return inst.value(result="hit") + inst.value(result="miss")
+
+    before = totals()
+    cache.seed(topo, Partition({sw: 0 for sw in topo.switches}, 1))
+    assert totals() == before  # seeding is not a lookup
+
+
 # --- extend_partition ------------------------------------------------------
 
 def _line(names):

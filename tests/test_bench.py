@@ -22,14 +22,18 @@ def _scenario(
     inc: float = 0.2,
     pushed: int = 500,
     mode: str = "incremental",
+    warm_hits: int | None = None,
 ) -> dict:
-    return {
+    record = {
         "scenario": name,
         "mode": mode,
         "cold_deploy_s": cold,
         "incremental_reconfigure_s": inc,
         "rules_pushed": pushed,
     }
+    if warm_hits is not None:
+        record["partition_cache_hits_warm"] = warm_hits
+    return record
 
 
 def _report(*scenarios: dict) -> dict:
@@ -98,6 +102,34 @@ def test_within_tolerance_passes():
     cur = _report(_scenario(inc=0.23, pushed=550))  # +15%, +10%
     assert compare_to_baseline(cur, base) == []
     assert compare_to_baseline(cur, base, tolerance=0.05) != []
+
+
+def test_warm_partition_cache_miss_fails_incremental_scenarios():
+    base = _report(_scenario())
+    cur = _report(_scenario(warm_hits=0))
+    problems = compare_to_baseline(cur, base)
+    assert len(problems) == 1
+    assert "missed the partition cache" in problems[0]
+    # a cold-mode scenario never seeded the cache: not gated
+    cur = _report(_scenario(mode="cold", warm_hits=0))
+    base = _report(_scenario(mode="cold"))
+    assert compare_to_baseline(cur, base) == []
+    # records predating the field (old baselines re-run) are skipped
+    assert compare_to_baseline(_report(_scenario()), _report(_scenario())) == []
+    # nonzero hits pass
+    cur = _report(_scenario(warm_hits=2))
+    assert compare_to_baseline(cur, _report(_scenario())) == []
+
+
+def test_suite_level_partition_cache_zero_hits_fails():
+    base = _report(_scenario())
+    cur = _report(_scenario())
+    cur["partition_cache"] = {"hits": 0, "misses": 9, "hit_rate": 0.0}
+    problems = compare_to_baseline(cur, base)
+    assert len(problems) == 1
+    assert "partition cache saw zero hits" in problems[0]
+    cur["partition_cache"] = {"hits": 3, "misses": 6, "hit_rate": 1 / 3}
+    assert compare_to_baseline(cur, base) == []
 
 
 def test_run_scenario_smoke():
@@ -193,3 +225,133 @@ def test_multitenant_gate_catches_drift():
 def test_cli_bench_suite_flag():
     args = build_parser().parse_args(["bench", "--suite", "multitenant"])
     assert args.suite == "multitenant"
+    args = build_parser().parse_args(["bench", "--suite", "scale"])
+    assert args.suite == "scale"
+
+
+# --- scale suite -----------------------------------------------------------
+
+def _scale_point(
+    k: int, *, rules: int = 1000, cold: float = 1.0
+) -> dict:
+    return {
+        "k": k,
+        "logical_switches": 5 * k**2 // 4,
+        "logical_hosts": k**3 // 4,
+        "phys_switches": k // 2,
+        "rules_installed": rules,
+        "cold_deploy_s": cold,
+        "rules_per_s": rules / cold,
+    }
+
+
+def _scale_report(*points: dict) -> dict:
+    return {"suite": "scale", "points": list(points)}
+
+
+def test_scale_gate_identical_reports_pass():
+    from repro.bench import compare_scale_to_baseline
+
+    base = _scale_report(_scale_point(4), _scale_point(8, cold=4.0))
+    cur = _scale_report(_scale_point(4), _scale_point(8, cold=4.0))
+    assert compare_scale_to_baseline(cur, base) == []
+
+
+def test_scale_gate_rule_count_drift_fails():
+    from repro.bench import compare_scale_to_baseline
+
+    base = _scale_report(_scale_point(8, rules=10880))
+    cur = _scale_report(_scale_point(8, rules=10881))
+    problems = compare_scale_to_baseline(cur, base)
+    assert len(problems) == 1
+    assert "rules installed changed" in problems[0]
+
+
+def test_scale_gate_growth_ratio_regression_fails():
+    from repro.bench import compare_scale_to_baseline
+
+    base = _scale_report(
+        _scale_point(8, cold=1.0), _scale_point(16, cold=4.0)
+    )
+    # same k=8 time, but k=16 blew up to 8x instead of 4x: superlinear
+    # drift the absolute-speed-normalized ratio gate must catch
+    cur = _scale_report(
+        _scale_point(8, cold=1.0), _scale_point(16, cold=8.0)
+    )
+    problems = compare_scale_to_baseline(cur, base)
+    assert len(problems) == 1
+    assert "growth ratio regressed" in problems[0]
+    # a uniformly 2x slower machine keeps the ratio: no regression
+    cur = _scale_report(
+        _scale_point(8, cold=2.0), _scale_point(16, cold=8.0)
+    )
+    assert compare_scale_to_baseline(cur, base) == []
+
+
+def test_scale_gate_skips_sub_threshold_and_missing_points():
+    from repro.bench import compare_scale_to_baseline
+
+    tiny = MIN_GATE_SECONDS / 10
+    base = _scale_report(
+        _scale_point(4, cold=tiny), _scale_point(8, cold=1.0)
+    )
+    # the k4->k8 ratio is pure jitter at these magnitudes: not gated
+    cur = _scale_report(
+        _scale_point(4, cold=tiny * 8), _scale_point(8, cold=1.0)
+    )
+    assert compare_scale_to_baseline(cur, base) == []
+    # quick run (k16 absent) against a full baseline: extra baseline
+    # points are ignored
+    base = _scale_report(
+        _scale_point(4), _scale_point(8, cold=4.0),
+        _scale_point(16, cold=40.0),
+    )
+    cur = _scale_report(_scale_point(4), _scale_point(8, cold=4.0))
+    assert compare_scale_to_baseline(cur, base) == []
+
+
+def test_run_scale_suite_smoke(monkeypatch):
+    import repro.bench as bench
+
+    monkeypatch.setattr(
+        bench, "SCALE_POINTS", bench.SCALE_POINTS[:1]
+    )  # k=4 only: fast
+    report = bench.run_scale_suite(repeats=1)
+    assert report["suite"] == "scale"
+    [point] = report["points"]
+    assert point["k"] == 4
+    assert point["rules_installed"] == 400
+    assert point["cold_deploy_s"] > 0
+    assert point["rules_per_s"] > 0
+    # a self-comparison is a fixed point, through JSON round-trip
+    from repro.bench import compare_scale_to_baseline, render_scale_report
+
+    assert compare_scale_to_baseline(
+        report, json.loads(json.dumps(report))
+    ) == []
+    assert "k=4" in render_scale_report(report)
+
+
+def test_scale_suite_default_out_is_bench_scale(monkeypatch, tmp_path, capsys):
+    import repro.bench as bench
+
+    tiny = _scale_report(_scale_point(4))
+    monkeypatch.setattr(
+        bench, "run_scale_suite", lambda **kw: dict(tiny)
+    )
+    monkeypatch.chdir(tmp_path)
+    rc = bench.run_and_report(
+        quick=True, repeats=1, out="BENCH_reconfig.json",
+        baseline=None, suite="scale",
+    )
+    assert rc == 0
+    assert (tmp_path / "BENCH_scale.json").exists()
+    assert not (tmp_path / "BENCH_reconfig.json").exists()
+    # an explicit path wins over the swap
+    rc = bench.run_and_report(
+        quick=True, repeats=1, out="custom.json",
+        baseline=None, suite="scale",
+    )
+    assert rc == 0
+    assert (tmp_path / "custom.json").exists()
+    capsys.readouterr()
