@@ -525,6 +525,213 @@ def render_multitenant_report(report: dict) -> str:
     )
 
 
+#: recovery suite points: committed mutations after the deploy, and
+#: whether the point is in ``--quick`` runs
+RECOVERY_POINTS: tuple[tuple[int, bool], ...] = (
+    (2, True),
+    (8, True),
+    (32, False),
+)
+
+#: snapshot cadence for the recovery suite (committed transactions)
+RECOVERY_SNAPSHOT_EVERY = 4
+
+#: recovery wall times below this are treated as trivially bounded —
+#: the sub-linearity check needs measurable times to divide
+MIN_RECOVERY_GATE_SECONDS = 0.05
+
+
+def run_recovery_suite(
+    *, quick: bool = False, repeats: int = DEFAULT_REPEATS
+) -> dict:
+    """Recovery-time-vs-journal-length curve.
+
+    Each point deploys fat-tree k=4 with a commit journal installed,
+    applies N link fail/restore mutations (each one a committed
+    transaction), snapshotting every
+    :data:`RECOVERY_SNAPSHOT_EVERY` commits — then measures cold
+    recovery (newest snapshot + journal replay, materialized onto a
+    fresh cluster) as min-of-``repeats`` wall time. Because snapshots
+    bound the replay window, recovery time should stay roughly flat
+    while the total journal grows — i.e. grow *sub-linearly* in
+    journal length, which the report records as ``sublinear`` (taken
+    as true when every recovery is under
+    :data:`MIN_RECOVERY_GATE_SECONDS`, where jitter dominates).
+    """
+    import tempfile
+
+    from repro.recovery import (
+        SnapshotManager,
+        apply_recovery,
+        install_journal,
+        load_recovery,
+        uninstall_journal,
+    )
+
+    points: list[dict] = []
+    for ops, in_quick in RECOVERY_POINTS:
+        if quick and not in_quick:
+            continue
+        with tempfile.TemporaryDirectory() as tmp:
+            state_dir = Path(tmp) / "state"
+            manager = SnapshotManager(
+                state_dir, every=RECOVERY_SNAPSHOT_EVERY
+            )
+            journal = manager.journal()
+            topo = fat_tree(4)
+            cfg = _config_for(topo)
+            cluster = build_cluster_for([topo], 2, EVAL_256x10G)
+            controller = SDTController(cluster)
+            install_journal(journal)
+            try:
+                deployment = controller.deploy(cfg)
+                links = deployment.topology.switch_links
+                failed = False
+                for i in range(ops):
+                    if failed:
+                        controller.restore_links(deployment)
+                        failed = False
+                    else:
+                        controller.fail_link(
+                            deployment, links[i % len(links)].index
+                        )
+                        failed = True
+                    manager.maybe_write(controller, journal)
+            finally:
+                uninstall_journal()
+
+            # expected state: what the uninterrupted run installed
+            expected = {
+                name: sorted(sw.installed_rules())
+                for name, sw in cluster.switches.items()
+            }
+
+            recover_s = float("inf")
+            result = None
+            for _ in range(max(1, repeats)):
+                fresh = build_cluster_for([topo], 2, EVAL_256x10G)
+                t0 = time.perf_counter()
+                result = load_recovery(state_dir)
+                apply_recovery(result, fresh)
+                recover_s = min(recover_s, time.perf_counter() - t0)
+            recovered = {
+                name: sorted(sw.installed_rules())
+                for name, sw in fresh.switches.items()
+            }
+            assert result is not None
+            points.append({
+                "ops": ops,
+                "journal_records": result.journal_records,
+                "snapshot_lsn": result.snapshot_lsn,
+                "replay_window": result.journal_records
+                - (result.snapshot_lsn + 1),
+                "replayed": result.replayed,
+                "skipped": result.skipped,
+                "entries": result.entries,
+                "recover_s": recover_s,
+                "bit_identical": recovered == expected,
+            })
+    first, last = points[0], points[-1]
+    records_ratio = (
+        last["journal_records"] / max(1, first["journal_records"])
+    )
+    if last["recover_s"] < MIN_RECOVERY_GATE_SECONDS:
+        sublinear = True  # bounded below measurable time
+        time_ratio = 0.0
+    else:
+        time_ratio = last["recover_s"] / max(first["recover_s"], 1e-9)
+        sublinear = time_ratio < records_ratio
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "recovery",
+        "quick": quick,
+        "repeats": repeats,
+        "snapshot_every": RECOVERY_SNAPSHOT_EVERY,
+        "points": points,
+        "journal_growth_ratio": records_ratio,
+        "recover_time_ratio": time_ratio,
+        "sublinear": sublinear,
+    }
+
+
+def compare_recovery_to_baseline(
+    current: dict, baseline: dict
+) -> list[str]:
+    """Recovery-suite regressions.
+
+    The workload is deterministic, so the journal shape and the
+    recovered state are gated exactly: record counts, replay windows,
+    replayed-transaction counts, and entry totals must match the
+    baseline, and every point must recover bit-identically. Wall time
+    is machine-dependent; what is gated is the *shape* — the current
+    report's own ``sublinear`` verdict (recovery time must not grow
+    as fast as the journal does). Points present in only one report
+    are skipped (quick runs gate against a full baseline).
+    """
+    problems: list[str] = []
+    base_by_ops = {p["ops"]: p for p in baseline.get("points", [])}
+    for cur in current.get("points", []):
+        base = base_by_ops.get(cur["ops"])
+        if base is None:
+            continue
+        for field_name in (
+            "journal_records", "snapshot_lsn", "replay_window",
+            "replayed", "skipped", "entries",
+        ):
+            if cur[field_name] != base[field_name]:
+                problems.append(
+                    f"ops={cur['ops']}: {field_name} changed "
+                    f"{base[field_name]} -> {cur[field_name]} "
+                    "(journal/replay is deterministic; this is a "
+                    "behavior change)"
+                )
+        if not cur["bit_identical"]:
+            problems.append(
+                f"ops={cur['ops']}: recovered switch state diverged "
+                "from the uninterrupted run"
+            )
+    if not current.get("sublinear", False):
+        problems.append(
+            "recovery time grew as fast as the journal "
+            f"(time ratio {current.get('recover_time_ratio', 0):.2f} vs "
+            f"journal ratio {current.get('journal_growth_ratio', 0):.2f}) "
+            "— snapshots are not bounding replay"
+        )
+    return problems
+
+
+def render_recovery_report(report: dict) -> str:
+    rows = [
+        [
+            p["ops"],
+            p["journal_records"],
+            p["snapshot_lsn"],
+            p["replay_window"],
+            p["replayed"],
+            p["entries"],
+            f"{p['recover_s'] * 1e3:.1f}",
+            "yes" if p["bit_identical"] else "NO",
+        ]
+        for p in report["points"]
+    ]
+    table = format_table(
+        ["Ops", "Journal", "Snap LSN", "Window", "Replayed", "Entries",
+         "Recover (ms)", "Identical"],
+        rows,
+        title=(
+            "Recovery benchmark (snapshot every "
+            f"{report['snapshot_every']} commits)"
+        ),
+    )
+    return (
+        f"{table}\n"
+        f"journal growth {report['journal_growth_ratio']:.1f}x, "
+        f"recovery time growth "
+        f"{report['recover_time_ratio']:.2f}x -> "
+        f"{'sub-linear' if report['sublinear'] else 'NOT sub-linear'}"
+    )
+
+
 def compare_to_baseline(
     current: dict, baseline: dict, *, tolerance: float = DEFAULT_TOLERANCE
 ) -> list[str]:
@@ -638,6 +845,10 @@ def run_and_report(
         # the scale curve its own artifact unless the user chose a path
         if out == "BENCH_reconfig.json":
             out = "BENCH_scale.json"
+    elif suite == "recovery":
+        report = run_recovery_suite(quick=quick, repeats=repeats)
+        if out == "BENCH_reconfig.json":
+            out = "BENCH_recovery.json"
     elif suite == "reconfig":
         report = run_suite(quick=quick, repeats=repeats)
     else:
@@ -649,6 +860,8 @@ def run_and_report(
         print(render_multitenant_report(report))
     elif suite == "scale":
         print(render_scale_report(report))
+    elif suite == "recovery":
+        print(render_recovery_report(report))
     else:
         print(render_report(report))
     if baseline:
@@ -659,6 +872,8 @@ def run_and_report(
             problems = compare_scale_to_baseline(
                 report, base, tolerance=tolerance
             )
+        elif suite == "recovery":
+            problems = compare_recovery_to_baseline(report, base)
         else:
             problems = compare_to_baseline(
                 report, base, tolerance=tolerance
@@ -690,7 +905,8 @@ def main(argv: list[str] | None = None) -> int:
                         default=DEFAULT_TOLERANCE,
                         help="allowed regression fraction (default 0.25)")
     parser.add_argument("--suite",
-                        choices=["reconfig", "multitenant", "scale"],
+                        choices=["reconfig", "multitenant", "scale",
+                                 "recovery"],
                         default="reconfig",
                         help="benchmark suite to run (default reconfig)")
     args = parser.parse_args(argv)

@@ -11,6 +11,10 @@ Commands mirror what an SDT operator does with the real controller:
   service (admission, fair-share scheduling, isolation verification)
 * ``status``    — deploy a scenario and print per-switch TCAM
   occupancy/headroom and per-tenant usage (``--json`` for machines)
+* ``recover``   — replay a crashed controller's state directory
+  (snapshot + commit journal) and summarize the reconstructed state
+* ``reconcile`` — deploy a config, optionally overwrite the switches
+  from a recovered state directory, then audit + repair drift
 * ``tables``    — regenerate the paper's Table I / II / III as text
 * ``zoo``       — the synthetic Internet Topology Zoo summary
 * ``list``      — available topology kinds and workloads
@@ -244,6 +248,65 @@ def cmd_status(args) -> int:
         run.service.shutdown()
 
 
+def cmd_recover(args) -> int:
+    """Replay a state directory (pure record space) and summarize."""
+    import json
+
+    from repro.recovery import load_recovery
+
+    result = load_recovery(args.state_dir, num_tables=args.tables)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"recovered from {args.state_dir}")
+    print(f"  snapshot lsn : {summary['snapshot_lsn']}")
+    print(f"  journal recs : {summary['journal_records']}")
+    print(f"  replayed txns: {summary['replayed']}")
+    print(f"  skipped txns : {summary['skipped']} "
+          "(pre-snapshot, aborted, or unresolved)")
+    print(f"  flow entries : {summary['entries']}")
+    for name, n in sorted(summary["per_switch"].items()):
+        print(f"    {name:12s} {n}")
+    return 0
+
+
+def cmd_reconcile(args) -> int:
+    """Deploy, optionally restore switch state from a recovered
+    journal, then audit hardware against intent and repair drift."""
+    import json
+
+    config = _load_config(args.config)
+    controller = _make_controller(config, args)
+    controller.deploy(config)
+    if args.state_dir:
+        from repro.recovery import recover
+
+        result = recover(args.state_dir, cluster=controller.cluster)
+        print(f"restored {result.entries} entries from {args.state_dir}",
+              file=sys.stderr)
+    report = controller.reconcile(dry_run=args.dry_run)
+    summary = report.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        verdict = "clean" if report.clean else "drift"
+        mode = " (dry run)" if report.dry_run else ""
+        print(f"reconcile: {verdict}{mode}")
+        print(f"  missing    : {report.missing}")
+        print(f"  orphaned   : {report.orphaned}")
+        print(f"  modified   : {report.modified}")
+        print(f"  duplicates : {report.duplicates}")
+        if report.skipped_cookies:
+            print(f"  skipped    : cookies {list(report.skipped_cookies)} "
+                  f"(deployments with overrides)")
+        if report.drifted_switches:
+            print(f"  switches   : {', '.join(report.drifted_switches)}")
+        if not report.dry_run and not report.clean:
+            print(f"  repair time: {time_str(report.modeled_time)} (modeled)")
+    return 0 if (report.clean or not args.dry_run) else 1
+
+
 def cmd_bench(args) -> int:
     from repro.bench import run_and_report
 
@@ -364,6 +427,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_status)
 
     p = sub.add_parser(
+        "recover",
+        help="replay a controller state directory (snapshot + journal)",
+    )
+    p.add_argument("state_dir", help="directory holding snapshot-*.json "
+                                     "and journal.jsonl")
+    p.add_argument("--tables", type=int, default=4,
+                   help="flow tables per switch (default 4)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of text")
+    p.set_defaults(fn=cmd_recover)
+
+    p = sub.add_parser(
+        "reconcile",
+        help="audit switch state against controller intent, repair drift",
+    )
+    p.add_argument("config")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="restore switch state from a recovered journal "
+                        "before auditing")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report drift without repairing (exit 1 on drift)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of text")
+    common(p)
+    p.set_defaults(fn=cmd_reconcile)
+
+    p = sub.add_parser(
         "bench",
         help="reconfiguration benchmark: cold deploy vs incremental",
     )
@@ -379,7 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=0.25,
                    help="allowed regression fraction (default 0.25)")
     p.add_argument("--suite",
-                   choices=["reconfig", "multitenant", "scale"],
+                   choices=["reconfig", "multitenant", "scale", "recovery"],
                    default="reconfig",
                    help="benchmark suite to run (default reconfig)")
     p.set_defaults(fn=cmd_bench)

@@ -949,3 +949,26 @@ class SDTController:
             deployment.flow_overrides += 1
             sp.set("modeled_time", elapsed)
             self._record_mutation("flow_override", elapsed)
+
+    # --- durability & recovery (DESIGN.md §7) ------------------------------
+    def snapshot_state(self, sessions=None) -> dict:
+        """The controller's full durable state, JSON-safe — what a
+        :class:`~repro.recovery.snapshot.SnapshotManager` persists.
+        ``sessions`` (optional) adds tenant-session records."""
+        from repro.recovery.snapshot import controller_state
+
+        return controller_state(self, sessions=sessions)
+
+    def reconcile(self, *, dry_run: bool = False):
+        """Audit every switch's installed rules against this
+        controller's deployments and repair drift (missing rules
+        re-installed, orphans strict-deleted, modified rules replaced)
+        in one ordinary transaction; see
+        :func:`repro.recovery.reconcile.reconcile`. Returns the
+        :class:`~repro.recovery.reconcile.ReconcileReport`."""
+        from repro.recovery.reconcile import reconcile
+
+        report = reconcile(self, dry_run=dry_run)
+        if not report.dry_run and not report.clean:
+            self._record_mutation("reconcile", report.modeled_time)
+        return report

@@ -207,13 +207,38 @@ class ControlChannel:
         per-message trace events — but the hardware install itself goes
         through :meth:`OpenFlowSwitch.add_flow_batch`, amortizing table
         maintenance across the batch.
+
+        One intentional divergence: when the switch rejects a mod during
+        up-front batch *validation* (a :class:`SimulationError`, e.g. a
+        bad table id), nothing from the batch is applied, whereas the
+        sequential loop would have installed the good prefix. That is
+        strictly safer — the transaction layer rolls back from its
+        snapshot either way — and stats still count exactly the messages
+        the switch saw: every applied mod plus the one that failed,
+        matching what sequential :meth:`send` would have accumulated at
+        the point of a mid-batch capacity failure.
         """
         if self._fail_countdown is not None or trace.active_tracer() is not None:
             # slow paths keep exact per-message semantics trivially
             return [self.send(m) for m in mods]
+        before = self.switch.num_entries
+        try:
+            entries = self.switch.add_flow_batch(mods)
+        except Exception:
+            # partial batch: add_flow_batch installed a prefix (possibly
+            # empty) before raising. Count the applied mods plus the one
+            # that failed — identical to the sequential loop, where each
+            # send() bumps stats before add_flow can raise — so
+            # RollbackReport's reverted-entry math reconciles with what
+            # was actually on the switch.
+            applied = self.switch.num_entries - before
+            attempted = min(applied + 1, len(mods))
+            self.stats.flow_mods += attempted
+            self.stats.modeled_time += self.flow_install_latency * attempted
+            raise
         self.stats.flow_mods += len(mods)
         self.stats.modeled_time += self.flow_install_latency * len(mods)
-        return self.switch.add_flow_batch(mods)
+        return entries
 
     # --- transaction support ------------------------------------------
     def snapshot_rules(self) -> SwitchSnapshot:

@@ -24,6 +24,11 @@ that need the dense list (snapshot, iteration, wildcard delete) or when
 the dead fraction crosses :data:`COMPACT_DEAD_MIN` /
 :data:`COMPACT_DEAD_FRACTION` — so a delta batch of hundreds of strict
 deletes costs O(victims), not O(table) per message.
+
+Tombstones are keyed by each entry's table-assigned **serial** — a
+monotonic counter stamped at index time — never by ``id(entry)``:
+serials are unique for the table's lifetime, so a tombstone can never
+alias a later entry the way a recycled CPython object id could.
 """
 
 from __future__ import annotations
@@ -107,6 +112,9 @@ class FlowEntry:
     # counters
     packet_count: int = 0
     byte_count: int = 0
+    #: arrival serial stamped by the owning FlowTable at index time
+    #: (equal-priority tie-break and tombstone key); -1 = never indexed
+    serial: int = field(default=-1, compare=False)
 
     def hit(self, nbytes: int) -> None:
         self.packet_count += 1
@@ -133,9 +141,12 @@ class FlowTable:
     _exact: dict[tuple[int, Match], list[FlowEntry]] = field(
         init=False, repr=False, default_factory=dict
     )
-    #: ids of entries strict-deleted but not yet compacted out of
-    #: ``_entries``; the list keeps referencing them, so the ids cannot
-    #: be recycled before :meth:`_compact` drops both together
+    #: serials of entries strict-deleted but not yet compacted out of
+    #: ``_entries``. Serials are minted by ``_next_seq`` and never
+    #: reused within a table, so a tombstone can never collide with a
+    #: later entry (an ``id(entry)`` key could: CPython recycles object
+    #: addresses, and a new allocation landing on a dead id would be
+    #: silently dropped at compaction)
     _dead: set[int] = field(init=False, repr=False, default_factory=set)
     #: hash-first lookup index: shape -> packet-key -> entries (in
     #: insertion order; may reference dead entries until compaction)
@@ -144,8 +155,8 @@ class FlowTable:
     )
     #: entries only the fallback scan can serve (partial metadata mask)
     _wild: list[FlowEntry] = field(init=False, repr=False, default_factory=list)
-    #: global arrival order per entry id — the equal-priority tie-break
-    _seq: dict[int, int] = field(init=False, repr=False, default_factory=dict)
+    #: next serial to stamp (monotonic; doubles as the arrival-order
+    #: tie-break for equal-priority lookups)
     _next_seq: int = field(init=False, repr=False, default=0)
 
     def __post_init__(self) -> None:
@@ -156,7 +167,7 @@ class FlowTable:
     # --- index maintenance --------------------------------------------
     def _index_entry(self, entry: FlowEntry) -> None:
         self._exact.setdefault((entry.priority, entry.match), []).append(entry)
-        self._seq[id(entry)] = self._next_seq
+        entry.serial = self._next_seq
         self._next_seq += 1
         sk = _shape_key(entry.match)
         if sk is None:
@@ -166,11 +177,11 @@ class FlowTable:
             self._shapes.setdefault(shape, {}).setdefault(key, []).append(entry)
 
     def _rebuild_index(self) -> None:
+        # serials stay monotonic across rebuilds (never reset): an old
+        # tombstone must never be able to name a future entry
         self._exact = {}
         self._shapes = {}
         self._wild = []
-        self._seq = {}
-        self._next_seq = 0
         for e in self._entries:
             self._index_entry(e)
 
@@ -182,20 +193,18 @@ class FlowTable:
         if not self._dead:
             return
         dead = self._dead
-        self._entries = [e for e in self._entries if id(e) not in dead]
+        self._entries = [e for e in self._entries if e.serial not in dead]
         for shape, buckets in list(self._shapes.items()):
             for key, bucket in list(buckets.items()):
-                live = [e for e in bucket if id(e) not in dead]
+                live = [e for e in bucket if e.serial not in dead]
                 if live:
                     buckets[key] = live
                 else:
                     del buckets[key]
             if not buckets:
                 del self._shapes[shape]
-        if any(id(e) in dead for e in self._wild):
-            self._wild = [e for e in self._wild if id(e) not in dead]
-        for i in dead:
-            self._seq.pop(i, None)
+        if any(e.serial in dead for e in self._wild):
+            self._wild = [e for e in self._wild if e.serial not in dead]
         self._dead.clear()
 
     def _maybe_compact(self) -> None:
@@ -210,6 +219,12 @@ class FlowTable:
         """Insert keeping descending priority; stable for equal priority
         (later adds lose, matching OpenFlow's 'first added wins' among
         equal-priority overlapping entries as commodity switches do)."""
+        if entry.serial >= 0 and entry.serial in self._dead:
+            # the same object is being re-added while its previous
+            # occurrence in this table is still tombstoned: compact
+            # first (before insertion), or re-stamping the shared serial
+            # would let the pending tombstone claim the new occurrence
+            self._compact()
         insort_right(self._entries, entry, key=_neg_priority)
         self._index_entry(entry)
 
@@ -226,6 +241,11 @@ class FlowTable:
         # cost O(table) each (dead entries sort and index harmlessly —
         # every reader skips them, so none are needed for correctness)
         self._maybe_compact()
+        if self._dead and any(
+            e.serial >= 0 and e.serial in self._dead for e in batch
+        ):
+            # same re-add-while-tombstoned hazard as _index_entry
+            self._compact()
         self._entries.extend(batch)
         # stable sort keeps incumbents' relative order and places the
         # (later-appended) batch after equal-priority incumbents: the
@@ -234,13 +254,12 @@ class FlowTable:
         # inlined _index_entry: batch installs are the data-plane fast
         # path and the per-entry call + attribute lookups were measurable
         exact = self._exact
-        seq = self._seq
         shapes = self._shapes
         wild = self._wild
         nseq = self._next_seq
         for e in batch:
             exact.setdefault((e.priority, e.match), []).append(e)
-            seq[id(e)] = nseq
+            e.serial = nseq
             nseq += 1
             sk = _shape_key(e.match)
             if sk is None:
@@ -270,8 +289,8 @@ class FlowTable:
             ]
             if not victims:
                 return 0
-            self._dead.update(map(id, victims))
-            survivors = [e for e in bucket if id(e) not in self._dead]
+            self._dead.update(e.serial for e in victims)
+            survivors = [e for e in bucket if e.serial not in self._dead]
             if survivors:
                 self._exact[(priority, match)] = survivors
             else:
@@ -301,8 +320,6 @@ class FlowTable:
         self._dead.clear()
         self._shapes.clear()
         self._wild.clear()
-        self._seq.clear()
-        self._next_seq = 0
         return n
 
     def snapshot(self) -> tuple[FlowEntry, ...]:
@@ -331,7 +348,6 @@ class FlowTable:
     ) -> FlowEntry | None:
         """Highest-priority matching entry, or None (table miss)."""
         dead = self._dead
-        seq = self._seq
         best_rank: tuple[int, int] | None = None
         best: FlowEntry | None = None
         packet = {
@@ -349,15 +365,15 @@ class FlowTable:
             if not bucket:
                 continue
             for e in bucket:
-                if dead and id(e) in dead:
+                if dead and e.serial in dead:
                     continue
-                rank = (-e.priority, seq[id(e)])
+                rank = (-e.priority, e.serial)
                 if best_rank is None or rank < best_rank:
                     best_rank, best = rank, e
         for e in self._wild:
-            if dead and id(e) in dead:
+            if dead and e.serial in dead:
                 continue
-            rank = (-e.priority, seq[id(e)])
+            rank = (-e.priority, e.serial)
             if (best_rank is None or rank < best_rank) and e.match.matches(
                 in_port, metadata, header
             ):

@@ -258,6 +258,20 @@ class OpenFlowSwitch:
             for e in t
         ]
 
+    def installed_rules(
+        self,
+    ) -> list[tuple[int, int, Match, tuple, int]]:
+        """Every installed entry as a (table, priority, match,
+        instructions, cookie) tuple — the full rule content, not just
+        the identity key. This is what drift reconciliation audits
+        against controller intent: two entries are "the same rule" only
+        if all five fields agree."""
+        return [
+            (tid, e.priority, e.match, tuple(e.instructions), e.cookie)
+            for tid, t in enumerate(self.tables)
+            for e in t
+        ]
+
     def snapshot(self) -> SwitchSnapshot:
         """Capture the full rule state for transaction rollback."""
         return SwitchSnapshot(

@@ -83,6 +83,12 @@ class RollbackReport:
     #: modeled recovery time (switch restores proceed in parallel, so
     #: this is the max per-switch restore time, not the sum)
     modeled_time: float
+    #: transaction-applied changes the restore actually undid: entries
+    #: the failed commit had installed (now removed) plus entries it had
+    #: deleted (now back). Computed by identity diff against each
+    #: snapshot, so it stays exact even when the failure cut a batched
+    #: install partway through (only the applied prefix counts)
+    entries_reverted: int = 0
 
 
 class ControlTransaction:
@@ -339,6 +345,19 @@ class ControlTransaction:
                 # vetoed before hardware was touched: no rollback needed
                 reg.counter("sdt_txn_commits_total").inc(1, status="rejected")
                 raise
+            # write-ahead intent: journaled after validation, before the
+            # first message reaches a switch. A crash from here until
+            # the commit record lands leaves an unresolved intent, which
+            # replay skips — see repro.recovery.journal (imported lazily:
+            # its codec walks back into repro.openflow)
+            from repro.recovery.journal import active_journal
+
+            journal = active_journal()
+            txn_lsn = (
+                journal.append_intent(self.label, self._ops)
+                if journal is not None and touched
+                else None
+            )
             before = {
                 n: self.control.channel(n).stats.modeled_time for n in touched
             }
@@ -368,7 +387,12 @@ class ControlTransaction:
                     report = self._rollback(snapshots)
                     rb.set("switches", list(report.switches_rolled_back))
                     rb.set("entries_restored", report.entries_restored)
+                    rb.set("entries_reverted", report.entries_reverted)
                     rb.set("modeled_time", report.modeled_time)
+                if txn_lsn is not None:
+                    # rollback completed: the intent is resolved as
+                    # aborted, so replay never applies it
+                    journal.append_abort(txn_lsn, reason=str(exc))
                 reg.counter("sdt_txn_commits_total").inc(1, status="failed")
                 reg.counter("sdt_txn_rollbacks_total").inc()
                 reg.counter("sdt_txn_rollback_entries_total").inc(
@@ -379,6 +403,9 @@ class ControlTransaction:
                     f"back {len(report.switches_rolled_back)} switch(es)",
                     rollback=report,
                 ) from exc
+            if txn_lsn is not None:
+                # every barrier returned: the transaction is durable
+                journal.append_commit(txn_lsn)
             self._committed = True
             elapsed = 0.0
             if touched:
@@ -394,10 +421,24 @@ class ControlTransaction:
 
     def _rollback(self, snapshots: dict[str, SwitchSnapshot]) -> RollbackReport:
         restored_entries = 0
+        reverted_entries = 0
         elapsed = 0.0
         names = []
         for name, snap in reversed(list(snapshots.items())):
             channel = self.control.channel(name)
+            # identity diff BEFORE restoring: snapshot and table share
+            # entry objects, so ids separate what the failed commit
+            # installed (live, not in snap — includes a partially
+            # applied batch's prefix) from what it deleted (in snap,
+            # no longer live)
+            snap_ids = {id(e) for tbl in snap.tables for e in tbl}
+            live_ids = {
+                id(e)
+                for table in channel.switch.tables
+                for e in table.snapshot()
+            }
+            reverted_entries += len(live_ids - snap_ids)
+            reverted_entries += len(snap_ids - live_ids)
             elapsed = max(elapsed, channel.restore_rules(snap))
             restored_entries += snap.num_entries
             names.append(name)
@@ -405,6 +446,7 @@ class ControlTransaction:
             switches_rolled_back=tuple(names),
             entries_restored=restored_entries,
             modeled_time=elapsed,
+            entries_reverted=reverted_entries,
         )
 
     # --- plumbing -----------------------------------------------------

@@ -24,7 +24,7 @@ count, method, seed — changes the key (see the invalidation tests in
 from __future__ import annotations
 
 import hashlib
-from collections import Counter
+from collections import Counter, OrderedDict
 
 from repro.partition import partition_topology
 from repro.partition.objective import Partition
@@ -55,16 +55,25 @@ def partition_key(
 
 
 class PartitionCache:
-    """Keyed partitions with hit/miss accounting.
+    """Keyed partitions with LRU eviction and hit/miss accounting.
 
     Stored partitions are returned as copies: callers may hold them in
     live deployments, and a shared mutable ``assignment`` dict would
     couple unrelated deployments.
+
+    Eviction is least-recently-*used*: a lookup hit refreshes the
+    entry's recency. Seeded entries are additionally **pinned** until
+    their first lookup — the incremental-reconfiguration path seeds the
+    edited topology's partition and relies on the warm re-check later
+    in the *same* reconfigure finding it, so an intervening burst of
+    unrelated partitions must not be able to evict it first. The pin is
+    consumed by that first lookup (the key then ages like any other).
     """
 
     def __init__(self, max_entries: int = 256) -> None:
         self.max_entries = max_entries
-        self._store: dict[str, Partition] = {}
+        self._store: OrderedDict[str, Partition] = OrderedDict()
+        self._pinned: set[str] = set()
 
     def partition(
         self,
@@ -79,6 +88,8 @@ class PartitionCache:
         reg = metrics.registry()
         cached = self._store.get(key)
         if cached is not None:
+            self._store.move_to_end(key)  # LRU refresh
+            self._pinned.discard(key)  # the warm re-check consumed the pin
             reg.counter("sdt_partition_cache_total").inc(1, result="hit")
             return Partition(dict(cached.assignment), cached.num_parts)
         reg.counter("sdt_partition_cache_total").inc(1, result="miss")
@@ -95,6 +106,7 @@ class PartitionCache:
         *,
         method: str = "multilevel",
         seed: int = 0,
+        pin: bool = True,
     ) -> None:
         """Store an already-computed partition under ``topology``'s
         content key without running the partitioner (and without
@@ -109,22 +121,56 @@ class PartitionCache:
         what ``partition_topology`` would compute: it keeps surviving
         switches on their physical homes, which is the assignment the
         live deployment actually uses.
+
+        The entry is pinned against eviction until its first lookup
+        (``pin=False`` opts out). Seeding an already-present key
+        replaces the stored partition in place — it never evicts
+        another entry and never changes the cache's size.
         """
         key = partition_key(
             topology, part.num_parts, method=method, seed=seed
         )
-        self._put(key, part)
+        self._put(key, part, pin=pin)
 
-    def _put(self, key: str, part: Partition) -> None:
-        while len(self._store) >= self.max_entries:
-            self._store.pop(next(iter(self._store)))
-        self._store[key] = Partition(dict(part.assignment), part.num_parts)
+    def _put(self, key: str, part: Partition, *, pin: bool = False) -> None:
+        copied = Partition(dict(part.assignment), part.num_parts)
+        if key in self._store:
+            # in-place replace: occupancy is unchanged, so running the
+            # eviction loop here would wrongly shrink the cache (and
+            # could evict the very entry a warm re-check depends on)
+            self._store[key] = copied
+            self._store.move_to_end(key)
+        else:
+            while len(self._store) >= self.max_entries:
+                self._evict_one()
+            self._store[key] = copied
+        if pin:
+            self._pinned.add(key)
+
+    def _evict_one(self) -> None:
+        victim = next(
+            (k for k in self._store if k not in self._pinned), None
+        )
+        if victim is None:
+            # every entry is pinned (pathological: more in-flight
+            # reconfigures than max_entries) — fall back to true LRU so
+            # the cache stays bounded
+            victim = next(iter(self._store))
+            self._pinned.discard(victim)
+        self._store.pop(victim)
+
+    @property
+    def pinned(self) -> frozenset[str]:
+        """Keys currently pinned against eviction (awaiting their warm
+        re-check)."""
+        return frozenset(self._pinned)
 
     def __len__(self) -> int:
         return len(self._store)
 
     def clear(self) -> None:
         self._store.clear()
+        self._pinned.clear()
 
 
 def extend_partition(old: Partition, new_topology: Topology) -> Partition:

@@ -1,0 +1,217 @@
+"""JSON-safe serialization of control-plane state (snapshots, journal).
+
+The durability layer (DESIGN.md §7) writes two kinds of artifacts:
+periodic controller snapshots and an append-only commit journal. Both
+must round-trip the full staged-message and flow-entry vocabulary —
+Match, actions, instructions, FlowMod/FlowDelete, group entries —
+**bit-exactly**: recovery correctness is proven by comparing replayed
+flow tables against an uninterrupted run's, so any lossy encoding
+would surface as a false drift report.
+
+Encodings are plain lists/dicts of scalars (JSON value types only):
+
+* ``Match`` → its field list (a NamedTuple: ``list(m)`` / ``Match(*d)``)
+* actions → tagged lists: ``["out", port]``, ``["queue", q]``,
+  ``["vc", v]``, ``["drop"]``, ``["group", gid]``
+* instructions → ``["meta", value, mask]``, ``["goto", table]``,
+  ``["apply", [actions...]]``
+* staged messages → ``{"kind": "mod"|"del", ...}``
+* flow entries → ``{"table", "priority", "match", "instructions",
+  "cookie"}`` (counters are soft state and intentionally dropped)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.openflow.actions import (
+    Action,
+    ApplyActions,
+    Drop,
+    GotoTable,
+    Group,
+    Instruction,
+    Output,
+    SetQueue,
+    SetVC,
+    WriteMetadata,
+)
+from repro.openflow.channel import FlowDelete, FlowMod
+from repro.openflow.flowtable import FlowEntry
+from repro.openflow.groups import Bucket, GroupEntry
+from repro.openflow.match import Match
+from repro.util.errors import ReproError
+
+
+class CodecError(ReproError):
+    """An artifact holds something this codec cannot round-trip."""
+
+
+# --- matches ---------------------------------------------------------------
+
+def encode_match(match: Match) -> list:
+    return list(match)
+
+
+def decode_match(data: list) -> Match:
+    return Match(*data)
+
+
+# --- actions ---------------------------------------------------------------
+
+def encode_action(action: Action) -> list:
+    if isinstance(action, Output):
+        return ["out", action.port]
+    if isinstance(action, SetQueue):
+        return ["queue", action.queue]
+    if isinstance(action, SetVC):
+        return ["vc", action.vc]
+    if isinstance(action, Drop):
+        return ["drop"]
+    if isinstance(action, Group):
+        return ["group", action.group_id]
+    raise CodecError(f"unknown action {action!r}")
+
+
+def decode_action(data: list) -> Action:
+    tag = data[0]
+    if tag == "out":
+        return Output(data[1])
+    if tag == "queue":
+        return SetQueue(data[1])
+    if tag == "vc":
+        return SetVC(data[1])
+    if tag == "drop":
+        return Drop()
+    if tag == "group":
+        return Group(data[1])
+    raise CodecError(f"unknown action tag {tag!r}")
+
+
+# --- instructions ----------------------------------------------------------
+
+def encode_instruction(ins: Instruction) -> list:
+    if isinstance(ins, WriteMetadata):
+        return ["meta", ins.value, ins.mask]
+    if isinstance(ins, GotoTable):
+        return ["goto", ins.table]
+    if isinstance(ins, ApplyActions):
+        return ["apply", [encode_action(a) for a in ins.actions]]
+    raise CodecError(f"unknown instruction {ins!r}")
+
+
+def decode_instruction(data: list) -> Instruction:
+    tag = data[0]
+    if tag == "meta":
+        return WriteMetadata(data[1], data[2])
+    if tag == "goto":
+        return GotoTable(data[1])
+    if tag == "apply":
+        return ApplyActions(tuple(decode_action(a) for a in data[1]))
+    raise CodecError(f"unknown instruction tag {tag!r}")
+
+
+def encode_instructions(instructions) -> list:
+    return [encode_instruction(i) for i in instructions]
+
+
+def decode_instructions(data: list) -> tuple[Instruction, ...]:
+    return tuple(decode_instruction(i) for i in data)
+
+
+# --- staged control messages ----------------------------------------------
+
+def encode_message(msg: FlowMod | FlowDelete) -> dict[str, Any]:
+    if isinstance(msg, FlowMod):
+        return {
+            "kind": "mod",
+            "table": msg.table_id,
+            "priority": msg.priority,
+            "match": encode_match(msg.match),
+            "instructions": encode_instructions(msg.instructions),
+            "cookie": msg.cookie,
+        }
+    if isinstance(msg, FlowDelete):
+        return {
+            "kind": "del",
+            "cookie": msg.cookie,
+            "table": msg.table_id,
+            "priority": msg.priority,
+            "match": None if msg.match is None else encode_match(msg.match),
+        }
+    raise CodecError(f"unjournalable message {msg!r}")
+
+
+def decode_message(data: dict[str, Any]) -> FlowMod | FlowDelete:
+    kind = data.get("kind")
+    if kind == "mod":
+        return FlowMod(
+            table_id=data["table"],
+            priority=data["priority"],
+            match=decode_match(data["match"]),
+            instructions=decode_instructions(data["instructions"]),
+            cookie=data["cookie"],
+        )
+    if kind == "del":
+        return FlowDelete(
+            cookie=data["cookie"],
+            table_id=data["table"],
+            priority=data["priority"],
+            match=(
+                None if data["match"] is None else decode_match(data["match"])
+            ),
+        )
+    raise CodecError(f"unknown message kind {kind!r}")
+
+
+# --- flow entries (snapshot currency) --------------------------------------
+
+def encode_entry(table_id: int, entry: FlowEntry) -> dict[str, Any]:
+    """Counters (packet/byte) are deliberately dropped: they are soft
+    state a real switch would have kept, and recovery compares *rule*
+    state, not traffic history."""
+    return {
+        "table": table_id,
+        "priority": entry.priority,
+        "match": encode_match(entry.match),
+        "instructions": encode_instructions(entry.instructions),
+        "cookie": entry.cookie,
+    }
+
+
+def decode_entry(data: dict[str, Any]) -> tuple[int, FlowEntry]:
+    entry = FlowEntry(
+        priority=data["priority"],
+        match=decode_match(data["match"]),
+        instructions=decode_instructions(data["instructions"]),
+        cookie=data["cookie"],
+    )
+    return data["table"], entry
+
+
+# --- groups ----------------------------------------------------------------
+
+def encode_group(group: GroupEntry) -> dict[str, Any]:
+    return {
+        "id": group.group_id,
+        "type": group.group_type,
+        "buckets": [
+            {"actions": [encode_action(a) for a in b.actions],
+             "weight": b.weight}
+            for b in group.buckets
+        ],
+    }
+
+
+def decode_group(data: dict[str, Any]) -> GroupEntry:
+    return GroupEntry(
+        data["id"],
+        data["type"],
+        tuple(
+            Bucket(
+                tuple(decode_action(a) for a in b["actions"]),
+                weight=b["weight"],
+            )
+            for b in data["buckets"]
+        ),
+    )

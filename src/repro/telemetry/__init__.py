@@ -36,6 +36,7 @@ from repro.telemetry.trace import (
     install_tracer,
     load_trace,
     span,
+    tail_jsonl,
     uninstall_tracer,
 )
 
@@ -57,5 +58,6 @@ __all__ = [
     "registry",
     "set_registry",
     "span",
+    "tail_jsonl",
     "uninstall_tracer",
 ]

@@ -223,6 +223,41 @@ def load_trace(path: str | Path) -> list[dict]:
     return records
 
 
+def tail_jsonl(path: str | Path, offset: int = 0) -> tuple[list[dict], int]:
+    """Incrementally read JSONL records starting at byte ``offset``.
+
+    Returns ``(records, new_offset)`` where ``new_offset`` points just
+    past the last *complete* record consumed — pass it back on the next
+    call to tail a file another process is appending to. A torn final
+    line (no trailing newline yet, or half-flushed JSON) is left
+    unconsumed: it stays before ``new_offset``'s frontier and will be
+    re-read once the writer finishes it. Blank lines are skipped.
+    Missing files read as empty.
+    """
+    p = Path(path)
+    if not p.exists():
+        return [], offset
+    with p.open("rb") as fh:
+        fh.seek(offset)
+        data = fh.read()
+    records: list[dict] = []
+    cursor = offset
+    for raw in data.split(b"\n"):
+        advance = len(raw) + 1  # the line plus its newline
+        if cursor + advance > offset + len(data):
+            # final fragment with no newline yet: torn — leave it
+            break
+        if raw.strip():
+            try:
+                records.append(json.loads(raw.decode("utf-8")))
+            except (ValueError, UnicodeDecodeError):
+                # half-flushed record: stop without consuming it (or
+                # anything after it) so a later call retries in order
+                break
+        cursor += advance
+    return records, cursor
+
+
 # --- process-wide tracer -----------------------------------------------
 
 _ACTIVE: Tracer | None = None

@@ -160,3 +160,50 @@ class TenantSession:
             "tcam_used": dict(sorted(self.tcam_used().items())),
             "deployments": sorted(self.deployments),
         }
+
+    # --- durability (DESIGN.md §7) ---------------------------------------
+    def to_state(self) -> dict:
+        """The session's durable identity for controller snapshots.
+
+        Everything needed to reconstruct ownership after a crash:
+        quota, lease, cookie-block index, and — critically —
+        ``_next_seq``, so a recovered session keeps the never-reuse-a-
+        cookie guarantee across the restart (a reset counter could mint
+        a cookie that still tags pre-crash rules). Live ``Deployment``
+        objects are recorded by name only; their rule state recovers
+        through the snapshot/journal replay path.
+        """
+        return {
+            "tenant": self.tenant_id,
+            "index": self.index,
+            "state": self.state,
+            "quota": {
+                "host_ports": self.quota.host_ports,
+                "tcam_share": self.quota.tcam_share,
+                "optical_circuits": self.quota.optical_circuits,
+            },
+            "next_seq": self._next_seq,
+            "lease": [[hp.switch, hp.port, hp.host] for hp in self.lease],
+            "deployments": sorted(self.deployments),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TenantSession":
+        """Rebuild a session from :meth:`to_state` output (deployments
+        start empty; the recovery driver re-links them)."""
+        session = cls(
+            tenant_id=state["tenant"],
+            index=state["index"],
+            quota=TenantQuota(
+                host_ports=state["quota"]["host_ports"],
+                tcam_share=state["quota"]["tcam_share"],
+                optical_circuits=state["quota"]["optical_circuits"],
+            ),
+            lease=tuple(
+                HostPort(switch=sw, port=port, host=host)
+                for sw, port, host in state["lease"]
+            ),
+            state=state["state"],
+        )
+        session._next_seq = state["next_seq"]
+        return session

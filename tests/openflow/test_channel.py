@@ -85,3 +85,77 @@ def test_reset_stats():
     cp.channel("s").send(BarrierRequest())
     cp.reset_stats()
     assert cp.deployment_time == 0.0
+
+
+# --- send_batch partial-failure accounting ---------------------------------
+
+def test_send_batch_counts_match_sequential_on_success():
+    seq_sw = OpenFlowSwitch("s", 8)
+    seq_ch = ControlChannel(seq_sw, flow_install_latency=1e-3)
+    bat_sw = OpenFlowSwitch("s", 8)
+    bat_ch = ControlChannel(bat_sw, flow_install_latency=1e-3)
+    mods = [mod(i, i + 1) for i in range(1, 5)]
+    for m in mods:
+        seq_ch.send(m)
+    bat_ch.send_batch(mods)
+    assert bat_ch.stats.flow_mods == seq_ch.stats.flow_mods
+    assert bat_ch.stats.modeled_time == pytest.approx(
+        seq_ch.stats.modeled_time
+    )
+
+
+def test_send_batch_capacity_failure_counts_applied_prefix():
+    """A TCAM overflow partway through a fast-path batch must count the
+    applied prefix plus the failing message — exactly what the
+    sequential loop accumulates — not the whole batch."""
+    from repro.util.errors import CapacityError
+
+    sw = OpenFlowSwitch("s", 8, flow_table_capacity=3)
+    ch = ControlChannel(sw, flow_install_latency=1e-3)
+    mods = [mod(i, 1) for i in range(1, 7)]  # 6 mods into 3 slots
+    with pytest.raises(CapacityError):
+        ch.send_batch(mods)
+    assert sw.num_entries == 3  # the prefix that fit
+    assert ch.stats.flow_mods == 4  # 3 applied + the one that overflowed
+    assert ch.stats.modeled_time == pytest.approx(4e-3)
+
+
+def test_send_batch_capacity_failure_matches_sequential_counts():
+    from repro.util.errors import CapacityError
+
+    mods = [mod(i, 1) for i in range(1, 7)]
+    seq_sw = OpenFlowSwitch("s", 8, flow_table_capacity=3)
+    seq_ch = ControlChannel(seq_sw, flow_install_latency=1e-3)
+    with pytest.raises(CapacityError):
+        for m in mods:
+            seq_ch.send(m)
+    bat_sw = OpenFlowSwitch("s", 8, flow_table_capacity=3)
+    bat_ch = ControlChannel(bat_sw, flow_install_latency=1e-3)
+    with pytest.raises(CapacityError):
+        bat_ch.send_batch(mods)
+    assert bat_ch.stats.flow_mods == seq_ch.stats.flow_mods
+    assert bat_ch.stats.modeled_time == pytest.approx(
+        seq_ch.stats.modeled_time
+    )
+    assert bat_sw.num_entries == seq_sw.num_entries
+
+
+def test_send_batch_validation_failure_applies_nothing():
+    """A SimulationError during batch validation aborts the whole batch
+    (stricter than sequential, documented) and counts one attempted
+    message, never the full batch."""
+    from repro.util.errors import SimulationError
+
+    sw = OpenFlowSwitch("s", 8, num_tables=1)
+    ch = ControlChannel(sw, flow_install_latency=1e-3)
+    bad = FlowMod(
+        table_id=7,  # no such table
+        priority=1,
+        match=Match(in_port=1),
+        instructions=(ApplyActions((Output(2),)),),
+        cookie=5,
+    )
+    with pytest.raises(SimulationError):
+        ch.send_batch([mod(1, 2), bad, mod(2, 3)])
+    assert sw.num_entries == 0
+    assert ch.stats.flow_mods == 1

@@ -1,15 +1,17 @@
 """Property tests for FlowTable's strict-delete `_dead` bookkeeping.
 
-Strict deletes only *mark* victims dead (``_dead`` holds their ids)
-and defer the list rebuild to the next compaction. That optimization
-is only sound if two invariants hold under arbitrary interleavings of
-adds, strict deletes, wildcard deletes, and reads:
+Strict deletes only *mark* victims dead (``_dead`` holds their
+table-assigned serials) and defer the list rebuild to the next
+compaction. That optimization is only sound if two invariants hold
+under arbitrary interleavings of adds, strict deletes, wildcard
+deletes, and reads:
 
-* **no id recycling before compaction** — every marked id stays
-  referenced by ``_entries`` until :meth:`FlowTable._compact` drops
-  the entry and the id together. If the list ever stopped referencing
-  a dead entry first, CPython could hand its ``id()`` to a *new* entry,
-  and a stale ``_dead`` id would silently delete it.
+* **tombstones name only current members** — every marked serial is
+  still held by an entry in ``_entries`` until :meth:`FlowTable._compact`
+  drops the entry and the mark together. Serials are monotonic and
+  never reused, so — unlike the previous ``id(entry)`` keying, where
+  CPython could recycle a freed id onto a brand-new entry — a stale
+  mark can never name a future entry.
 * **index consistency** — the (priority, match) index always agrees
   with the live membership: every bucket entry is alive and in
   ``_entries``, every live entry is in its bucket, and ``len(table)``
@@ -46,12 +48,20 @@ def _entry(rng) -> FlowEntry:
 
 
 def _check_invariants(table: FlowTable, case: int) -> None:
-    live = [e for e in table._entries if id(e) not in table._dead]
-    # every dead id still referenced by _entries (no recycling window)
-    referenced = {id(e) for e in table._entries}
+    live = [e for e in table._entries if e.serial not in table._dead]
+    # every dead serial still held by a member of _entries (entry and
+    # mark are only ever dropped together, by _compact)
+    referenced = {e.serial for e in table._entries}
     assert table._dead <= referenced, (
-        f"case {case}: dead ids {table._dead - referenced} no longer "
-        "referenced by _entries — their ids could be recycled"
+        f"case {case}: dead serials {table._dead - referenced} no "
+        "longer held by any entry in _entries"
+    )
+    # serials are unique among members and below the mint counter
+    assert len(referenced) == len(table._entries), (
+        f"case {case}: two entries share a serial"
+    )
+    assert all(0 <= s < table._next_seq for s in referenced), (
+        f"case {case}: serial outside the minted range"
     )
     # __len__ counts live entries only
     assert len(table) == len(live), case
@@ -93,9 +103,10 @@ def _random_ops(table: FlowTable, rng, steps: int, case: int) -> None:
 
 
 def test_dead_marks_stay_referenced_until_compact():
-    """Ids in ``_dead`` are never dropped from ``_entries`` separately:
-    compaction removes entry and mark together, so a dead id can never
-    be recycled onto a live entry."""
+    """Serials in ``_dead`` are never dropped from ``_entries``
+    separately: compaction removes entry and mark together, and the
+    mint counter never reuses a serial, so a stale mark can never name
+    a live entry."""
     for case, rng in seeded_cases(NUM_CASES, ROOT_SEED, "dead"):
         table = FlowTable(table_id=0)
         _random_ops(table, rng, steps=40, case=case)
@@ -128,6 +139,71 @@ def test_index_consistent_under_interleaved_bursts():
         assert all(
             a.priority >= b.priority for a, b in zip(seen, seen[1:])
         ), case
+
+
+def _single_entry() -> FlowEntry:
+    return FlowEntry(
+        priority=5,
+        match=Match(in_port=1),
+        instructions=(ApplyActions((Output(2),)),),
+        cookie=11,
+    )
+
+
+def test_forced_id_reuse_cannot_shadow_a_new_entry():
+    """Regression for the id-keyed tombstone hazard: re-adding the very
+    same entry object while its strict-delete tombstone is still pending
+    is the strongest possible id collision (``id()`` is literally equal).
+    Under id-keyed ``_dead`` the re-add was invisible to lookups and
+    silently dropped at the next compaction; serial keying re-stamps the
+    entry and keeps it live."""
+    table = FlowTable(table_id=0)
+    e = _single_entry()
+    table.add(e)
+    assert table.remove(match=e.match, priority=e.priority) == 1
+    assert len(table) == 0
+    table.add(e)  # same object → recycled id, fresh serial
+    assert len(table) == 1
+    from repro.openflow.match import PacketHeader
+
+    hdr = PacketHeader(src="a", dst="b")
+    assert table.lookup(1, 0, hdr) is e
+    table._compact()
+    assert not table._dead
+    assert list(table) == [e]
+    assert table.lookup(1, 0, hdr) is e
+
+
+def test_forced_id_reuse_in_add_batch():
+    """Same hazard through the batched-install fast path."""
+    table = FlowTable(table_id=0)
+    e = _single_entry()
+    table.add_batch([e])
+    assert table.remove(match=e.match, priority=e.priority) == 1
+    table.add_batch([e])
+    table._compact()
+    assert len(table) == 1
+    assert list(table) == [e]
+
+
+def test_serials_stay_monotonic_across_index_rebuilds():
+    """A wildcard delete rebuilds the index; serials must keep counting
+    upward so an old tombstone can never name a future entry."""
+    table = FlowTable(table_id=0)
+    for i in range(4):
+        table.add(
+            FlowEntry(
+                priority=1,
+                match=Match(in_port=i + 1),
+                instructions=(ApplyActions((Output(1),)),),
+                cookie=3,
+            )
+        )
+    high_water = table._next_seq
+    table.remove(cookie=3)  # wildcard path: compact + rebuild
+    assert len(table) == 0
+    table.add(_single_entry())
+    assert all(e.serial >= high_water for e in table._entries)
 
 
 def test_strict_delete_counts_match_membership():

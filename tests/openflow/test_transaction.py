@@ -203,6 +203,43 @@ def test_failed_delete_batch_restores_deleted_rules(plane):
     assert sw.count_entries(cookie=7) == 4
 
 
+def test_rollback_report_counts_partial_batch_reverts(plane):
+    """A fault injected mid-batch leaves only a prefix of the batch
+    applied; `entries_reverted` must count exactly that prefix (what
+    the restore actually undid), not the staged batch size."""
+    sw = plane.channel("p0").switch
+    before = sw.snapshot()
+
+    txn = ControlTransaction(plane)
+    txn.stage("p0", *[mod(port=i + 1, cookie=1) for i in range(3)])
+    txn.stage("p1", mod(), mod())
+    plane.channel("p1").fail_after(2)  # p0 fully applied, p1 dies mid-batch
+
+    with pytest.raises(TransactionError) as exc:
+        txn.commit()
+    report = exc.value.rollback
+    # p1 applied 1 of its 2 mods before the fault; p0 applied all 3
+    assert report.entries_reverted == 4
+    assert report.entries_restored == 0  # both snapshots were empty
+    assert sw.snapshot() == before
+
+
+def test_rollback_report_reverted_counts_deletes_too(plane):
+    sw = plane.channel("p0").switch
+    for _ in range(2):
+        sw.add_flow(
+            0, 10, Match(in_port=3), (ApplyActions((Output(3),)),), cookie=7
+        )
+    txn = ControlTransaction(plane)
+    txn.stage("p0", FlowDelete(cookie=7), mod(cookie=8), mod(cookie=8))
+    plane.channel("p0").fail_after(3)  # delete + 1 add land, 2nd add dies
+    with pytest.raises(TransactionError) as exc:
+        txn.commit()
+    # undone: 2 deleted entries reinstalled + 1 applied add removed
+    assert exc.value.rollback.entries_reverted == 3
+    assert sw.count_entries(cookie=7) == 2
+
+
 def test_rollback_preserves_entry_counters(plane):
     sw = plane.channel("p0").switch
     entry = sw.add_flow(

@@ -180,6 +180,78 @@ def test_seed_does_not_touch_hit_miss_counters():
     assert totals() == before  # seeding is not a lookup
 
 
+def test_seeded_entry_survives_eviction_pressure_until_its_recheck(counting):
+    """The incremental path seeds the edited topology's partition and
+    warm-rechecks it later in the same reconfigure; an intervening burst
+    of unrelated partitions must not evict it first."""
+    cache = PartitionCache(max_entries=2)
+    topo = fat_tree(4)
+    assignment = {sw: i % 2 for i, sw in enumerate(topo.switches)}
+    cache.seed(topo, Partition(assignment, 2))
+    # pressure: two unrelated topologies churn through the tiny cache
+    cache.partition(fat_tree(8), 2)
+    cache.partition(rebuild(fat_tree(4), drop_links={
+        removable_switch_links(fat_tree(4))[0]}), 2)
+    assert counting["n"] == 2
+    got = cache.partition(topo, 2)  # the warm re-check
+    assert counting["n"] == 2  # still a pure hit: the pin held
+    assert got.assignment == assignment
+    # the pin was consumed: the key now ages (and can be evicted) normally
+    assert not cache.pinned
+
+
+def test_hit_refreshes_lru_recency(counting):
+    cache = PartitionCache(max_entries=2)
+    a, b, c = fat_tree(4), fat_tree(8), rebuild(fat_tree(4), drop_links={
+        removable_switch_links(fat_tree(4))[0]})
+    cache.partition(a, 2)
+    cache.partition(b, 2)
+    cache.partition(a, 2)  # refreshes a: b is now least-recently-used
+    cache.partition(c, 2)  # evicts b, not a
+    assert counting["n"] == 3
+    cache.partition(a, 2)
+    assert counting["n"] == 3  # a survived
+    cache.partition(b, 2)
+    assert counting["n"] == 4  # b was the eviction victim
+
+
+def test_seed_on_present_key_replaces_without_evicting(counting):
+    """Re-seeding a key the cache already holds must neither evict an
+    unrelated entry nor change the cache's size."""
+    cache = PartitionCache(max_entries=2)
+    topo = fat_tree(4)
+    other = fat_tree(8)
+    cache.partition(other, 2)
+    assignment = {sw: 0 for sw in topo.switches}
+    cache.seed(topo, Partition(assignment, 2))
+    assert len(cache) == 2
+    flipped = Partition({sw: 1 - p for sw, p in assignment.items()}, 2)
+    cache.seed(topo, flipped)  # present key, cache at capacity
+    assert len(cache) == 2  # no eviction ran
+    cache.partition(other, 2)
+    assert counting["n"] == 1  # the unrelated entry is still cached
+    assert cache.partition(topo, 2).assignment == flipped.assignment
+
+
+def test_all_pinned_fallback_keeps_cache_bounded():
+    cache = PartitionCache(max_entries=2)
+    topos = [fat_tree(4), fat_tree(8), fat_tree(6)]
+    for t in topos:
+        cache.seed(t, Partition({sw: 0 for sw in t.switches}, 1))
+    assert len(cache) == 2
+    assert len(cache.pinned) == 2
+
+
+def test_clear_drops_pins():
+    cache = PartitionCache()
+    topo = fat_tree(4)
+    cache.seed(topo, Partition({sw: 0 for sw in topo.switches}, 1))
+    assert cache.pinned
+    cache.clear()
+    assert not cache.pinned
+    assert len(cache) == 0
+
+
 # --- extend_partition ------------------------------------------------------
 
 def _line(names):
