@@ -732,6 +732,306 @@ def render_recovery_report(report: dict) -> str:
     )
 
 
+#: churn-suite shape: live tenant slots per wave, and total sessions
+#: for the full and quick profiles. 1000+ sessions is the acceptance
+#: floor for the full profile (ISSUE 8); quick keeps CI under a minute.
+CHURN_SLOTS = 8
+CHURN_SESSIONS_FULL = 1024
+CHURN_SESSIONS_QUICK = 160
+#: storm shape: tenants and total submissions for the backpressure +
+#: admission-reject storm phase
+CHURN_STORM_TENANTS = 4
+CHURN_STORM_FACTOR = 2  # submissions = max_pending * factor
+CHURN_MAX_PENDING = 32
+CHURN_ROOT_SEED = 20260808
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def _latency_record(samples: list[float]) -> dict:
+    return {
+        "samples": len(samples),
+        "p50_s": _percentile(samples, 0.50),
+        "p99_s": _percentile(samples, 0.99),
+        "max_s": max(samples) if samples else 0.0,
+    }
+
+
+def run_churn_suite(
+    *, quick: bool = False, repeats: int = DEFAULT_REPEATS
+) -> dict:
+    """Fleet-churn benchmark against the async control-plane service.
+
+    Drives the in-process :class:`~repro.service.app.
+    ControlPlaneService` (no HTTP: the suite measures the service, not
+    the socket) through two phases:
+
+    * **churn** — :data:`CHURN_SESSIONS_FULL` (or ``_QUICK``) tenant
+      sessions across :data:`CHURN_SLOTS` concurrent slots; each
+      session is admit → deploy → (seeded coin) reconfigure → evict,
+      with client-observed admission and commit latencies sampled on
+      every operation (p50/p99 reported);
+    * **storm** — a synchronous submission burst of ``max_pending x
+      CHURN_STORM_FACTOR`` deploys: exactly ``max_pending`` are
+      admitted to the queue, the rest are backpressure-rejected with
+      zero mutation; of the admitted ops, host-port quotas allow
+      exactly one deploy per storm tenant, so the admission-reject
+      count is deterministic too.
+
+    The gate pins the deterministic fields (session/op/reject counts,
+    final pool emptiness); latencies are machine-dependent and
+    informational. ``repeats`` is recorded but the suite runs once —
+    with 1000+ sessions the law of large numbers does the averaging.
+    """
+    import asyncio
+    import random
+
+    from repro.service.app import ControlPlaneService
+    from repro.service.asyncsched import BackpressureError
+    from repro.tenancy import TenantQuota, build_pool_for_tenants
+    from repro.util.errors import AdmissionError
+
+    del repeats  # recorded by the caller's report; one pass is enough
+    sessions_total = CHURN_SESSIONS_QUICK if quick else CHURN_SESSIONS_FULL
+    chain3 = TopologyConfig(
+        "chain", {"num_switches": 3, "hosts_per_switch": 1}
+    )
+    chain4 = TopologyConfig(
+        "chain", {"num_switches": 4, "hosts_per_switch": 1}
+    )
+    # size for both shapes per slot at once: make-before-break swaps
+    # transiently hold the old chain-3 and the new chain-4 together
+    planned = [chain3.build() for _ in range(CHURN_SLOTS)]
+    planned += [chain4.build() for _ in range(CHURN_SLOTS)]
+    pool = build_pool_for_tenants(
+        planned,
+        3,
+        EVAL_256x10G,
+        spare_hosts=40,
+    )
+    # host_ports covers chain-3 + chain-4 held together: a
+    # make-before-break swap counts both against the lease, and a
+    # quota reject there would make the lifecycle outcome depend on
+    # the (interleaving-sensitive) swap strategy choice
+    quota = TenantQuota(host_ports=8, tcam_share=500)
+
+    admission_lat: list[float] = []
+    commit_lat: list[float] = []
+    evict_lat: list[float] = []
+    counts = {
+        "sessions_admitted": 0,
+        "deploys_ok": 0,
+        "reconfigures_ok": 0,
+        "evictions": 0,
+        "errors": 0,
+    }
+
+    async def lifecycle(service: ControlPlaneService, session_no: int,
+                        slot: int) -> None:
+        rng = random.Random(CHURN_ROOT_SEED + session_no)
+        tenant = f"t{slot}"
+        try:
+            t0 = time.perf_counter()
+            await service.open_session(tenant, quota)
+            admission_lat.append(time.perf_counter() - t0)
+            counts["sessions_admitted"] += 1
+
+            t0 = time.perf_counter()
+            await service.submit("deploy", tenant, config=chain3)
+            commit_lat.append(time.perf_counter() - t0)
+            counts["deploys_ok"] += 1
+
+            if rng.random() < 0.5:
+                t0 = time.perf_counter()
+                await service.submit(
+                    "reconfigure", tenant, name="chain-3", config=chain4
+                )
+                commit_lat.append(time.perf_counter() - t0)
+                counts["reconfigures_ok"] += 1
+
+            t0 = time.perf_counter()
+            await service.submit("evict", tenant)
+            evict_lat.append(time.perf_counter() - t0)
+            counts["evictions"] += 1
+        except (AdmissionError, BackpressureError):
+            counts["errors"] += 1
+            # the slot must be free for the next wave regardless
+            session = service.testbed.sessions.get(tenant)
+            if session is not None and session.state == "active":
+                await service.submit("evict", tenant)
+                counts["evictions"] += 1
+
+    async def storm(service: ControlPlaneService) -> dict:
+        for i in range(CHURN_STORM_TENANTS):
+            await service.open_session(f"s{i}", quota)
+        submitted = CHURN_MAX_PENDING * CHURN_STORM_FACTOR
+        futures = []
+        bp_rejected = 0
+        # a tight synchronous submission loop: nothing yields, so no
+        # worker completion can interleave — exactly max_pending ops
+        # are admitted before the bound trips, deterministically
+        for j in range(submitted):
+            tenant = f"s{j % CHURN_STORM_TENANTS}"
+            op = service.testbed.make_operation(
+                "deploy", tenant, config=chain3
+            )
+            try:
+                futures.append(service.scheduler.submit(op))
+            except BackpressureError:
+                bp_rejected += 1
+        outcomes = await asyncio.gather(*futures, return_exceptions=True)
+        ok = sum(1 for o in outcomes if not isinstance(o, BaseException))
+        admission_rejected = sum(
+            1 for o in outcomes if isinstance(o, AdmissionError)
+        )
+        other = len(outcomes) - ok - admission_rejected
+        for i in range(CHURN_STORM_TENANTS):
+            await service.submit("evict", f"s{i}")
+        return {
+            "submitted": submitted,
+            "accepted": len(futures),
+            "backpressure_rejected": bp_rejected,
+            "deploys_ok": ok,
+            "admission_rejected": admission_rejected,
+            "other_errors": other,
+        }
+
+    async def drive() -> dict:
+        service = ControlPlaneService(
+            pool, workers=4, max_pending=CHURN_MAX_PENDING
+        )
+        await service.start()
+        try:
+            t0 = time.perf_counter()
+            session_no = 0
+            while session_no < sessions_total:
+                wave = []
+                for slot in range(CHURN_SLOTS):
+                    if session_no >= sessions_total:
+                        break
+                    wave.append(lifecycle(service, session_no, slot))
+                    session_no += 1
+                await asyncio.gather(*wave)
+            churn_wall = time.perf_counter() - t0
+            storm_record = await storm(service)
+        finally:
+            await service.stop()
+        final_entries = sum(
+            sw.num_entries for sw in pool.switches.values()
+        )
+        return {
+            "churn_wall_s": churn_wall,
+            "storm": storm_record,
+            "final_entries": final_entries,
+        }
+
+    run = asyncio.run(drive())
+    wall = run["churn_wall_s"]
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "churn",
+        "quick": quick,
+        "slots": CHURN_SLOTS,
+        "max_pending": CHURN_MAX_PENDING,
+        "sessions_target": sessions_total,
+        **counts,
+        "storm": run["storm"],
+        "final_entries": run["final_entries"],
+        "churn_wall_s": wall,
+        "sessions_per_s": sessions_total / wall if wall > 0 else 0.0,
+        "latency": {
+            "admission": _latency_record(admission_lat),
+            "commit": _latency_record(commit_lat),
+            "evict": _latency_record(evict_lat),
+        },
+    }
+
+
+def compare_churn_to_baseline(current: dict, baseline: dict) -> list[str]:
+    """Churn-suite regressions are exact mismatches on the
+    deterministic fields: every session must complete its lifecycle
+    (counts match), the storm's backpressure and admission splits must
+    match, and the pool must end empty. Latency numbers are
+    machine-dependent and not gated — the SLO lives in the report.
+    Reconfigure counts are seeded-RNG-deterministic per profile, so
+    they only gate when both reports ran the same profile."""
+    problems: list[str] = []
+    same_profile = current.get("quick") == baseline.get("quick")
+    fields = ["final_entries", "errors"]
+    if same_profile:
+        fields += [
+            "sessions_target", "sessions_admitted", "deploys_ok",
+            "reconfigures_ok", "evictions",
+        ]
+    for key in fields:
+        if current.get(key) != baseline.get(key):
+            problems.append(
+                f"{key} changed {baseline.get(key)} -> {current.get(key)} "
+                "(churn lifecycle is deterministic; this is a behavior "
+                "change)"
+            )
+    cur_storm = current.get("storm", {})
+    base_storm = baseline.get("storm", {})
+    for key in ("submitted", "accepted", "backpressure_rejected",
+                "deploys_ok", "admission_rejected", "other_errors"):
+        if cur_storm.get(key) != base_storm.get(key):
+            problems.append(
+                f"storm.{key} changed "
+                f"{base_storm.get(key)} -> {cur_storm.get(key)} "
+                "(bounded-queue admission is deterministic)"
+            )
+    if current.get("sessions_admitted", 0) < current.get(
+        "sessions_target", 0
+    ):
+        problems.append(
+            f"only {current.get('sessions_admitted')} of "
+            f"{current.get('sessions_target')} sessions were admitted"
+        )
+    return problems
+
+
+def render_churn_report(report: dict) -> str:
+    lat = report["latency"]
+    rows = [
+        [
+            phase,
+            lat[phase]["samples"],
+            f"{lat[phase]['p50_s'] * 1e3:.1f}",
+            f"{lat[phase]['p99_s'] * 1e3:.1f}",
+            f"{lat[phase]['max_s'] * 1e3:.1f}",
+        ]
+        for phase in ("admission", "commit", "evict")
+    ]
+    table = format_table(
+        ["Phase", "Samples", "p50 (ms)", "p99 (ms)", "max (ms)"],
+        rows,
+        title=(
+            f"Churn benchmark ({report['sessions_admitted']} sessions, "
+            f"{report['slots']} slots)"
+        ),
+    )
+    storm = report["storm"]
+    return (
+        f"{table}\n"
+        f"churn: {report['sessions_per_s']:.0f} sessions/s over "
+        f"{report['churn_wall_s']:.1f}s   "
+        f"deploys {report['deploys_ok']}, "
+        f"reconfigures {report['reconfigures_ok']}, "
+        f"evictions {report['evictions']}\n"
+        f"storm: {storm['submitted']} submitted, "
+        f"{storm['accepted']} queued, "
+        f"{storm['backpressure_rejected']} backpressured, "
+        f"{storm['admission_rejected']} admission-rejected   "
+        f"final entries: {report['final_entries']}"
+    )
+
+
 def compare_to_baseline(
     current: dict, baseline: dict, *, tolerance: float = DEFAULT_TOLERANCE
 ) -> list[str]:
@@ -849,6 +1149,10 @@ def run_and_report(
         report = run_recovery_suite(quick=quick, repeats=repeats)
         if out == "BENCH_reconfig.json":
             out = "BENCH_recovery.json"
+    elif suite == "churn":
+        report = run_churn_suite(quick=quick, repeats=repeats)
+        if out == "BENCH_reconfig.json":
+            out = "BENCH_churn.json"
     elif suite == "reconfig":
         report = run_suite(quick=quick, repeats=repeats)
     else:
@@ -862,6 +1166,8 @@ def run_and_report(
         print(render_scale_report(report))
     elif suite == "recovery":
         print(render_recovery_report(report))
+    elif suite == "churn":
+        print(render_churn_report(report))
     else:
         print(render_report(report))
     if baseline:
@@ -874,6 +1180,8 @@ def run_and_report(
             )
         elif suite == "recovery":
             problems = compare_recovery_to_baseline(report, base)
+        elif suite == "churn":
+            problems = compare_churn_to_baseline(report, base)
         else:
             problems = compare_to_baseline(
                 report, base, tolerance=tolerance
@@ -906,7 +1214,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed regression fraction (default 0.25)")
     parser.add_argument("--suite",
                         choices=["reconfig", "multitenant", "scale",
-                                 "recovery"],
+                                 "recovery", "churn"],
                         default="reconfig",
                         help="benchmark suite to run (default reconfig)")
     args = parser.parse_args(argv)

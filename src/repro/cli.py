@@ -8,7 +8,11 @@ Commands mirror what an SDT operator does with the real controller:
 * ``telemetry`` — scripted deploy/reconfigure/repair run with a full
   metrics summary (add ``--trace-out`` for the JSONL journal)
 * ``serve``     — run a multi-tenant scenario through the testbed
-  service (admission, fair-share scheduling, isolation verification)
+  service (admission, fair-share scheduling, isolation verification);
+  with ``--listen HOST:PORT`` it becomes the long-running HTTP
+  control-plane service (DESIGN.md §8)
+* ``client``    — one request against a running ``serve --listen``
+  service (open/deploy/reconfigure/undeploy/evict/status/...)
 * ``status``    — deploy a scenario and print per-switch TCAM
   occupancy/headroom and per-tenant usage (``--json`` for machines)
 * ``recover``   — replay a crashed controller's state directory
@@ -168,15 +172,80 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def _hostport(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise ReproError(
+            f"expected HOST:PORT, got {value!r} (use 127.0.0.1:0 for an "
+            "ephemeral port)"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(f"bad port in {value!r}") from None
+
+
+def _serve_listen(args) -> int:
+    """Long-running service mode: bind the HTTP control-plane API."""
+    from repro.service.app import run_service
+    from repro.tenancy import Scenario, build_pool_for_tenants
+
+    host, port = _hostport(args.listen)
+    if args.scenario:
+        # scenario file sizes the pool; its tenants are NOT admitted —
+        # clients open their own sessions over the API
+        scenario = Scenario.from_file(args.scenario)
+        cluster = build_pool_for_tenants(
+            [t.topology.build() for t in scenario.tenants],
+            scenario.switches,
+            scenario.spec,
+            seed=scenario.seed,
+            spare_hosts=scenario.spare_hosts,
+        )
+    else:
+        from repro.hardware.cluster import PhysicalCluster
+
+        cluster = PhysicalCluster.build(
+            args.switches,
+            _SPECS[args.spec],
+            hosts_per_switch=args.hosts_per_switch,
+            inter_links_per_pair=args.inter_links,
+        )
+    run_service(
+        cluster,
+        host=host,
+        port=port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        state_dir=args.state_dir,
+        snapshot_every=args.snapshot_every,
+    )
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Run a multi-tenant scenario: admit every tenant, deploy their
-    topologies through the fair-share scheduler, report the outcome."""
+    topologies through the fair-share scheduler, report the outcome.
+    With ``--listen`` the command instead becomes a long-running
+    HTTP control-plane service (see DESIGN.md §8)."""
     import json
 
-    from repro.tenancy import Scenario, run_scenario
+    from repro.tenancy import Scenario, ScenarioAborted, run_scenario
 
+    if args.listen:
+        return _serve_listen(args)
+    if not args.scenario:
+        raise ReproError("serve needs a scenario file (or --listen)")
     scenario = Scenario.from_file(args.scenario)
-    run = run_scenario(scenario)
+    code = 0
+    try:
+        run = run_scenario(scenario)
+    except ScenarioAborted as exc:
+        # partial run: report what happened, then flush like any run —
+        # a mid-scenario error must not eat the report
+        print(f"error: {exc}", file=sys.stderr)
+        run = exc.run
+        code = 2
     try:
         report = run.report
         print(f"served {len(scenario.tenants)} tenants on "
@@ -188,13 +257,80 @@ def cmd_serve(args) -> int:
         for rej in report["rejected"]:
             print(f"  {rej['tenant']:12s} REJECTED ({rej['stage']}): "
                   + "; ".join(rej["problems"]))
+        if report.get("error"):
+            print(f"  run aborted: {report['error']}")
         if args.json:
             with open(args.json, "w") as fh:
                 json.dump(report, fh, indent=2, sort_keys=True)
             print(f"report written: {args.json}")
-        return 1 if report["rejected"] else 0
+        if code == 0 and report["rejected"]:
+            code = 1
+        return code
     finally:
         run.service.shutdown()
+
+
+def cmd_client(args) -> int:
+    """One request against a running ``repro serve --listen`` service."""
+    import json
+
+    from repro.service.http import http_call
+
+    host, port = _hostport(args.connect)
+    method, path, payload = "GET", "", None
+    action = args.action
+    needs_tenant = action not in ("health", "status", "metrics", "shutdown")
+    if needs_tenant and not args.tenant:
+        raise ReproError(f"client {action} needs a TENANT argument")
+    if action == "health":
+        path = "/v1/healthz"
+    elif action == "status":
+        path = "/v1/status"
+    elif action == "metrics":
+        path = "/v1/metrics"
+    elif action == "shutdown":
+        method, path = "POST", "/v1/shutdown"
+    elif action == "open":
+        method, path = "POST", "/v1/sessions"
+        payload = {
+            "tenant": args.tenant,
+            "quota": {
+                "host_ports": args.host_ports,
+                "tcam_share": args.tcam_share,
+            },
+        }
+    elif action == "session":
+        path = f"/v1/sessions/{args.tenant}"
+    elif action in ("deploy", "reconfigure"):
+        if not args.config:
+            raise ReproError(f"client {action} needs --config PATH")
+        with open(args.config) as fh:
+            topology = json.load(fh)
+        method = "POST"
+        path = f"/v1/sessions/{args.tenant}/{action}"
+        payload = {"topology": topology}
+        if action == "reconfigure":
+            if not args.name:
+                raise ReproError("client reconfigure needs --name")
+            payload["name"] = args.name
+    elif action == "undeploy":
+        if not args.name:
+            raise ReproError("client undeploy needs --name")
+        method = "POST"
+        path = f"/v1/sessions/{args.tenant}/undeploy"
+        payload = {"name": args.name}
+    elif action in ("evict", "close"):
+        method = "DELETE"
+        path = f"/v1/sessions/{args.tenant}"
+        if action == "close":
+            path += "?mode=close"
+    status, headers, body = http_call(
+        host, port, method, path, payload, timeout=args.timeout
+    )
+    print(json.dumps(body, indent=2, sort_keys=True))
+    if status == 429 and "retry-after" in headers:
+        print(f"retry after {headers['retry-after']}s", file=sys.stderr)
+    return 0 if 200 <= status < 300 else 1
 
 
 def _print_status(status: dict) -> None:
@@ -408,14 +544,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="run a multi-tenant scenario through the testbed service",
+        help="run a multi-tenant scenario through the testbed service, "
+             "or (--listen) a long-running HTTP control-plane service",
     )
-    p.add_argument("scenario", help="scenario JSON (see examples/)")
+    p.add_argument("scenario", nargs="?", default=None,
+                   help="scenario JSON (see examples/); with --listen it "
+                        "only sizes the pool")
     p.add_argument("--json", metavar="PATH", default=None,
-                   help="write the full run report as JSON")
+                   help="write the full run report as JSON (flushed even "
+                        "when the run aborts mid-scenario)")
     p.add_argument("--trace-out", metavar="PATH", default=None,
                    help="write the run's telemetry trace (JSONL)")
+    p.add_argument("--listen", metavar="HOST:PORT", default=None,
+                   help="serve the HTTP control-plane API (port 0 = "
+                        "ephemeral; the bound port is printed)")
+    p.add_argument("--switches", type=int, default=3,
+                   help="pool size without a scenario file (default 3)")
+    p.add_argument("--spec", choices=sorted(_SPECS), default="eval256",
+                   help="switch model without a scenario file")
+    p.add_argument("--hosts-per-switch", type=int, default=8,
+                   help="host ports per switch without a scenario file")
+    p.add_argument("--inter-links", type=int, default=2,
+                   help="inter-switch links per pair without a scenario")
+    p.add_argument("--state-dir", metavar="DIR", default=None,
+                   help="durable state directory (snapshot + journal); "
+                        "restart recovers sessions and flow state")
+    p.add_argument("--workers", type=int, default=4,
+                   help="async scheduler worker lanes (default 4)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="bounded queue size; over it requests get 429")
+    p.add_argument("--snapshot-every", type=int, default=8,
+                   help="snapshot cadence in committed transactions")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running `repro serve --listen` service",
+    )
+    p.add_argument("--connect", metavar="HOST:PORT", required=True,
+                   help="service address (from the serve banner)")
+    p.add_argument("action",
+                   choices=["health", "status", "metrics", "open",
+                            "session", "deploy", "reconfigure",
+                            "undeploy", "evict", "close", "shutdown"])
+    p.add_argument("tenant", nargs="?", default=None,
+                   help="tenant id (session-scoped actions)")
+    p.add_argument("--config", metavar="PATH", default=None,
+                   help="topology config JSON (deploy/reconfigure)")
+    p.add_argument("--name", default=None,
+                   help="deployment name (reconfigure/undeploy)")
+    p.add_argument("--host-ports", type=int, default=8,
+                   help="quota: host ports to lease (open)")
+    p.add_argument("--tcam-share", type=int, default=1024,
+                   help="quota: flow-table entries (open)")
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.set_defaults(fn=cmd_client)
 
     p = sub.add_parser(
         "status",
@@ -469,7 +652,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=0.25,
                    help="allowed regression fraction (default 0.25)")
     p.add_argument("--suite",
-                   choices=["reconfig", "multitenant", "scale", "recovery"],
+                   choices=["reconfig", "multitenant", "scale", "recovery",
+                            "churn"],
                    default="reconfig",
                    help="benchmark suite to run (default reconfig)")
     p.set_defaults(fn=cmd_bench)

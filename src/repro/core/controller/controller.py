@@ -31,6 +31,7 @@ of §VI-B deploys two and shows no packet leakage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.controller.config import TopologyConfig
 from repro.core.controller.monitor import NetworkMonitor
@@ -560,6 +561,27 @@ class SDTController:
             sp.set("modeled_time", total)
             self._record_mutation("undeploy", total)
             return total
+
+    def undeploy_cookie(
+        self, cookie: int, switch_names: Iterable[str]
+    ) -> float:
+        """Strip every entry carrying ``cookie`` from the named
+        switches; returns modeled removal time.
+
+        Teardown by namespace: used for generations recovered after a
+        crash, whose :class:`Deployment` objects no longer exist
+        (DESIGN.md §7) but whose rules are live on the switches. The
+        delete is transactional like :meth:`undeploy`.
+        """
+        with trace.span("controller.undeploy_cookie", cookie=cookie) as sp:
+            txn = ControlTransaction(
+                self.cluster.control, label=f"undeploy cookie {cookie}"
+            )
+            txn.stage_delete(switch_names, cookie)
+            removal_time = txn.commit()
+            sp.set("modeled_time", removal_time)
+            self._record_mutation("undeploy", removal_time)
+            return removal_time
 
     def reconfigure(
         self,

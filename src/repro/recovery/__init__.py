@@ -51,7 +51,9 @@ __all__ = [
     "latest_snapshot",
     "load_recovery",
     "recover",
+    "recover_service",
     "reconcile",
+    "service_extra",
     "uninstall_journal",
 ]
 
@@ -66,6 +68,8 @@ _LAZY = {
     "StandbyController": "repro.recovery.standby",
     "ReconcileReport": "repro.recovery.reconcile",
     "reconcile": "repro.recovery.reconcile",
+    "recover_service": "repro.recovery.servicestate",
+    "service_extra": "repro.recovery.servicestate",
 }
 
 

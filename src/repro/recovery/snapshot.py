@@ -40,12 +40,16 @@ SNAPSHOT_SCHEMA = 1
 _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.json$")
 
 
-def controller_state(controller: Any, sessions: Any = None) -> dict:
+def controller_state(
+    controller: Any, sessions: Any = None, extra: dict | None = None
+) -> dict:
     """Serialize a controller's durable state (JSON-safe).
 
     Duck-typed on purpose: anything with ``cluster`` / ``deployments``
     and the allocation counters serializes, which keeps this module
-    import-independent of :mod:`repro.core.controller`.
+    import-independent of :mod:`repro.core.controller`. ``extra`` is
+    merged into the top-level state — the control-plane service uses
+    it for its own durable records (:mod:`repro.recovery.servicestate`).
     """
     switches = {}
     for name, sw in controller.cluster.switches.items():
@@ -92,6 +96,8 @@ def controller_state(controller: Any, sessions: Any = None) -> dict:
     }
     if sessions is not None:
         state["sessions"] = [s.to_state() for s in sessions]
+    if extra:
+        state.update(extra)
     return state
 
 
@@ -118,12 +124,18 @@ class SnapshotManager:
         return CommitJournal(self.state_dir / JOURNAL_NAME)
 
     def write(
-        self, controller: Any, journal: CommitJournal, sessions: Any = None
+        self,
+        controller: Any,
+        journal: CommitJournal,
+        sessions: Any = None,
+        extra: dict | None = None,
     ) -> Path:
         """Write a snapshot stamped with the journal's current frontier
         (the highest LSN already on disk)."""
         lsn = len(journal) - 1
-        state = dict(controller_state(controller, sessions=sessions))
+        state = dict(
+            controller_state(controller, sessions=sessions, extra=extra)
+        )
         state["lsn"] = lsn
         path = self.state_dir / f"snapshot-{max(lsn, 0):08d}.json"
         tmp = path.with_suffix(".json.tmp")
@@ -133,13 +145,17 @@ class SnapshotManager:
         return path
 
     def maybe_write(
-        self, controller: Any, journal: CommitJournal, sessions: Any = None
+        self,
+        controller: Any,
+        journal: CommitJournal,
+        sessions: Any = None,
+        extra: dict | None = None,
     ) -> Path | None:
         """Write a snapshot if ``every`` commits landed since the last
         one; returns the path when a snapshot was written."""
         if journal.commits_total - self._commits_at_last < self.every:
             return None
-        return self.write(controller, journal, sessions=sessions)
+        return self.write(controller, journal, sessions=sessions, extra=extra)
 
 
 def latest_snapshot(state_dir: str | Path) -> tuple[dict, int] | None:

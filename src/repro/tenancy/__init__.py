@@ -16,6 +16,7 @@ from repro.tenancy.admission import AdmissionController
 from repro.tenancy.isolation import IsolationReport, IsolationVerifier
 from repro.tenancy.scenario import (
     Scenario,
+    ScenarioAborted,
     ScenarioRun,
     TenantSpec,
     build_pool_for_tenants,
@@ -38,6 +39,7 @@ __all__ = [
     "IsolationVerifier",
     "Operation",
     "Scenario",
+    "ScenarioAborted",
     "ScenarioRun",
     "Scheduler",
     "SESSION_ACTIVE",

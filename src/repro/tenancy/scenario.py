@@ -38,7 +38,12 @@ from repro.hardware.spec import SwitchSpec
 from repro.tenancy.service import TestbedService
 from repro.tenancy.session import TenantQuota
 from repro.topology.graph import Topology
-from repro.util.errors import AdmissionError, CapacityError, ConfigurationError
+from repro.util.errors import (
+    AdmissionError,
+    CapacityError,
+    ConfigurationError,
+    ReproError,
+)
 from repro.util.units import gbps
 
 
@@ -167,12 +172,30 @@ class ScenarioRun:
     report: dict = field(default_factory=dict)
 
 
+class ScenarioAborted(ReproError):
+    """A scenario died mid-run on a non-admission error.
+
+    Admission rejections are answers and live in the report; anything
+    else (a bad per-tenant config, a capacity blow-up during
+    projection) aborts the run — but the work already done is not
+    lost: the exception carries the partial :class:`ScenarioRun` so
+    the driver can flush the report and shut the service down on
+    *every* exit path, not just the happy one.
+    """
+
+    def __init__(self, message: str, *, run: ScenarioRun) -> None:
+        super().__init__(message)
+        self.run = run
+
+
 def run_scenario(scenario: Scenario) -> ScenarioRun:
     """Build the pool, admit every tenant, deploy every topology.
 
     Admission rejections are recorded in the report (per the paper's
     checking function, a refusal is an answer, not a crash); any other
-    error propagates.
+    mid-scenario error raises :class:`ScenarioAborted` carrying the
+    partial run. Errors *before* the service exists (an unbuildable
+    pool) propagate as themselves — there is no partial state to save.
     """
     topologies = [t.topology.build() for t in scenario.tenants]
     cluster = build_pool_for_tenants(
@@ -184,34 +207,50 @@ def run_scenario(scenario: Scenario) -> ScenarioRun:
     )
     service = TestbedService(cluster, max_workers=scenario.max_workers)
     report: dict = {"tenants": {}, "rejected": []}
+    run = ScenarioRun(service=service, report=report)
     futures = []
-    for tenant in scenario.tenants:
-        try:
-            service.open_session(tenant.tenant_id, tenant.quota)
-        except AdmissionError as exc:
-            report["rejected"].append(
-                {"tenant": tenant.tenant_id, "stage": "session",
-                 "problems": exc.problems}
+    try:
+        for tenant in scenario.tenants:
+            try:
+                service.open_session(tenant.tenant_id, tenant.quota)
+            except AdmissionError as exc:
+                report["rejected"].append(
+                    {"tenant": tenant.tenant_id, "stage": "session",
+                     "problems": exc.problems}
+                )
+                continue
+            futures.append(
+                (tenant,
+                 service.submit_deploy(tenant.tenant_id, tenant.topology))
             )
-            continue
-        futures.append(
-            (tenant, service.submit_deploy(tenant.tenant_id, tenant.topology))
-        )
-    for tenant, future in futures:
-        try:
-            deployment = future.result()
-        except AdmissionError as exc:
-            report["rejected"].append(
-                {"tenant": tenant.tenant_id, "stage": "deploy",
-                 "problems": exc.problems}
-            )
-        else:
-            report["tenants"][tenant.tenant_id] = {
-                "deployment": deployment.name,
-                "rules_installed": sum(
-                    deployment.rules.per_switch_counts().values()
-                ),
-                "install_time": deployment.deployment_time,
-            }
+        for tenant, future in futures:
+            try:
+                deployment = future.result()
+            except AdmissionError as exc:
+                report["rejected"].append(
+                    {"tenant": tenant.tenant_id, "stage": "deploy",
+                     "problems": exc.problems}
+                )
+            else:
+                report["tenants"][tenant.tenant_id] = {
+                    "deployment": deployment.name,
+                    "rules_installed": sum(
+                        deployment.rules.per_switch_counts().values()
+                    ),
+                    "install_time": deployment.deployment_time,
+                }
+    except ReproError as exc:
+        # drain whatever is still queued so the status below is stable
+        for _tenant, future in futures:
+            if not future.done():
+                try:
+                    future.result()
+                except ReproError:
+                    pass
+        report["error"] = str(exc)
+        report["status"] = service.status()
+        raise ScenarioAborted(
+            f"scenario aborted mid-run: {exc}", run=run
+        ) from exc
     report["status"] = service.status()
-    return ScenarioRun(service=service, report=report)
+    return run

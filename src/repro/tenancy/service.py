@@ -147,6 +147,46 @@ class TestbedService:
             )
         return tuple(lease)
 
+    def adopt_sessions(
+        self, sessions: list[TenantSession], *, next_index: int | None = None
+    ) -> None:
+        """Adopt recovered sessions (service restart, DESIGN.md §8).
+
+        The sessions come from a snapshot's ``sessions`` records via
+        :func:`repro.recovery.recover` — leases, cookie-block indices
+        and ``_next_seq`` counters intact, deployments unlinked (their
+        rule state is restored onto the switches separately). The
+        index counter resumes past every adopted index (or at
+        ``next_index`` when the snapshot recorded the service's own
+        counter), so a tenant admitted after the restart can never be
+        granted a cookie block that pre-crash rules already use.
+
+        Each active session then *adopts* the cookies found in its
+        namespace on the recovered switches: the pre-crash rule
+        generations stay attributable to their owner (so the isolation
+        verifier passes on the next commit), chargeable against the
+        TCAM quota, and strippable on evict — even though their
+        :class:`Deployment` objects are gone.
+        """
+        with self._lock:
+            for session in sessions:
+                self.sessions[session.tenant_id] = session
+                self._next_index = max(self._next_index, session.index + 1)
+            if next_index is not None:
+                self._next_index = max(self._next_index, next_index)
+            active = [
+                s for s in sessions if s.state == SESSION_ACTIVE
+            ]
+            for name, sw in self.cluster.switches.items():
+                for cookie, count in sw.occupancy_by_cookie().items():
+                    for session in active:
+                        if session.owns_cookie(cookie):
+                            session.adopted.setdefault(cookie, {})[
+                                name
+                            ] = count
+                            break
+            self._verify()
+
     def close_session(self, tenant_id: str) -> None:
         """Tear down every deployment and release the lease."""
         self._end_session(tenant_id, SESSION_CLOSED)
@@ -167,6 +207,13 @@ class TestbedService:
             session = self._session(tenant_id)
             for name in sorted(session.deployments):
                 self.controller.undeploy(session.deployments.pop(name))
+            # strip adopted pre-restart generations by cookie: their
+            # Deployment objects are gone, but the rules are live
+            for cookie in sorted(session.adopted):
+                self.controller.undeploy_cookie(
+                    cookie, sorted(session.adopted[cookie])
+                )
+            session.adopted = {}
             session.state = final_state
             session.lease = ()
             reg = metrics.registry()
@@ -188,31 +235,80 @@ class TestbedService:
         return session
 
     # --- async operation API --------------------------------------------
-    def submit_deploy(
-        self, tenant_id: str, config: ConfigLike
-    ) -> Future:
-        """Queue a deployment; resolves to the live Deployment."""
-        self._session(tenant_id).check_active()
-        return self.scheduler.submit(
-            Operation(
+    def make_operation(self, kind: str, tenant_id: str, **kwargs) -> Operation:
+        """Build (but do not queue) one schedulable operation.
+
+        This is the single source of operation bodies and footprints
+        for *both* schedulers: the thread-pool
+        :class:`~repro.tenancy.scheduler.Scheduler` below and the
+        asyncio work-stealing scheduler in :mod:`repro.service`.
+        Supported kinds: ``deploy`` / ``reconfigure`` (footprint =
+        whole pool, placement unknown until projection), ``undeploy``
+        (exact footprint when the deployment is live), and ``evict`` /
+        ``close`` (whole pool: they tear down every deployment the
+        tenant owns, so they serialize against everything queued
+        before them).
+        """
+        if kind == "deploy":
+            config = kwargs["config"]
+            self._session(tenant_id).check_active()
+            return Operation(
                 kind="deploy",
                 tenant_id=tenant_id,
                 fn=lambda: self._do_deploy(tenant_id, config),
                 footprint=None,  # placement unknown until projection
             )
+        if kind == "reconfigure":
+            name, config = kwargs["name"], kwargs["config"]
+            self._session(tenant_id).check_active()
+            return Operation(
+                kind="reconfigure",
+                tenant_id=tenant_id,
+                fn=lambda: self._do_reconfigure(tenant_id, name, config),
+                footprint=None,  # new placement unknown until projection
+            )
+        if kind == "undeploy":
+            name = kwargs["name"]
+            with self._lock:
+                session = self._session(tenant_id)
+                session.check_active()
+                deployment = session.deployments.get(name)
+                footprint = (
+                    frozenset(deployment.rules.mods)
+                    if deployment is not None
+                    else None
+                )
+            return Operation(
+                kind="undeploy",
+                tenant_id=tenant_id,
+                fn=lambda: self._do_undeploy(tenant_id, name),
+                footprint=footprint,
+            )
+        if kind in ("evict", "close"):
+            final = SESSION_EVICTED if kind == "evict" else SESSION_CLOSED
+            return Operation(
+                kind=kind,
+                tenant_id=tenant_id,
+                fn=lambda: self._end_session(tenant_id, final),
+                footprint=None,  # tears down every owned deployment
+            )
+        raise ConfigurationError(f"unknown operation kind {kind!r}")
+
+    def submit_deploy(
+        self, tenant_id: str, config: ConfigLike
+    ) -> Future:
+        """Queue a deployment; resolves to the live Deployment."""
+        return self.scheduler.submit(
+            self.make_operation("deploy", tenant_id, config=config)
         )
 
     def submit_reconfigure(
         self, tenant_id: str, name: str, config: ConfigLike
     ) -> Future:
         """Queue an atomic swap of deployment ``name`` to ``config``."""
-        self._session(tenant_id).check_active()
         return self.scheduler.submit(
-            Operation(
-                kind="reconfigure",
-                tenant_id=tenant_id,
-                fn=lambda: self._do_reconfigure(tenant_id, name, config),
-                footprint=None,  # new placement unknown until projection
+            self.make_operation(
+                "reconfigure", tenant_id, name=name, config=config
             )
         )
 
@@ -226,22 +322,8 @@ class TestbedService:
         footprint is exact when the deployment is already live and
         conservative (whole pool) otherwise.
         """
-        with self._lock:
-            session = self._session(tenant_id)
-            session.check_active()
-            deployment = session.deployments.get(name)
-            footprint = (
-                frozenset(deployment.rules.mods)
-                if deployment is not None
-                else None
-            )
         return self.scheduler.submit(
-            Operation(
-                kind="undeploy",
-                tenant_id=tenant_id,
-                fn=lambda: self._do_undeploy(tenant_id, name),
-                footprint=footprint,
-            )
+            self.make_operation("undeploy", tenant_id, name=name)
         )
 
     # --- sync wrappers ---------------------------------------------------

@@ -80,6 +80,16 @@ class TenantSession:
     state: str = SESSION_ACTIVE
     #: live deployments by topology name
     deployments: dict[str, Deployment] = field(default_factory=dict)
+    #: pre-restart rule generations adopted at recovery: cookie ->
+    #: per-switch installed-entry counts. Recovery restores a crashed
+    #: service's switch tables bit-identically but does not rebuild
+    #: ``Deployment`` objects (DESIGN.md §7), so the cookies found in
+    #: this session's namespace are adopted here instead — keeping the
+    #: rules attributable (isolation audit), chargeable (TCAM quota)
+    #: and strippable (evict tears them down by cookie). Adopted
+    #: generations cannot be reconfigured by name; host-port usage from
+    #: before the crash is not reconstructed.
+    adopted: dict[int, dict[str, int]] = field(default_factory=dict)
     _next_seq: int = 0
 
     # --- cookie namespace ----------------------------------------------
@@ -104,8 +114,11 @@ class TenantSession:
 
     @property
     def cookies(self) -> set[int]:
-        """Cookies tagging this tenant's live flow entries."""
-        return {d.cookie for d in self.deployments.values()}
+        """Cookies tagging this tenant's live flow entries — current
+        deployments plus generations adopted from before a restart."""
+        return {d.cookie for d in self.deployments.values()} | set(
+            self.adopted
+        )
 
     # --- resource ledgers ----------------------------------------------
     @property
@@ -127,6 +140,9 @@ class TenantSession:
         used: dict[str, int] = {}
         for d in self.deployments.values():
             for sw, n in d.rules.per_switch_counts().items():
+                used[sw] = used.get(sw, 0) + n
+        for per_switch in self.adopted.values():
+            for sw, n in per_switch.items():
                 used[sw] = used.get(sw, 0) + n
         return used
 

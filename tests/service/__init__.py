@@ -1,0 +1,2 @@
+"""Control-plane service suite: HTTP protocol, async scheduling,
+backpressure, churn properties, chaos restarts, end-to-end smoke."""

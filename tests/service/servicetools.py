@@ -1,0 +1,60 @@
+"""Shared building blocks for the service suite: a small multi-tenant
+pool and per-tenant config pairs (a chain-3 and a chain-4 under custom
+names, so tenants never collide on deployment names)."""
+
+from __future__ import annotations
+
+from repro.core.controller.config import TopologyConfig
+from repro.hardware.spec import SwitchSpec
+from repro.tenancy import TenantQuota, build_pool_for_tenants
+from repro.util.units import gbps
+
+TENANTS = ("alice", "bob", "carol")
+
+#: 8 host ports covers a make-before-break chain-3 -> chain-4 swap
+#: (both topologies' hosts are held transiently against the lease)
+QUOTA = TenantQuota(host_ports=8, tcam_share=500)
+
+SPEC = SwitchSpec(
+    model="churn-switch",
+    num_ports=256,
+    port_rate=gbps(10),
+    flow_table_capacity=4096,
+)
+
+CHAIN3 = TopologyConfig("chain", {"num_switches": 3, "hosts_per_switch": 1})
+CHAIN4 = TopologyConfig("chain", {"num_switches": 4, "hosts_per_switch": 1})
+
+
+def custom_config(base: TopologyConfig, name: str) -> TopologyConfig:
+    """Rename ``base`` by re-expressing it as a custom topology."""
+    topo = base.build()
+    return TopologyConfig(
+        kind="custom",
+        params={
+            "name": name,
+            "switches": list(topo.switches),
+            "hosts": list(topo.hosts),
+            "links": [list(link.endpoints) for link in topo.links],
+        },
+        routing="shortest-path",
+        lossless=False,
+    )
+
+
+#: per-tenant (chain-3, chain-4) pair the reconfigures toggle between
+CONFIGS = {
+    t: (custom_config(CHAIN3, f"{t}-a"), custom_config(CHAIN4, f"{t}-b"))
+    for t in TENANTS
+}
+
+
+def service_pool():
+    """Pool with room for every tenant's worst case plus spares."""
+    return build_pool_for_tenants(
+        [CHAIN3.build() for _ in TENANTS]
+        + [CHAIN4.build() for _ in TENANTS],
+        3,
+        SPEC,
+        spare_hosts=8,
+    )

@@ -1,0 +1,153 @@
+"""Protocol units for the hand-rolled HTTP layer.
+
+The server half is exercised through ``read_request`` on a real
+``StreamReader`` (the exact object the server parses from) and through
+a live loopback server; the client half through ``http_call`` against
+that server — so every test doubles as a wire-compatibility check
+between the two hand-rolled halves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    http_call,
+    read_request,
+)
+
+
+def _parse(data: bytes) -> HttpRequest | None:
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+def test_parse_request_line_headers_and_body():
+    body = b'{"a": 1}'
+    raw = (
+        b"POST /v1/sessions?mode=close HTTP/1.1\r\n"
+        b"Host: x\r\nContent-Length: " + str(len(body)).encode() +
+        b"\r\nContent-Type: application/json\r\n\r\n" + body
+    )
+    req = _parse(raw)
+    assert req is not None
+    assert req.method == "POST"
+    assert req.path == "/v1/sessions"
+    assert req.query == "mode=close"
+    assert req.headers["content-type"] == "application/json"
+    assert req.json() == {"a": 1}
+
+
+def test_parse_clean_disconnect_is_none():
+    assert _parse(b"") is None
+
+
+@pytest.mark.parametrize("raw", [
+    b"GARBAGE\r\n\r\n",                      # no method/target/version
+    b"GET /x SPDY/9\r\n\r\n",                # not HTTP/1.x
+    b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n",  # header without a colon
+    b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+    b"GET /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+])
+def test_parse_malformed_raises_400(raw):
+    with pytest.raises(HttpError) as err:
+        _parse(raw)
+    assert err.value.status == 400
+
+
+def test_request_json_rejects_non_object():
+    req = HttpRequest("POST", "/x", {}, body=b"[1, 2]")
+    with pytest.raises(HttpError):
+        req.json()
+    req = HttpRequest("POST", "/x", {}, body=b"{broken")
+    with pytest.raises(HttpError):
+        req.json()
+    assert HttpRequest("POST", "/x", {}, body=b"").json() == {}
+
+
+def test_response_encode_wire_format():
+    resp = HttpResponse.json({"ok": True}, status=201)
+    wire = resp.encode()
+    head, _, body = wire.partition(b"\r\n\r\n")
+    lines = head.decode().split("\r\n")
+    assert lines[0] == "HTTP/1.1 201 Created"
+    assert f"Content-Length: {len(body)}" in lines
+    assert "Connection: close" in lines
+    assert json.loads(body) == {"ok": True}
+
+
+def test_response_extra_headers():
+    resp = HttpResponse.json(
+        {}, status=429, **{"Retry-After": "1.500"}
+    )
+    assert b"Retry-After: 1.500" in resp.encode()
+
+
+def _roundtrip(handler, call):
+    """Run ``call(port)`` (blocking, raw socket) against a live server."""
+    async def run():
+        server = HttpServer(handler, "127.0.0.1", 0)
+        await server.start()
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                None, call, server.bound_port
+            )
+        finally:
+            await server.stop()
+    return asyncio.run(run())
+
+
+def test_server_roundtrip_and_client():
+    async def handler(request: HttpRequest) -> HttpResponse:
+        return HttpResponse.json({
+            "method": request.method,
+            "path": request.path,
+            "echo": request.json(),
+        })
+
+    status, headers, body = _roundtrip(
+        handler,
+        lambda port: http_call(
+            "127.0.0.1", port, "POST", "/v1/echo", {"x": 1}
+        ),
+    )
+    assert status == 200
+    assert headers["connection"] == "close"
+    assert body == {"method": "POST", "path": "/v1/echo", "echo": {"x": 1}}
+
+
+def test_server_handler_exception_becomes_500():
+    async def handler(request):
+        raise RuntimeError("boom")
+
+    status, _, body = _roundtrip(
+        handler,
+        lambda port: http_call("127.0.0.1", port, "GET", "/x"),
+    )
+    assert status == 500
+    assert "boom" in body["error"]
+
+
+def test_server_http_error_keeps_status():
+    async def handler(request):
+        raise HttpError(404, "nope")
+
+    status, _, body = _roundtrip(
+        handler,
+        lambda port: http_call("127.0.0.1", port, "GET", "/x"),
+    )
+    assert status == 404
+    assert body["error"] == "nope"
