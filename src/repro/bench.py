@@ -1032,6 +1032,288 @@ def render_churn_report(report: dict) -> str:
     )
 
 
+#: engineer-suite shape: ring size, hot pairs per phase, and loop knobs
+ENGINEER_RING = 8
+ENGINEER_PHASES: tuple[tuple[str, tuple[tuple[str, str], ...]], ...] = (
+    ("skewed", (("h0", "h4"), ("h1", "h5"), ("h2", "h6"))),
+    ("shifted", (("h3", "h7"), ("h2", "h5"), ("h1", "h6"))),
+)
+ENGINEER_BYTES = 4 * 1024 * 1024
+ENGINEER_MAX_STEPS = 3  # engineering rounds per phase
+ENGINEER_MAX_MOVES = 4  # a-priori disruption cap per step
+ENGINEER_RULES_CAP = 80  # measured disruption cap per step
+ENGINEER_MIN_GAIN = 0.03
+ENGINEER_MAX_DEGREE = 4  # per-switch optical-port budget
+
+
+def _engineer_ring(n: int) -> Topology:
+    topo = Topology(f"ring{n}")
+    for i in range(n):
+        topo.add_switch(f"s{i}")
+    for i in range(n):
+        topo.connect(f"s{i}", f"s{(i + 1) % n}")
+    for i in range(n):
+        topo.add_host(f"h{i}")
+        topo.connect(f"h{i}", f"s{i}")
+    return topo
+
+
+def _engineer_headroom(n: int) -> Topology:
+    """Planning envelope for the rig: the complete switch graph, so the
+    physical wiring can realize any topology the search may propose."""
+    topo = Topology(f"ring{n}-headroom")
+    for i in range(n):
+        topo.add_switch(f"s{i}")
+    for i in range(n):
+        for j in range(i + 1, n):
+            topo.connect(f"s{i}", f"s{j}")
+    for i in range(n):
+        topo.add_host(f"h{i}")
+        topo.connect(f"h{i}", f"s{i}")
+    return topo
+
+
+def run_engineer_suite(
+    *, quick: bool = False, repeats: int = DEFAULT_REPEATS
+) -> dict:
+    """Closed-loop topology engineering vs. a static topology.
+
+    Two rigs deploy the same 8-switch ring. Each phase replays a
+    skewed workload (three concurrent RoCE transfers between distant
+    hosts) on both; the *engineered* rig then runs the
+    monitor→optimize→reconfigure loop (DESIGN.md §9) and replays the
+    workload again, while the *static* rig keeps the ring. The second
+    phase shifts the hot pairs, so the loop must re-engineer a
+    topology it already bent toward the first phase's demand.
+
+    Reported per phase: application completion time (netsim modeled
+    seconds, deterministic) on both rigs, the improvement ratio, and
+    per-step disruption — moves, rules actually pushed (measured via
+    ``sdt_reconfig_rules_pushed_total``), reconfigure mode, and commit
+    strategy. Every applied step must take the incremental
+    make-before-break path: that is the "zero admission-violating
+    transients" acceptance check, since MBB validates both generations
+    fit before any switch is touched.
+
+    ``quick`` and ``repeats`` are accepted for harness symmetry; the
+    workload is modeled-time, fully deterministic, and already CI-fast.
+    """
+    from repro.engineering import (
+        EngineerParams,
+        PortBudget,
+        TopologyEngineer,
+    )
+    from repro.netsim import RoceTransport, build_sdt_network
+
+    topo = _engineer_ring(ENGINEER_RING)
+    params = EngineerParams(
+        window=0.0,  # demand = the newest poll interval only
+        max_moves=ENGINEER_MAX_MOVES,
+        min_gain=ENGINEER_MIN_GAIN,
+        max_rules_pushed=ENGINEER_RULES_CAP,
+        cooldown_steps=0,  # phases are explicit observation rounds
+    )
+    budget = PortBudget(
+        max_degree=ENGINEER_MAX_DEGREE,
+        max_switch_links=2 * ENGINEER_RING,
+    )
+
+    def rig() -> tuple[SDTController, object]:
+        cluster = build_cluster_for(
+            [topo, _engineer_headroom(ENGINEER_RING)], 3, EVAL_256x10G
+        )
+        controller = SDTController(cluster)
+        deployment = controller.deploy(_config_for(topo))
+        return controller, deployment
+
+    static_ctrl, static_dep = rig()
+    eng_ctrl, eng_dep = rig()
+    engineer = TopologyEngineer(eng_ctrl, eng_dep, budget, params)
+
+    clocks = {"static": 0.0, "engineered": 0.0}
+
+    def drive(controller, deployment, pairs, key: str) -> float:
+        """Replay one phase's transfers; returns the modeled ACT
+        (when the last transfer completes). Polls the monitor before
+        and after so the run becomes the newest utilization interval."""
+        controller.monitor.poll(clocks[key], deployment.projection)
+        net = build_sdt_network(controller.cluster, deployment)
+        hm = deployment.projection.host_map
+        for src, dst in pairs:
+            RoceTransport(net, hm[dst])
+            RoceTransport(net, hm[src]).send(hm[dst], ENGINEER_BYTES)
+        act = net.sim.run()
+        clocks[key] += max(act, 1e-9)
+        controller.monitor.poll(clocks[key], deployment.projection)
+        return act
+
+    phases: list[dict] = []
+    for phase_name, pairs in ENGINEER_PHASES:
+        act_static = drive(static_ctrl, static_dep, pairs, "static")
+        act_eng = drive(eng_ctrl, engineer.deployment, pairs, "engineered")
+        steps: list[dict] = []
+        for _ in range(ENGINEER_MAX_STEPS):
+            mode_before = _counter(
+                "sdt_controller_reconfigure_mode_total", mode="incremental"
+            )
+            mbb_before = _counter(
+                "sdt_controller_commit_strategy_total",
+                strategy="make-before-break",
+            )
+            step = engineer.step()
+            record = step.summary()
+            record["incremental"] = bool(
+                _counter(
+                    "sdt_controller_reconfigure_mode_total",
+                    mode="incremental",
+                )
+                > mode_before
+            )
+            record["make_before_break"] = bool(
+                _counter(
+                    "sdt_controller_commit_strategy_total",
+                    strategy="make-before-break",
+                )
+                > mbb_before
+            )
+            steps.append(record)
+            if not step.applied:
+                break
+            act_eng = drive(
+                eng_ctrl, engineer.deployment, pairs, "engineered"
+            )
+        applied = [s for s in steps if s["applied"]]
+        phases.append({
+            "phase": phase_name,
+            "pairs": [list(p) for p in pairs],
+            "act_static_s": act_static,
+            "act_engineered_s": act_eng,
+            "improvement": act_static / act_eng if act_eng > 0 else 0.0,
+            "steps": steps,
+            "steps_applied": len(applied),
+            "moves_total": sum(len(s["moves"]) for s in applied),
+            "max_rules_pushed": max(
+                (s["rules_pushed"] for s in applied), default=0
+            ),
+        })
+
+    all_steps = [s for p in phases for s in p["steps"]]
+    applied_steps = [s for s in all_steps if s["applied"]]
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "engineer",
+        "quick": quick,
+        "ring": ENGINEER_RING,
+        "rules_cap": ENGINEER_RULES_CAP,
+        "max_moves": ENGINEER_MAX_MOVES,
+        "phases": phases,
+        "steps_applied": len(applied_steps),
+        "moves_total": sum(len(s["moves"]) for s in applied_steps),
+        "max_rules_pushed": max(
+            (s["rules_pushed"] for s in applied_steps), default=0
+        ),
+        "cap_violations": sum(
+            1 for s in applied_steps if s["cap_violation"]
+        ),
+        "non_incremental_steps": sum(
+            1 for s in applied_steps if not s["incremental"]
+        ),
+        "non_mbb_steps": sum(
+            1 for s in applied_steps if not s["make_before_break"]
+        ),
+    }
+
+
+def compare_engineer_to_baseline(
+    current: dict, baseline: dict, *, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Engineer-suite regressions.
+
+    The whole suite is deterministic (modeled netsim time, sorted
+    search, no RNG), so the loop's *decisions* gate exactly: steps
+    applied, moves, and rules pushed per phase must match the
+    baseline. ACT improvement gates with tolerance, plus two absolute
+    requirements independent of the baseline: the engineered topology
+    must never be worse than static (improvement >= 1), and disruption
+    must stay bounded — zero cap violations and every applied step on
+    the incremental make-before-break path (no admission-violating
+    transients)."""
+    problems: list[str] = []
+    base_by_phase = {p["phase"]: p for p in baseline.get("phases", [])}
+    for cur in current.get("phases", []):
+        name = cur["phase"]
+        if cur["improvement"] < 1.0:
+            problems.append(
+                f"{name}: engineered topology is WORSE than static "
+                f"(improvement {cur['improvement']:.2f}x)"
+            )
+        base = base_by_phase.get(name)
+        if base is None:
+            continue
+        if cur["improvement"] < base["improvement"] * (1 - tolerance):
+            problems.append(
+                f"{name}: ACT improvement regressed "
+                f"{base['improvement']:.2f}x -> {cur['improvement']:.2f}x "
+                f"(> {tolerance:.0%} below baseline)"
+            )
+        for field_name in ("steps_applied", "moves_total",
+                           "max_rules_pushed"):
+            if cur[field_name] != base[field_name]:
+                problems.append(
+                    f"{name}: {field_name} changed "
+                    f"{base[field_name]} -> {cur[field_name]} "
+                    "(the engineering loop is deterministic; this is "
+                    "a behavior change)"
+                )
+    if current.get("cap_violations", 0) != 0:
+        problems.append(
+            f"{current['cap_violations']} step(s) exceeded the "
+            f"per-step rules-pushed cap ({current.get('rules_cap')})"
+        )
+    if current.get("non_incremental_steps", 0) != 0:
+        problems.append(
+            f"{current['non_incremental_steps']} applied step(s) fell "
+            "off the incremental reconfigure path"
+        )
+    if current.get("non_mbb_steps", 0) != 0:
+        problems.append(
+            f"{current['non_mbb_steps']} applied step(s) committed "
+            "break-before-make (transient forwarding gap)"
+        )
+    return problems
+
+
+def render_engineer_report(report: dict) -> str:
+    rows = []
+    for p in report["phases"]:
+        rows.append([
+            p["phase"],
+            f"{p['act_static_s'] * 1e3:.2f}",
+            f"{p['act_engineered_s'] * 1e3:.2f}",
+            f"{p['improvement']:.2f}x",
+            p["steps_applied"],
+            p["moves_total"],
+            p["max_rules_pushed"],
+        ])
+    table = format_table(
+        ["Phase", "Static ACT (ms)", "Engineered (ms)", "Improvement",
+         "Steps", "Moves", "Max pushed"],
+        rows,
+        title=(
+            f"Topology-engineering benchmark (ring {report['ring']}, "
+            f"rules cap {report['rules_cap']}/step)"
+        ),
+    )
+    return (
+        f"{table}\n"
+        f"applied {report['steps_applied']} steps / "
+        f"{report['moves_total']} moves, "
+        f"max {report['max_rules_pushed']} rules pushed per step, "
+        f"{report['cap_violations']} cap violations, "
+        f"{report['non_mbb_steps']} non-MBB commits"
+    )
+
+
 def compare_to_baseline(
     current: dict, baseline: dict, *, tolerance: float = DEFAULT_TOLERANCE
 ) -> list[str]:
@@ -1137,6 +1419,18 @@ def run_and_report(
     suite: str = "reconfig",
 ) -> int:
     """Run, write JSON, print the table, gate against a baseline."""
+    # a typo'd --baseline path must fail *before* the suite runs, not
+    # exit nonzero-after-the-fact (and never pass the gate silently)
+    base: dict | None = None
+    if baseline:
+        baseline_path = Path(baseline)
+        if not baseline_path.is_file():
+            print(
+                f"error: baseline file not found: {baseline}",
+                file=sys.stderr,
+            )
+            return 2
+        base = json.loads(baseline_path.read_text())
     if suite == "multitenant":
         report = run_multitenant_suite(repeats=repeats)
     elif suite == "scale":
@@ -1153,6 +1447,10 @@ def run_and_report(
         report = run_churn_suite(quick=quick, repeats=repeats)
         if out == "BENCH_reconfig.json":
             out = "BENCH_churn.json"
+    elif suite == "engineer":
+        report = run_engineer_suite(quick=quick, repeats=repeats)
+        if out == "BENCH_reconfig.json":
+            out = "BENCH_engineer.json"
     elif suite == "reconfig":
         report = run_suite(quick=quick, repeats=repeats)
     else:
@@ -1168,10 +1466,11 @@ def run_and_report(
         print(render_recovery_report(report))
     elif suite == "churn":
         print(render_churn_report(report))
+    elif suite == "engineer":
+        print(render_engineer_report(report))
     else:
         print(render_report(report))
-    if baseline:
-        base = json.loads(Path(baseline).read_text())
+    if base is not None:
         if suite == "multitenant":
             problems = compare_multitenant_to_baseline(report, base)
         elif suite == "scale":
@@ -1182,6 +1481,10 @@ def run_and_report(
             problems = compare_recovery_to_baseline(report, base)
         elif suite == "churn":
             problems = compare_churn_to_baseline(report, base)
+        elif suite == "engineer":
+            problems = compare_engineer_to_baseline(
+                report, base, tolerance=tolerance
+            )
         else:
             problems = compare_to_baseline(
                 report, base, tolerance=tolerance
@@ -1214,7 +1517,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed regression fraction (default 0.25)")
     parser.add_argument("--suite",
                         choices=["reconfig", "multitenant", "scale",
-                                 "recovery", "churn"],
+                                 "recovery", "churn", "engineer"],
                         default="reconfig",
                         help="benchmark suite to run (default reconfig)")
     args = parser.parse_args(argv)

@@ -7,6 +7,9 @@ Commands mirror what an SDT operator does with the real controller:
 * ``run``       — deploy and execute a workload, report the ACT
 * ``telemetry`` — scripted deploy/reconfigure/repair run with a full
   metrics summary (add ``--trace-out`` for the JSONL journal)
+* ``engineer``  — demand-aware topology engineering (DESIGN.md §9):
+  the monitor→optimize→reconfigure loop, one-shot (``--steps``) or
+  continuous through the asyncio service (``--watch``)
 * ``serve``     — run a multi-tenant scenario through the testbed
   service (admission, fair-share scheduling, isolation verification);
   with ``--listen HOST:PORT`` it becomes the long-running HTTP
@@ -170,6 +173,264 @@ def cmd_telemetry(args) -> int:
     print()
     print(registry().summary_table())
     return 0
+
+
+def _parse_traffic(specs: list[str], topology) -> list[tuple[str, str, int]]:
+    flows: list[tuple[str, str, int]] = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ReproError(
+                f"--traffic wants SRC:DST:BYTES, got {spec!r}"
+            )
+        src, dst, raw = parts
+        for host in (src, dst):
+            if not topology.is_host(host):
+                raise ReproError(
+                    f"--traffic host {host!r} is not in the topology"
+                )
+        try:
+            nbytes = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"--traffic BYTES must be an integer, got {raw!r}"
+            ) from None
+        flows.append((src, dst, nbytes))
+    return flows
+
+
+def _densified(topology):
+    """The same hosts on a complete switch graph — the planning
+    envelope that reserves wiring for any link the engineer may add."""
+    from repro.topology.graph import Topology
+
+    dense = Topology(f"{topology.name}-headroom")
+    switches = topology.switches
+    for sw in switches:
+        dense.add_switch(sw)
+    for i, a in enumerate(switches):
+        for b in switches[i + 1:]:
+            dense.connect(a, b)
+    for host in topology.hosts:
+        dense.add_host(host)
+        dense.connect(host, topology.host_switch(host))
+    return dense
+
+
+def _engineer_rig_cluster(topology, args):
+    """A cluster for ``topology`` with headroom for engineered links;
+    falls back to an exact-fit rig when the envelope doesn't fit."""
+    spec = _SPECS[args.spec]
+    try:
+        return build_cluster_for(
+            [topology, _densified(topology)], args.switches, spec,
+            spare_hosts=args.spare_hosts,
+        )
+    except ReproError:
+        print(
+            "note: rig planned without link headroom "
+            "(densified envelope does not fit); proposals needing new "
+            "wiring will be vetoed",
+            file=sys.stderr,
+        )
+        return build_cluster_for(
+            [topology], args.switches, spec, spare_hosts=args.spare_hosts
+        )
+
+
+def _engineer_budget(topology, args):
+    from repro.engineering import PortBudget
+
+    if args.max_degree > 0:
+        max_degree = args.max_degree
+    else:
+        switch_degree = max(
+            (
+                sum(1 for n in topology.neighbors(sw) if topology.is_switch(n))
+                for sw in topology.switches
+            ),
+            default=0,
+        )
+        max_degree = max(4, switch_degree)
+    spec = _SPECS[args.spec]
+    wiring = (args.switches * spec.num_ports
+              - topology.num_host_links) // 2
+    return PortBudget(max_degree=max_degree, max_switch_links=wiring)
+
+
+def _engineer_step_row(step) -> list:
+    moves = ", ".join(
+        f"{m.kind[0]}:{m.a}-{m.b}" for m in step.moves
+    ) or "-"
+    return [
+        step.index,
+        step.outcome,
+        moves,
+        f"{step.gain:.1%}",
+        step.rules_pushed,
+        f"{step.modeled_time * 1e3:.2f}",
+    ]
+
+
+def _print_engineer_steps(steps, json_out: str | None) -> None:
+    import json as json_mod
+
+    print(format_table(
+        ["Step", "Outcome", "Moves", "Gain", "Pushed", "Modeled (ms)"],
+        [_engineer_step_row(s) for s in steps],
+        title="Engineering steps",
+    ))
+    applied = [s for s in steps if s.applied]
+    print(
+        f"applied {len(applied)}/{len(steps)} steps, "
+        f"{sum(len(s.moves) for s in applied)} moves, "
+        f"{sum(s.rules_pushed for s in applied)} rules pushed"
+    )
+    if json_out:
+        from pathlib import Path
+
+        Path(json_out).write_text(json_mod.dumps(
+            [s.summary() for s in steps], indent=2
+        ) + "\n")
+        print(f"wrote {json_out}")
+
+
+def cmd_engineer(args) -> int:
+    """The monitor→optimize→reconfigure loop (DESIGN.md §9)."""
+    from repro.engineering import EngineerParams, TopologyEngineer
+    from repro.netsim import RoceTransport
+
+    config = _load_config(args.config)
+    topology = config.build()
+    flows = _parse_traffic(args.traffic, topology)
+    if not flows:
+        print(
+            "note: no --traffic flows given; the engineer will observe "
+            "an idle network and hold every step",
+            file=sys.stderr,
+        )
+    if args.watch:
+        # the tenancy lease hands out host ports round-robin across
+        # switches; wire enough spare ports that any placement of the
+        # engineered topology finds its hosts
+        args.spare_hosts = max(args.spare_hosts, len(topology.hosts))
+    cluster = _engineer_rig_cluster(topology, args)
+    budget = _engineer_budget(topology, args)
+    params = EngineerParams(
+        window=args.window,
+        max_moves=args.max_moves,
+        min_gain=args.min_gain,
+        max_rules_pushed=args.rules_cap,
+        cooldown_steps=args.cooldown,
+    )
+
+    clock = [0.0]
+
+    def drive(controller, deployment) -> None:
+        """One observation round: poll, replay the flows, poll."""
+        controller.monitor.poll(clock[0], deployment.projection)
+        if flows:
+            net = build_sdt_network(controller.cluster, deployment)
+            hm = deployment.projection.host_map
+            for src, dst, nbytes in flows:
+                RoceTransport(net, hm[dst])
+                RoceTransport(net, hm[src]).send(hm[dst], nbytes)
+            clock[0] += max(net.sim.run(), 1e-9)
+        else:
+            clock[0] += max(config.monitor_interval, 1e-9)
+        controller.monitor.poll(clock[0], deployment.projection)
+
+    if args.watch:
+        steps = _engineer_watch(
+            args, config, cluster, budget, params, drive
+        )
+    else:
+        controller = SDTController(cluster)
+        deployment = controller.deploy(config)
+        engineer = TopologyEngineer(controller, deployment, budget, params)
+        steps = []
+        for _ in range(args.steps):
+            drive(controller, engineer.deployment)
+            steps.append(engineer.step())
+    _print_engineer_steps(steps, args.json)
+    return 0
+
+
+def _engineer_watch(args, config, cluster, budget, params, drive):
+    """Continuous mode: apply proposals through the asyncio
+    control-plane service (DESIGN.md §8) instead of calling the
+    controller directly, so engineering serializes with any other
+    tenant operations the service is scheduling."""
+    import asyncio
+
+    from repro.engineering import TopologyEngineer
+    from repro.service.app import ControlPlaneService
+    from repro.tenancy import TenantQuota
+
+    topology = config.build()
+    interval = (
+        args.interval if args.interval is not None
+        else config.monitor_interval
+    )
+
+    async def loop() -> list:
+        # "fixed" placement matches the planner that wired the rig;
+        # occupancy spreading is for multi-tenant pools, and a single-
+        # tenant engineering session must project exactly where the
+        # headroom was reserved
+        service = ControlPlaneService(cluster, workers=2, placement="fixed")
+        await service.start()
+        steps: list = []
+        try:
+            # a single-tenant engineering session leases every wired
+            # host port, so projection is free to place hosts anywhere
+            await service.open_session("engineer", TenantQuota(
+                host_ports=max(1, len(cluster.wiring.host_ports)),
+                tcam_share=1_000_000,
+            ))
+            deployment = await service.submit(
+                "deploy", "engineer", config=config
+            )
+            controller = service.testbed.controller
+            engineer = TopologyEngineer(
+                controller, deployment, budget, params
+            )
+            rounds = 0
+            while args.max_steps == 0 or rounds < args.max_steps:
+                rounds += 1
+                drive(controller, engineer.deployment)
+                plan = engineer.plan()
+                if plan.config is None:
+                    step = engineer.finish(plan)
+                else:
+                    try:
+                        dep = await service.submit(
+                            "reconfigure", "engineer",
+                            name=engineer.deployment.name,
+                            config=plan.config,
+                        )
+                    except ReproError as exc:
+                        step = engineer.finish(plan, error=exc)
+                    else:
+                        step = engineer.finish(plan, dep)
+                steps.append(step)
+                print(
+                    f"step {step.index}: {step.outcome} "
+                    f"moves={len(step.moves)} gain={step.gain:.1%} "
+                    f"pushed={step.rules_pushed}",
+                    file=sys.stderr,
+                )
+                if interval > 0:
+                    await asyncio.sleep(interval)
+        finally:
+            await service.stop()
+        return steps
+
+    try:
+        return asyncio.run(loop())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("engineer watch interrupted", file=sys.stderr)
+        return []
 
 
 def _hostport(value: str) -> tuple[str, int]:
@@ -543,6 +804,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_telemetry)
 
     p = sub.add_parser(
+        "engineer",
+        help="demand-aware topology engineering: the monitor->optimize->"
+             "reconfigure loop (one-shot --steps or continuous --watch)",
+    )
+    p.add_argument("config")
+    common(p)
+    p.add_argument("--steps", type=int, default=1,
+                   help="one-shot engineering rounds (default 1)")
+    p.add_argument("--watch", action="store_true",
+                   help="continuous loop through the asyncio control-"
+                        "plane service instead of one-shot steps")
+    p.add_argument("--interval", type=float, default=None,
+                   help="watch poll period in seconds (default: the "
+                        "config's monitor_interval)")
+    p.add_argument("--max-steps", type=int, default=0,
+                   help="watch: stop after N rounds (0 = run until "
+                        "interrupted)")
+    p.add_argument("--traffic", action="append", default=[],
+                   metavar="SRC:DST:BYTES",
+                   help="synthetic transfer replayed before every step "
+                        "(repeatable)")
+    p.add_argument("--window", type=float, default=None,
+                   help="demand history window in seconds (default: "
+                        "full ring buffer)")
+    p.add_argument("--min-gain", type=float, default=0.05,
+                   help="hysteresis: min relative objective gain to "
+                        "act (default 0.05)")
+    p.add_argument("--max-moves", type=int, default=4,
+                   help="link edits per step (default 4)")
+    p.add_argument("--rules-cap", type=int, default=0,
+                   help="measured per-step rules-pushed cap "
+                        "(0 = uncapped)")
+    p.add_argument("--max-degree", type=int, default=0,
+                   help="per-switch link budget (0 = auto)")
+    p.add_argument("--cooldown", type=int, default=0,
+                   help="observation rounds to hold after an applied "
+                        "step (default 0)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write per-step records as JSON")
+    p.set_defaults(fn=cmd_engineer)
+
+    p = sub.add_parser(
         "serve",
         help="run a multi-tenant scenario through the testbed service, "
              "or (--listen) a long-running HTTP control-plane service",
@@ -653,7 +956,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed regression fraction (default 0.25)")
     p.add_argument("--suite",
                    choices=["reconfig", "multitenant", "scale", "recovery",
-                            "churn"],
+                            "churn", "engineer"],
                    default="reconfig",
                    help="benchmark suite to run (default reconfig)")
     p.set_defaults(fn=cmd_bench)

@@ -537,6 +537,12 @@ class SDTController:
             metrics.registry().counter(
                 "sdt_controller_commit_strategy_total"
             ).inc(1, strategy=strategy)
+            # a generation swap pushes the new rules plus the old
+            # cookie's deletes; count them so disruption accounting is
+            # uniform across the incremental and swap reconfigure paths
+            metrics.registry().counter(
+                "sdt_reconfig_rules_pushed_total"
+            ).inc(prep.rules.count() + old.rules.count())
             self._record_mutation("swap", elapsed)
             return deployment, elapsed + release_time
 

@@ -64,8 +64,10 @@ class NetworkMonitor:
         self._samples: dict[tuple[str, int], deque[PortSample]] = {}
         # (switch, port) -> total samples ever taken (warm-up detection)
         self._counts: dict[tuple[str, int], int] = {}
-        # (switch, port) -> ring buffer of (time, utilization)
-        self._history: dict[tuple[str, int], deque[tuple[float, float]]] = {}
+        # (switch, port) -> ring buffer of (time, tx util, rx util)
+        self._history: dict[
+            tuple[str, int], deque[tuple[float, float, float]]
+        ] = {}
 
     def poll(
         self, now: float, projection: ProjectionResult | None = None
@@ -89,12 +91,13 @@ class NetworkMonitor:
                 window.append(PortSample(now, s.tx_bytes, s.rx_bytes))
                 self._counts[key] = self._counts.get(key, 0) + 1
                 util = self.port_utilization(name, port)
+                rx_util = self.port_rx_utilization(name, port)
                 history = self._history.get(key)
                 if history is None:
                     history = self._history[key] = deque(
                         maxlen=self.history_depth
                     )
-                history.append((now, util))
+                history.append((now, util, rx_util))
                 util_gauge.set(util, switch=name, port=port)
         self.polls += 1
         reg.counter("sdt_monitor_polls_total").inc()
@@ -114,12 +117,51 @@ class NetworkMonitor:
         return self._counts.get((switch, port), 0)
 
     def history(self, switch: str, port: int) -> list[tuple[float, float]]:
-        """Ring-buffered (time, utilization) pairs, oldest first."""
-        return list(self._history.get((switch, port), ()))
+        """Ring-buffered (time, TX utilization) pairs, oldest first."""
+        return [
+            (t, tx) for t, tx, _rx in self._history.get((switch, port), ())
+        ]
+
+    def rx_history(self, switch: str, port: int) -> list[tuple[float, float]]:
+        """Ring-buffered (time, RX utilization) pairs, oldest first."""
+        return [
+            (t, rx) for t, _tx, rx in self._history.get((switch, port), ())
+        ]
+
+    def mean_utilization(
+        self,
+        switch: str,
+        port: int,
+        *,
+        window: float | None = None,
+        direction: str = "tx",
+    ) -> float:
+        """Mean utilization over the history ring buffer.
+
+        ``window`` restricts the mean to entries within that many
+        seconds of the newest sample (None = the whole buffer) — the
+        smoothing the topology engineer reads demand through, so one
+        hot poll interval does not trigger a rewire. Warm-up entries
+        (utilization pinned 0.0 before two samples existed) are part
+        of the buffer and *do* dilute the mean; callers that must
+        exclude them check :meth:`sample_count` first.
+        """
+        buf = self._history.get((switch, port))
+        if not buf:
+            return 0.0
+        idx = 1 if direction == "tx" else 2
+        newest = buf[-1][0]
+        values = [
+            entry[idx]
+            for entry in buf
+            if window is None or newest - entry[0] <= window
+        ]
+        return sum(values) / len(values) if values else 0.0
 
     # --- load queries ------------------------------------------------------
-    def port_utilization(self, switch: str, port: int) -> float:
-        """TX utilization in [0, 1] over the last poll interval."""
+    def _delta_utilization(
+        self, switch: str, port: int, field_name: str
+    ) -> float:
         window = self._samples.get((switch, port))
         if window is None or len(window) < 2:
             return 0.0  # warm-up: no interval yet
@@ -127,10 +169,23 @@ class NetworkMonitor:
         dt = latest.time - prev.time
         if dt <= 0:
             return 0.0
-        delta = latest.tx_bytes - prev.tx_bytes
+        delta = getattr(latest, field_name) - getattr(prev, field_name)
         if delta < 0:
             return 0.0  # counter reset/wraparound: interval unknown
         return min(1.0, delta / dt / self.port_rate)
+
+    def port_utilization(self, switch: str, port: int) -> float:
+        """TX utilization in [0, 1] over the last poll interval."""
+        return self._delta_utilization(switch, port, "tx_bytes")
+
+    def port_rx_utilization(self, switch: str, port: int) -> float:
+        """RX utilization in [0, 1] over the last poll interval.
+
+        The receive direction matters on host-facing access ports: RX
+        there is traffic the attached host *sends*, the per-switch
+        egress volume the traffic-matrix extractor's gravity model
+        starts from (DESIGN.md §9)."""
+        return self._delta_utilization(switch, port, "rx_bytes")
 
     def logical_port_load(
         self, projection: ProjectionResult, logical_port: Port

@@ -1,0 +1,47 @@
+"""Demand-aware topology engineering (DESIGN.md §9).
+
+Closes the monitor→optimize→reconfigure loop: extract a live traffic
+matrix from the Network Monitor's utilization history
+(:mod:`.traffic`), score candidate logical topologies with an
+integrated demand-weighted objective (:mod:`.objective`), search the
+neighborhood of the running topology with bounded add/remove link
+moves under the cost-model port budgets (:mod:`.search`), and apply
+the winning proposal through the controller's incremental
+``reconfigure`` with hysteresis and per-step disruption caps
+(:mod:`.loop`).
+"""
+
+from repro.engineering.loop import (
+    EngineerParams,
+    EngineerStep,
+    StepPlan,
+    TopologyEngineer,
+)
+from repro.engineering.objective import ObjectiveWeights, Score, evaluate
+from repro.engineering.search import (
+    Move,
+    PortBudget,
+    Proposal,
+    SearchParams,
+    apply_moves,
+    propose,
+)
+from repro.engineering.traffic import TrafficMatrix, extract_traffic_matrix
+
+__all__ = [
+    "EngineerParams",
+    "EngineerStep",
+    "Move",
+    "ObjectiveWeights",
+    "PortBudget",
+    "Proposal",
+    "Score",
+    "SearchParams",
+    "StepPlan",
+    "TopologyEngineer",
+    "TrafficMatrix",
+    "apply_moves",
+    "evaluate",
+    "extract_traffic_matrix",
+    "propose",
+]

@@ -1,0 +1,255 @@
+"""Bounded bidirectional local search over logical topologies.
+
+FastReChain-style (arxiv 2507.12265) neighborhood search around the
+running topology: candidate **add** moves link the hottest unlinked
+demand pairs, candidate **remove** moves drop the coldest non-critical
+links, and when the wiring budget is exhausted the two pair up into
+swap candidates (remove a cold link to afford a hot one — the OCS
+"rechain" move). Each accepted move must strictly improve the
+integrated objective; the loop is bounded by ``max_moves`` per
+proposal, which is the a-priori disruption cap: the incremental
+reconfigure downstream pushes O(changed links) rules.
+
+Budgets come from the cost model (DESIGN.md §9): every logical
+switch-to-switch link costs two physical sub-switch ports, so the
+wiring budget is the largest link count the TP method still supports
+at the target rate, and ``max_degree`` models the per-node optical-
+port budget of OCS-style rigs. ``propose`` never returns a topology
+outside either budget — a property the seeded tests enforce.
+
+Hysteresis: a proposal whose relative gain is below ``min_gain`` is
+returned empty, so stable demand never triggers churn.
+
+Everything is deterministic — candidates are generated and tie-broken
+in sorted order, no RNG anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel.model import MIN_LINK_RATE, TpMethod
+from repro.engineering.objective import (
+    Adjacency,
+    ObjectiveWeights,
+    Score,
+    connected,
+    evaluate,
+    switch_adjacency,
+)
+from repro.topology.diff import link_key, rebuild
+from repro.topology.graph import Topology
+
+#: tiny absolute slack so float noise never counts as "improvement"
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class PortBudget:
+    """Feasibility envelope for engineered topologies."""
+
+    #: max switch-to-switch neighbors per logical switch (the per-node
+    #: optical-port budget of an OCS-style rig)
+    max_degree: int
+    #: max total switch-to-switch links (the wiring budget: each link
+    #: occupies two physical sub-switch ports)
+    max_switch_links: int
+
+    @classmethod
+    def from_cost_model(
+        cls,
+        method: TpMethod,
+        *,
+        rate: float = MIN_LINK_RATE,
+        max_degree: int,
+    ) -> "PortBudget":
+        """Derive the wiring budget from a Table II method: the
+        largest link count it still supports at ``rate``."""
+        best = 0
+        for split in (1, 2, 4):
+            links = method.switch.split(split).num_ports // 2
+            if links > best and (method.max_link_rate(links) or 0.0) >= rate:
+                best = links
+        return cls(max_degree=max_degree, max_switch_links=best)
+
+    def allows(self, adj: Adjacency) -> bool:
+        """Whether an adjacency is inside both budgets."""
+        links = sum(len(n) for n in adj.values()) // 2
+        if links > self.max_switch_links:
+            return False
+        return all(len(n) <= self.max_degree for n in adj.values())
+
+
+@dataclass(frozen=True)
+class Move:
+    """One link edit: add or remove the a--b switch link."""
+
+    kind: str  # "add" | "remove"
+    a: str
+    b: str
+
+    def summary(self) -> dict:
+        return {"kind": self.kind, "a": self.a, "b": self.b}
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """The search's answer: an ordered move list and its scores."""
+
+    moves: tuple[Move, ...]
+    before: Score
+    after: Score
+    gain: float  # relative objective improvement in [0, 1]
+
+    @property
+    def empty(self) -> bool:
+        return not self.moves
+
+    def summary(self) -> dict:
+        return {
+            "moves": [m.summary() for m in self.moves],
+            "before": self.before.summary(),
+            "after": self.after.summary(),
+            "gain": self.gain,
+        }
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """Knobs bounding the local search."""
+
+    max_moves: int = 4  # a-priori per-step disruption cap
+    add_candidates: int = 8  # hottest unlinked pairs considered
+    remove_candidates: int = 8  # coldest links considered
+    min_gain: float = 0.05  # hysteresis threshold (relative)
+    weights: ObjectiveWeights = field(default_factory=ObjectiveWeights)
+
+
+def _apply(adj: Adjacency, move: Move) -> Adjacency:
+    out = {node: set(nbrs) for node, nbrs in adj.items()}
+    if move.kind == "add":
+        out[move.a].add(move.b)
+        out[move.b].add(move.a)
+    else:
+        out[move.a].discard(move.b)
+        out[move.b].discard(move.a)
+    return out
+
+
+def _add_candidates(
+    adj: Adjacency,
+    tm,
+    budget: PortBudget,
+    params: SearchParams,
+    at_wiring_budget: bool,
+) -> list[Move]:
+    moves = []
+    for a, b, _d in tm.pairs_by_demand():
+        if len(moves) >= params.add_candidates:
+            break
+        if a not in adj or b not in adj or b in adj[a]:
+            continue
+        if len(adj[a]) >= budget.max_degree or len(adj[b]) >= budget.max_degree:
+            continue
+        if at_wiring_budget:
+            continue  # adds only pair with removes (swap candidates)
+        moves.append(Move("add", *link_key(a, b)))
+    return moves
+
+
+def _remove_candidates(
+    adj: Adjacency, tm, params: SearchParams
+) -> list[Move]:
+    links = sorted(
+        {link_key(a, b) for a in adj for b in adj[a]},
+        key=lambda k: (tm.link_load.get(k, 0.0), k),
+    )
+    moves = []
+    for a, b in links:
+        if len(moves) >= params.remove_candidates:
+            break
+        trial = _apply(adj, Move("remove", a, b))
+        if connected(trial):  # never orphan a switch (hosts live there)
+            moves.append(Move("remove", a, b))
+    return moves
+
+
+def propose(
+    topology: Topology,
+    tm,
+    budget: PortBudget,
+    params: SearchParams = SearchParams(),
+) -> Proposal:
+    """Search the neighborhood of ``topology`` for a better one.
+
+    Returns an empty proposal when demand is absent, when no move
+    improves the objective, or when the best improvement is below the
+    hysteresis threshold.
+    """
+    adj = switch_adjacency(topology)
+    demand = dict(tm.demand)
+    base = evaluate(adj, demand, params.weights)
+    if base.value <= 0.0 or base.disconnected:
+        return Proposal(moves=(), before=base, after=base, gain=0.0)
+
+    current = base
+    moves: list[Move] = []
+    while len(moves) < params.max_moves:
+        num_links = sum(len(n) for n in adj.values()) // 2
+        at_budget = num_links >= budget.max_switch_links
+        adds = _add_candidates(adj, tm, budget, params, at_budget)
+        removes = _remove_candidates(adj, tm, params)
+
+        # candidate steps: single moves, plus remove+add swaps when the
+        # wiring budget blocks plain adds (the bidirectional part)
+        steps: list[tuple[Move, ...]] = [(m,) for m in adds + removes]
+        if at_budget and len(moves) + 2 <= params.max_moves:
+            swap_adds = []
+            for a, b, _d in tm.pairs_by_demand():
+                if len(swap_adds) >= 3:
+                    break
+                if a in adj and b in adj and b not in adj[a]:
+                    swap_adds.append(Move("add", *link_key(a, b)))
+            for rm in removes[:3]:
+                for ad in swap_adds:
+                    if {rm.a, rm.b} != {ad.a, ad.b}:
+                        steps.append((rm, ad))
+
+        best_score: Score | None = None
+        best_step: tuple[Move, ...] = ()
+        best_adj: Adjacency = adj
+        for step in steps:
+            trial = adj
+            for m in step:
+                trial = _apply(trial, m)
+            if not budget.allows(trial) or not connected(trial):
+                continue
+            score = evaluate(trial, demand, params.weights)
+            key = (score.value, tuple((m.kind, m.a, m.b) for m in step))
+            if best_score is None or key < (
+                best_score.value,
+                tuple((m.kind, m.a, m.b) for m in best_step),
+            ):
+                best_score, best_step, best_adj = score, step, trial
+        if best_score is None or best_score.value >= current.value - _EPS:
+            break
+        adj, current = best_adj, best_score
+        moves.extend(best_step)
+
+    gain = (base.value - current.value) / base.value if moves else 0.0
+    if gain < params.min_gain:  # hysteresis: not worth the disruption
+        return Proposal(moves=(), before=base, after=base, gain=0.0)
+    return Proposal(moves=tuple(moves), before=base, after=current, gain=gain)
+
+
+def apply_moves(
+    topology: Topology, moves: tuple[Move, ...] | list[Move]
+) -> Topology:
+    """The engineered topology: ``topology`` with ``moves`` applied.
+    Keeps the name so the deployment's identity is stable across
+    engineering steps."""
+    drop = {
+        link_key(m.a, m.b) for m in moves if m.kind == "remove"
+    }
+    add = [(m.a, m.b) for m in moves if m.kind == "add"]
+    return rebuild(topology, drop_links=drop, add_links=add)

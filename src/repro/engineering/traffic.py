@@ -1,0 +1,160 @@
+"""Traffic-matrix extraction from Network Monitor history.
+
+The monitor samples physical port counters; topology engineering needs
+*logical, demand-shaped* signals. Two live here:
+
+* A directed switch-to-switch demand matrix, estimated with a gravity
+  model from the access ports. At the switch end of a host link, RX
+  utilization is traffic the attached host *sends* (per-switch egress
+  volume) and TX utilization is traffic it *receives* (ingress
+  volume); gravity then splits egress across destinations
+  proportionally to their ingress shares. This is the standard
+  estimator when only edge counters are trusted — it needs no per-flow
+  state and is exact for uniform and for single-hot-pair workloads,
+  the regimes the engineer bench replays.
+* Per-switch-link measured loads (max of the two directions' mean TX
+  utilization), ranking removal candidates and seeding the objective's
+  utilization term with observed rather than modeled values.
+
+Warm-up semantics follow the monitor's: a port with fewer than
+``min_samples`` polls contributes nothing and is counted in
+``warming_ports`` so callers can hold off engineering until the signal
+is real (0.0 means "unknown", not "idle", during warm-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller.monitor import NetworkMonitor
+from repro.core.projection.base import ProjectionResult
+from repro.topology.diff import LinkKey, link_key
+from repro.util.errors import ProjectionError
+
+#: demand below this fraction of port rate is noise, not signal
+DEMAND_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class TrafficMatrix:
+    """Demand estimate over one deployment's logical switches."""
+
+    #: directed (src switch, dst switch) -> estimated rate, in units of
+    #: one port's line rate (1.0 = a full port of demand)
+    demand: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: undirected switch-link key -> mean observed utilization
+    link_load: dict[LinkKey, float] = field(default_factory=dict)
+    #: per-switch host egress volume (hosts' send rate into the switch)
+    switch_egress: dict[str, float] = field(default_factory=dict)
+    #: per-switch host ingress volume (hosts' receive rate)
+    switch_ingress: dict[str, float] = field(default_factory=dict)
+    #: access ports still inside the monitor's warm-up window
+    warming_ports: int = 0
+    #: history window the means were taken over (None = full buffer)
+    window: float | None = None
+
+    @property
+    def total(self) -> float:
+        """Total demand volume; 0.0 means nothing measurable yet."""
+        return sum(self.demand.values())
+
+    @property
+    def ready(self) -> bool:
+        """Whether there is any signal to engineer against."""
+        return self.total > 0.0
+
+    def rate(self, src: str, dst: str) -> float:
+        return self.demand.get((src, dst), 0.0)
+
+    def pairs_by_demand(self) -> list[tuple[str, str, float]]:
+        """Undirected switch pairs with their summed two-way demand,
+        hottest first; deterministic (ties break by pair name)."""
+        merged: dict[tuple[str, str], float] = {}
+        for (s, t), d in self.demand.items():
+            merged_key = link_key(s, t)
+            merged[merged_key] = merged.get(merged_key, 0.0) + d
+        rows = [(a, b, d) for (a, b), d in merged.items()]
+        rows.sort(key=lambda r: (-r[2], r[0], r[1]))
+        return rows
+
+
+def extract_traffic_matrix(
+    monitor: NetworkMonitor,
+    deployment,
+    *,
+    window: float | None = None,
+    min_samples: int = 2,
+) -> TrafficMatrix:
+    """Estimate the live traffic matrix for ``deployment``.
+
+    ``window`` bounds the history mean (seconds back from the newest
+    sample); ``min_samples`` is the warm-up threshold per access port.
+    """
+    topology = deployment.topology
+    projection: ProjectionResult = deployment.projection
+
+    egress: dict[str, float] = {}
+    ingress: dict[str, float] = {}
+    warming = 0
+    for link in topology.host_links:
+        a, b = link.endpoints
+        switch = a if topology.is_switch(a) else b
+        try:
+            pp = projection.phys_port_of(link.port_on(switch))
+        except ProjectionError:
+            continue  # pruned: port received no hardware
+        if monitor.sample_count(pp.switch, pp.port) < min_samples:
+            warming += 1
+            continue
+        egress[switch] = egress.get(switch, 0.0) + monitor.mean_utilization(
+            pp.switch, pp.port, window=window, direction="rx"
+        )
+        ingress[switch] = ingress.get(switch, 0.0) + monitor.mean_utilization(
+            pp.switch, pp.port, window=window, direction="tx"
+        )
+
+    total_ingress = sum(ingress.values())
+    demand: dict[tuple[str, str], float] = {}
+    for src in sorted(egress):
+        out = egress[src]
+        if out <= DEMAND_EPSILON:
+            continue
+        # gravity: split src's egress across the other switches in
+        # proportion to their ingress share (self-traffic excluded, so
+        # renormalize by the remaining mass to keep row sums exact)
+        denom = total_ingress - ingress.get(src, 0.0)
+        if denom <= DEMAND_EPSILON:
+            continue
+        for dst in sorted(ingress):
+            if dst == src:
+                continue
+            d = out * ingress[dst] / denom
+            if d > DEMAND_EPSILON:
+                demand[(src, dst)] = d
+
+    link_load: dict[LinkKey, float] = {}
+    for link in topology.switch_links:
+        a, b = link.endpoints
+        loads = []
+        for end in (a, b):
+            try:
+                pp = projection.phys_port_of(link.port_on(end))
+            except ProjectionError:
+                continue
+            if monitor.sample_count(pp.switch, pp.port) < min_samples:
+                continue
+            loads.append(
+                monitor.mean_utilization(
+                    pp.switch, pp.port, window=window, direction="tx"
+                )
+            )
+        link_load[link_key(a, b)] = max(loads) if loads else 0.0
+
+    return TrafficMatrix(
+        demand=demand,
+        link_load=link_load,
+        switch_egress=egress,
+        switch_ingress=ingress,
+        warming_ports=warming,
+        window=window,
+    )

@@ -178,3 +178,55 @@ def test_monitor_driven_steering(controller):
         ),
     )
     assert decision.out_ports == (phys_out.port,)
+
+
+def test_rx_utilization_on_access_port(controller):
+    """The switch end of h0's host link sees h0's sends as RX — the
+    signal the traffic-matrix gravity estimator reads as egress."""
+    dep = controller.deploy(TopologyConfig("fat-tree", {"k": 4}))
+    controller.monitor.poll(0.0)
+    run_traffic(controller, dep, "h0", "h15", 1024 * 1024)
+    controller.monitor.poll(1.0)
+    edge = dep.topology.host_switch("h0")
+    port = dep.topology.link_between(edge, "h0").port_on(edge)
+    pp = dep.projection.phys_port_of(port)
+    assert controller.monitor.port_rx_utilization(pp.switch, pp.port) > 0.0
+    # and RX is clamped/warm-up guarded like TX
+    assert controller.monitor.port_rx_utilization(pp.switch, pp.port) <= 1.0
+    assert controller.monitor.port_rx_utilization("phys0", 9999) == 0.0
+
+
+def test_rx_history_tracks_polls(controller):
+    controller.deploy(TopologyConfig("fat-tree", {"k": 4}))
+    controller.monitor.poll(0.0)
+    controller.monitor.poll(1.0)
+    tx = controller.monitor.history("phys0", 1)
+    rx = controller.monitor.rx_history("phys0", 1)
+    assert [t for t, _u in rx] == [t for t, _u in tx]
+    assert controller.monitor.rx_history("phys0", 9999) == []
+
+
+def test_mean_utilization_window_and_direction(controller):
+    dep = controller.deploy(TopologyConfig("fat-tree", {"k": 4}))
+    controller.monitor.poll(0.0)
+    run_traffic(controller, dep, "h0", "h15", 1024 * 1024)
+    controller.monitor.poll(1.0)  # hot interval
+    controller.monitor.poll(2.0)  # idle interval on top
+    edge = dep.topology.host_switch("h0")
+    port = dep.topology.link_between(edge, "h0").port_on(edge)
+    pp = dep.projection.phys_port_of(port)
+    mon = controller.monitor
+    # the full buffer averages the hot interval in; a zero window
+    # sees only the newest (idle) sample
+    assert mon.mean_utilization(pp.switch, pp.port, direction="rx") > 0.0
+    assert (
+        mon.mean_utilization(pp.switch, pp.port, window=0.0, direction="rx")
+        == 0.0
+    )
+    # a window spanning both intervals matches the full-buffer mean
+    assert mon.mean_utilization(
+        pp.switch, pp.port, window=10.0, direction="rx"
+    ) == mon.mean_utilization(pp.switch, pp.port, direction="rx")
+    # unknown ports mean zero in both directions
+    assert mon.mean_utilization("phys0", 9999) == 0.0
+    assert mon.mean_utilization("phys0", 9999, direction="rx") == 0.0

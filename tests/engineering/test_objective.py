@@ -1,0 +1,86 @@
+"""Integrated DWAPL+MLU objective: determinism and edge cases."""
+
+from __future__ import annotations
+
+import math
+
+from repro.engineering.objective import (
+    DISCONNECTED,
+    ObjectiveWeights,
+    connected,
+    evaluate,
+    switch_adjacency,
+)
+
+from tests.engineering.conftest import ring_topology
+
+
+def _line(n: int) -> dict[str, set[str]]:
+    adj: dict[str, set[str]] = {f"s{i}": set() for i in range(n)}
+    for i in range(n - 1):
+        adj[f"s{i}"].add(f"s{i + 1}")
+        adj[f"s{i + 1}"].add(f"s{i}")
+    return adj
+
+
+def test_direct_link_scores_dwapl_one():
+    adj = _line(2)
+    score = evaluate(adj, {("s0", "s1"): 0.5})
+    assert score.dwapl == 1.0
+    assert score.mlu == 0.5
+    assert score.value == 1.0 * 1.0 + 2.0 * 0.5
+    assert not score.disconnected
+
+
+def test_hot_pair_weighs_more_than_cold():
+    adj = _line(4)
+    hot_far = evaluate(adj, {("s0", "s3"): 1.0, ("s0", "s1"): 0.1})
+    hot_near = evaluate(adj, {("s0", "s3"): 0.1, ("s0", "s1"): 1.0})
+    assert hot_far.dwapl > hot_near.dwapl
+
+
+def test_mlu_sees_funneling():
+    # both demands traverse s1--s2: the edge load adds up
+    adj = _line(4)
+    score = evaluate(adj, {("s0", "s3"): 0.4, ("s1", "s2"): 0.3})
+    assert score.mlu == 0.7
+
+
+def test_unreachable_demand_is_disconnected():
+    adj = _line(2)
+    adj["s9"] = set()
+    assert not connected(adj)
+    assert evaluate(adj, {("s0", "s9"): 1.0}) is DISCONNECTED
+    assert math.isinf(DISCONNECTED.value)
+    assert DISCONNECTED.summary()["value"] is None
+
+
+def test_zero_demand_scores_zero():
+    score = evaluate(_line(3), {})
+    assert (score.dwapl, score.mlu, score.value) == (0.0, 0.0, 0.0)
+
+
+def test_weights_scale_components():
+    adj = _line(3)
+    demand = {("s0", "s2"): 1.0}
+    a = evaluate(adj, demand, ObjectiveWeights(alpha=1.0, beta=0.0))
+    b = evaluate(adj, demand, ObjectiveWeights(alpha=0.0, beta=1.0))
+    assert a.value == a.dwapl == 2.0
+    assert b.value == b.mlu == 1.0
+
+
+def test_evaluate_is_deterministic():
+    topo = ring_topology()
+    adj = switch_adjacency(topo)
+    demand = {("s0", "s3"): 1.0, ("s1", "s4"): 0.5, ("s2", "s5"): 0.25}
+    first = evaluate(adj, demand)
+    for _ in range(5):
+        assert evaluate(adj, demand) == first
+
+
+def test_switch_adjacency_ignores_hosts():
+    topo = ring_topology()
+    adj = switch_adjacency(topo)
+    assert set(adj) == set(topo.switches)
+    assert all(len(nbrs) == 2 for nbrs in adj.values())
+    assert connected(adj)

@@ -355,3 +355,191 @@ def test_scale_suite_default_out_is_bench_scale(monkeypatch, tmp_path, capsys):
     assert rc == 0
     assert (tmp_path / "custom.json").exists()
     capsys.readouterr()
+
+
+# --- engineer suite --------------------------------------------------------
+
+def _engineer_phase(
+    name: str = "skewed",
+    *,
+    improvement: float = 3.0,
+    steps: int = 2,
+    moves: int = 5,
+    pushed: int = 50,
+) -> dict:
+    return {
+        "phase": name,
+        "improvement": improvement,
+        "steps_applied": steps,
+        "moves_total": moves,
+        "max_rules_pushed": pushed,
+    }
+
+
+def _engineer_report(*phases: dict, **top) -> dict:
+    report = {
+        "suite": "engineer",
+        "rules_cap": 80,
+        "phases": list(phases),
+        "cap_violations": 0,
+        "non_incremental_steps": 0,
+        "non_mbb_steps": 0,
+    }
+    report.update(top)
+    return report
+
+
+def test_engineer_gate_identical_reports_pass():
+    from repro.bench import compare_engineer_to_baseline
+
+    base = _engineer_report(_engineer_phase(), _engineer_phase("shifted"))
+    cur = _engineer_report(_engineer_phase(), _engineer_phase("shifted"))
+    assert compare_engineer_to_baseline(cur, base) == []
+
+
+def test_engineer_gate_worse_than_static_fails_absolutely():
+    from repro.bench import compare_engineer_to_baseline
+
+    # even a baseline that agrees cannot excuse a <1.0x improvement
+    base = _engineer_report(_engineer_phase(improvement=0.9))
+    cur = _engineer_report(_engineer_phase(improvement=0.9))
+    problems = compare_engineer_to_baseline(cur, base)
+    assert any("WORSE than static" in p for p in problems)
+
+
+def test_engineer_gate_improvement_regression():
+    from repro.bench import compare_engineer_to_baseline
+
+    base = _engineer_report(_engineer_phase(improvement=3.0))
+    cur = _engineer_report(_engineer_phase(improvement=2.0))
+    problems = compare_engineer_to_baseline(cur, base)
+    assert any("ACT improvement regressed" in p for p in problems)
+    # within tolerance passes
+    cur = _engineer_report(_engineer_phase(improvement=2.5))
+    assert compare_engineer_to_baseline(cur, base) == []
+
+
+def test_engineer_gate_decision_drift_is_exact():
+    from repro.bench import compare_engineer_to_baseline
+
+    base = _engineer_report(_engineer_phase())
+    for field_name, value in (
+        ("steps", 3), ("moves", 6), ("pushed", 51)
+    ):
+        cur = _engineer_report(_engineer_phase(**{field_name: value}))
+        problems = compare_engineer_to_baseline(cur, base)
+        assert len(problems) == 1, (field_name, problems)
+        assert "deterministic" in problems[0]
+
+
+def test_engineer_gate_disruption_bounds_are_hard():
+    from repro.bench import compare_engineer_to_baseline
+
+    base = _engineer_report(_engineer_phase())
+    for field_name, needle in (
+        ("cap_violations", "rules-pushed cap"),
+        ("non_incremental_steps", "incremental"),
+        ("non_mbb_steps", "break-before-make"),
+    ):
+        cur = _engineer_report(_engineer_phase(), **{field_name: 1})
+        problems = compare_engineer_to_baseline(cur, base)
+        assert len(problems) == 1, (field_name, problems)
+        assert needle in problems[0]
+
+
+def test_engineer_gate_skips_phases_missing_from_baseline():
+    from repro.bench import compare_engineer_to_baseline
+
+    base = _engineer_report(_engineer_phase())
+    cur = _engineer_report(
+        _engineer_phase(), _engineer_phase("brand-new", steps=9)
+    )
+    assert compare_engineer_to_baseline(cur, base) == []
+
+
+def test_run_engineer_suite_smoke():
+    from repro.bench import (
+        compare_engineer_to_baseline,
+        render_engineer_report,
+        run_engineer_suite,
+    )
+
+    report = run_engineer_suite(quick=True, repeats=1)
+    assert report["suite"] == "engineer"
+    assert [p["phase"] for p in report["phases"]] == ["skewed", "shifted"]
+    for phase in report["phases"]:
+        # the engineered rig must beat the static ring in both phases
+        assert phase["improvement"] > 1.0
+        assert phase["steps_applied"] >= 1
+    # bounded disruption: all steps incremental MBB, under the cap
+    assert report["cap_violations"] == 0
+    assert report["non_incremental_steps"] == 0
+    assert report["non_mbb_steps"] == 0
+    assert 0 < report["max_rules_pushed"] <= report["rules_cap"]
+    # deterministic self-comparison fixed point, JSON round-trippable
+    assert compare_engineer_to_baseline(
+        report, json.loads(json.dumps(report))
+    ) == []
+    assert "Topology-engineering" in render_engineer_report(report)
+
+
+def test_engineer_suite_matches_committed_baseline():
+    from pathlib import Path
+
+    from repro.bench import compare_engineer_to_baseline, run_engineer_suite
+
+    baseline_path = Path(__file__).parent.parent / "benchmarks"
+    baseline = json.loads(
+        (baseline_path / "baseline_engineer.json").read_text()
+    )
+    report = run_engineer_suite(quick=True, repeats=1)
+    assert compare_engineer_to_baseline(report, baseline) == []
+
+
+def test_engineer_suite_default_out(monkeypatch, tmp_path, capsys):
+    import repro.bench as bench
+
+    tiny = _engineer_report(_engineer_phase())
+    tiny.update({"ring": 8, "max_moves": 4, "steps_applied": 2,
+                 "moves_total": 5, "max_rules_pushed": 50})
+    tiny["phases"][0].update(
+        {"act_static_s": 0.01, "act_engineered_s": 0.003}
+    )
+    monkeypatch.setattr(
+        bench, "run_engineer_suite", lambda **kw: dict(tiny)
+    )
+    monkeypatch.chdir(tmp_path)
+    rc = bench.run_and_report(
+        quick=True, repeats=1, out="BENCH_reconfig.json",
+        baseline=None, suite="engineer",
+    )
+    assert rc == 0
+    assert (tmp_path / "BENCH_engineer.json").exists()
+    assert not (tmp_path / "BENCH_reconfig.json").exists()
+    capsys.readouterr()
+
+
+def test_missing_baseline_fails_fast(monkeypatch, tmp_path, capsys):
+    # a typo'd --baseline path must error out *before* the suite runs
+    import repro.bench as bench
+
+    def boom(**kw):
+        raise AssertionError("suite ran despite a missing baseline")
+
+    for runner in ("run_suite", "run_engineer_suite", "run_scale_suite",
+                   "run_multitenant_suite", "run_recovery_suite",
+                   "run_churn_suite"):
+        monkeypatch.setattr(bench, runner, boom)
+    for suite in ("reconfig", "engineer"):
+        rc = bench.run_and_report(
+            quick=True, repeats=1, out=None,
+            baseline=str(tmp_path / "nope.json"), suite=suite,
+        )
+        assert rc == 2
+        assert "baseline file not found" in capsys.readouterr().err
+
+
+def test_cli_bench_engineer_suite_flag():
+    args = build_parser().parse_args(["bench", "--suite", "engineer"])
+    assert args.suite == "engineer"
+    assert args.fn.__name__ == "cmd_bench"

@@ -185,3 +185,75 @@ def test_status_tables_and_json(scenario_file, capsys):
         assert info["flow_headroom"] == (
             info["flow_capacity"] - info["flow_entries"]
         )
+
+
+@pytest.fixture()
+def ring_config(tmp_path):
+    n = 6
+    path = tmp_path / "ring6.json"
+    path.write_text(json.dumps({
+        "kind": "custom",
+        "params": {
+            "name": "ring6",
+            "switches": [f"s{i}" for i in range(n)],
+            "hosts": [f"h{i}" for i in range(n)],
+            "links": (
+                [[f"s{i}", f"s{(i + 1) % n}"] for i in range(n)]
+                + [[f"h{i}", f"s{i}"] for i in range(n)]
+            ),
+        },
+        "routing": "shortest-path",
+        "lossless": False,
+    }))
+    return str(path)
+
+
+def test_engineer_parser_defaults():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["engineer", "cfg.json"])
+    assert args.steps == 1
+    assert args.watch is False
+    assert args.rules_cap == 0
+    assert args.traffic == []
+    assert args.fn.__name__ == "cmd_engineer"
+
+
+def test_engineer_one_shot(ring_config, tmp_path, capsys):
+    out = tmp_path / "steps.json"
+    rc = main([
+        "engineer", ring_config, "--switches", "2", "--spec", "h3c",
+        "--traffic", "h0:h3:4194304", "--steps", "2",
+        "--window", "0", "--json", str(out),
+    ])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "applied" in text
+    records = json.loads(out.read_text())
+    assert len(records) == 2
+    # the hot pair earns a direct link on the first observed round
+    assert records[0]["outcome"] == "applied"
+    assert records[0]["moves"]
+    assert records[0]["rules_pushed"] > 0
+    # the improved topology then clears hysteresis: no churn
+    assert records[1]["outcome"] == "held"
+
+
+def test_engineer_idle_network_holds(ring_config, capsys):
+    rc = main([
+        "engineer", ring_config, "--switches", "2", "--spec", "h3c",
+    ])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "no --traffic flows" in captured.err
+    # an idle network never warms up into measurable demand
+    assert "warming" in captured.out
+
+
+def test_engineer_rejects_bad_traffic_spec(ring_config, capsys):
+    rc = main([
+        "engineer", ring_config, "--switches", "2", "--spec", "h3c",
+        "--traffic", "h0:nope:100",
+    ])
+    assert rc != 0
+    assert "error" in capsys.readouterr().err.lower()
