@@ -45,6 +45,19 @@ from repro.util import format_table
 
 SCHEMA_VERSION = 1
 
+#: every suite ``--suite`` accepts — the single source of truth read by
+#: this module's main(), the ``repro bench`` CLI parser, and the docs
+#: tests (the three drifted when each kept its own copy)
+BENCH_SUITES = (
+    "reconfig",
+    "scale",
+    "churn",
+    "recovery",
+    "multitenant",
+    "engineer",
+    "campaign",
+)
+
 #: gate tolerance: a run regresses when it is worse than baseline by
 #: more than this fraction
 DEFAULT_TOLERANCE = 0.25
@@ -1314,6 +1327,138 @@ def render_engineer_report(report: dict) -> str:
     )
 
 
+# ---------------------------------------------------------------------------
+# campaign suite: the smoke sweep, gated on its deterministic summary
+# ---------------------------------------------------------------------------
+
+def run_campaign_suite(
+    *, quick: bool = False, repeats: int = DEFAULT_REPEATS
+) -> dict:
+    """Run the 6-topology x 2-protocol smoke campaign inline.
+
+    Inline (``workers=1``) keeps the bench single-process; the campaign
+    report is deterministic by construction either way, and the gate
+    hashes the whole summary, so *any* behavior change in the protocol
+    plug-ins, link-quality models, traffic accounting, or failure
+    selection shows up as a baseline mismatch. Wall time is recorded
+    but informational (cells are dominated by pure-python protocol
+    convergence, which varies by machine).
+    """
+    import hashlib
+    import tempfile
+
+    from repro.campaign import run_campaign, smoke_spec
+
+    spec = smoke_spec()
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="bench-campaign-") as tmp:
+        campaign_report = run_campaign(spec, tmp, workers=1)
+    wall = time.perf_counter() - start
+
+    def _totals(group: dict) -> dict:
+        repair = group.get("repair")
+        traffic = dict(group["traffic"])
+        messages = group["control_messages"]
+        if repair:
+            for key in traffic:
+                traffic[key] += repair["traffic"][key]
+            messages += repair["control_messages"]
+        return {
+            "repair_convergence_mean_s": (
+                repair["convergence_s"]["mean"] if repair else None
+            ),
+            "repair_modes": repair["modes"] if repair else {},
+            "control_messages": messages,
+            "messages_sent": traffic["messages_sent"],
+            "messages_delivered": traffic["messages_delivered"],
+            "packets_lost": traffic["packets_lost"],
+            "packets_dropped": traffic["packets_dropped"],
+        }
+
+    blob = json.dumps(campaign_report, sort_keys=True).encode()
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "campaign",
+        "quick": quick,
+        "campaign": campaign_report["campaign"],
+        "seed": campaign_report["seed"],
+        "cells_total": campaign_report["cells_total"],
+        "cells_ok": campaign_report["cells_ok"],
+        "cells_failed": campaign_report["cells_failed"],
+        "summary_sha256": hashlib.sha256(blob).hexdigest(),
+        "protocols": {
+            name: _totals(group)
+            for name, group in campaign_report["protocols"].items()
+        },
+        "wall_s": {"sweep": wall},
+    }
+
+
+def compare_campaign_to_baseline(
+    current: dict, baseline: dict
+) -> list[str]:
+    """Campaign-suite regressions: everything gated is deterministic,
+    so the comparison is exact — cell counts, per-protocol convergence
+    and traffic totals, and the summary hash (the catch-all)."""
+    problems: list[str] = []
+    for field_name in ("cells_total", "cells_ok", "cells_failed"):
+        if current.get(field_name) != baseline.get(field_name):
+            problems.append(
+                f"{field_name} changed "
+                f"{baseline.get(field_name)} -> {current.get(field_name)}"
+            )
+    for name, base_group in baseline.get("protocols", {}).items():
+        cur_group = current.get("protocols", {}).get(name)
+        if cur_group is None:
+            problems.append(f"protocol {name} missing from report")
+            continue
+        for key, base_value in base_group.items():
+            if cur_group.get(key) != base_value:
+                problems.append(
+                    f"{name}.{key} changed "
+                    f"{base_value} -> {cur_group.get(key)}"
+                )
+    if current.get("summary_sha256") != baseline.get("summary_sha256"):
+        problems.append(
+            "campaign summary hash diverged "
+            f"{baseline.get('summary_sha256')} -> "
+            f"{current.get('summary_sha256')} "
+            "(the sweep is seeded; this is a behavior change)"
+        )
+    return problems
+
+
+def render_campaign_report(report: dict) -> str:
+    rows = []
+    for name, group in report["protocols"].items():
+        conv = group["repair_convergence_mean_s"]
+        rows.append([
+            name,
+            "-" if conv is None else f"{conv * 1e3:.2f}",
+            ",".join(
+                f"{k}:{v}" for k, v in group["repair_modes"].items()
+            ) or "-",
+            group["control_messages"],
+            f"{group['messages_delivered']}/{group['messages_sent']}",
+            group["packets_lost"],
+            group["packets_dropped"],
+        ])
+    table = format_table(
+        ["Protocol", "Repair conv (ms)", "Modes", "Ctrl msgs",
+         "Delivered", "Lost", "Dropped"],
+        rows,
+        title=(
+            f"Campaign smoke sweep ({report['cells_ok']}"
+            f"/{report['cells_total']} cells ok)"
+        ),
+    )
+    return (
+        f"{table}\n"
+        f"summary sha256 {report['summary_sha256'][:16]}..., "
+        f"sweep {report['wall_s']['sweep']:.2f}s"
+    )
+
+
 def compare_to_baseline(
     current: dict, baseline: dict, *, tolerance: float = DEFAULT_TOLERANCE
 ) -> list[str]:
@@ -1409,6 +1554,82 @@ def render_report(report: dict) -> str:
     )
 
 
+@dataclass(frozen=True)
+class _SuiteImpl:
+    """One suite's run/render/compare trio (uniform call shapes)."""
+
+    run: Callable[..., dict]
+    render: Callable[[dict], str]
+    #: (current, baseline, tolerance=...) -> problem list; suites with
+    #: exact gates ignore the tolerance
+    compare: Callable[..., list]
+
+
+_SUITE_IMPL: dict[str, _SuiteImpl] = {
+    "reconfig": _SuiteImpl(
+        run=lambda *, quick, repeats: run_suite(quick=quick, repeats=repeats),
+        render=render_report,
+        compare=lambda cur, base, *, tolerance: compare_to_baseline(
+            cur, base, tolerance=tolerance
+        ),
+    ),
+    "scale": _SuiteImpl(
+        run=lambda *, quick, repeats: run_scale_suite(
+            quick=quick, repeats=repeats
+        ),
+        render=render_scale_report,
+        compare=lambda cur, base, *, tolerance: compare_scale_to_baseline(
+            cur, base, tolerance=tolerance
+        ),
+    ),
+    "churn": _SuiteImpl(
+        run=lambda *, quick, repeats: run_churn_suite(
+            quick=quick, repeats=repeats
+        ),
+        render=render_churn_report,
+        compare=lambda cur, base, *, tolerance: compare_churn_to_baseline(
+            cur, base
+        ),
+    ),
+    "recovery": _SuiteImpl(
+        run=lambda *, quick, repeats: run_recovery_suite(
+            quick=quick, repeats=repeats
+        ),
+        render=render_recovery_report,
+        compare=lambda cur, base, *, tolerance: compare_recovery_to_baseline(
+            cur, base
+        ),
+    ),
+    "multitenant": _SuiteImpl(
+        run=lambda *, quick, repeats: run_multitenant_suite(repeats=repeats),
+        render=render_multitenant_report,
+        compare=lambda cur, base, *, tolerance: (
+            compare_multitenant_to_baseline(cur, base)
+        ),
+    ),
+    "engineer": _SuiteImpl(
+        run=lambda *, quick, repeats: run_engineer_suite(
+            quick=quick, repeats=repeats
+        ),
+        render=render_engineer_report,
+        compare=lambda cur, base, *, tolerance: compare_engineer_to_baseline(
+            cur, base, tolerance=tolerance
+        ),
+    ),
+    "campaign": _SuiteImpl(
+        run=lambda *, quick, repeats: run_campaign_suite(
+            quick=quick, repeats=repeats
+        ),
+        render=render_campaign_report,
+        compare=lambda cur, base, *, tolerance: compare_campaign_to_baseline(
+            cur, base
+        ),
+    ),
+}
+
+assert tuple(_SUITE_IMPL) == BENCH_SUITES  # keep the two lists aligned
+
+
 def run_and_report(
     *,
     quick: bool,
@@ -1431,64 +1652,23 @@ def run_and_report(
             )
             return 2
         base = json.loads(baseline_path.read_text())
-    if suite == "multitenant":
-        report = run_multitenant_suite(repeats=repeats)
-    elif suite == "scale":
-        report = run_scale_suite(quick=quick, repeats=repeats)
-        # the CLI default out name belongs to the reconfig suite; give
-        # the scale curve its own artifact unless the user chose a path
-        if out == "BENCH_reconfig.json":
-            out = "BENCH_scale.json"
-    elif suite == "recovery":
-        report = run_recovery_suite(quick=quick, repeats=repeats)
-        if out == "BENCH_reconfig.json":
-            out = "BENCH_recovery.json"
-    elif suite == "churn":
-        report = run_churn_suite(quick=quick, repeats=repeats)
-        if out == "BENCH_reconfig.json":
-            out = "BENCH_churn.json"
-    elif suite == "engineer":
-        report = run_engineer_suite(quick=quick, repeats=repeats)
-        if out == "BENCH_reconfig.json":
-            out = "BENCH_engineer.json"
-    elif suite == "reconfig":
-        report = run_suite(quick=quick, repeats=repeats)
-    else:
-        raise ValueError(f"unknown bench suite {suite!r}")
+    try:
+        impl = _SUITE_IMPL[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench suite {suite!r}; choose from {BENCH_SUITES}"
+        ) from None
+    report = impl.run(quick=quick, repeats=repeats)
+    # the CLI default out name belongs to the reconfig suite; give
+    # every other suite its own artifact unless the user chose a path
+    if out == "BENCH_reconfig.json" and suite != "reconfig":
+        out = f"BENCH_{suite}.json"
     if out:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {out}")
-    if suite == "multitenant":
-        print(render_multitenant_report(report))
-    elif suite == "scale":
-        print(render_scale_report(report))
-    elif suite == "recovery":
-        print(render_recovery_report(report))
-    elif suite == "churn":
-        print(render_churn_report(report))
-    elif suite == "engineer":
-        print(render_engineer_report(report))
-    else:
-        print(render_report(report))
+    print(impl.render(report))
     if base is not None:
-        if suite == "multitenant":
-            problems = compare_multitenant_to_baseline(report, base)
-        elif suite == "scale":
-            problems = compare_scale_to_baseline(
-                report, base, tolerance=tolerance
-            )
-        elif suite == "recovery":
-            problems = compare_recovery_to_baseline(report, base)
-        elif suite == "churn":
-            problems = compare_churn_to_baseline(report, base)
-        elif suite == "engineer":
-            problems = compare_engineer_to_baseline(
-                report, base, tolerance=tolerance
-            )
-        else:
-            problems = compare_to_baseline(
-                report, base, tolerance=tolerance
-            )
+        problems = impl.compare(report, base, tolerance=tolerance)
         if problems:
             print(f"\nREGRESSION vs {baseline}:", file=sys.stderr)
             for p in problems:
@@ -1516,10 +1696,11 @@ def main(argv: list[str] | None = None) -> int:
                         default=DEFAULT_TOLERANCE,
                         help="allowed regression fraction (default 0.25)")
     parser.add_argument("--suite",
-                        choices=["reconfig", "multitenant", "scale",
-                                 "recovery", "churn", "engineer"],
+                        choices=list(BENCH_SUITES),
                         default="reconfig",
-                        help="benchmark suite to run (default reconfig)")
+                        help="benchmark suite to run: "
+                             f"{', '.join(BENCH_SUITES)} "
+                             "(default reconfig)")
     args = parser.parse_args(argv)
     return run_and_report(
         quick=args.quick,

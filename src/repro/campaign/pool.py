@@ -1,0 +1,182 @@
+"""A kill-tolerant process pool for campaign cells.
+
+``concurrent.futures.ProcessPoolExecutor`` is the wrong tool here: one
+SIGKILLed worker raises ``BrokenProcessPool`` and abandons every
+pending future, which would abort a 1000-cell sweep because one cell
+segfaulted. This pool instead gives each worker its **own** task queue
+and assigns one cell at a time, so the parent always knows exactly
+which cell a dead worker was holding: that cell is recorded as failed
+(never silently retried — it might be the poison) and a replacement
+worker is spawned to keep the sweep's parallelism.
+
+Workers receive the *spec* (a plain dict) and re-expand it locally, so
+nothing richer than ints and dicts ever crosses a queue — the same
+trick :mod:`repro.core.rules` plays for sharded compilation.
+
+Chaos hooks (used by the chaos tests, honored in workers only):
+
+* ``SDT_CAMPAIGN_CHAOS_KILL=<cell_id>`` — SIGKILL the worker the
+  moment it picks up that cell;
+* ``SDT_CAMPAIGN_CHAOS_RAISE=<cell_id>`` — raise inside the cell
+  (also honored by inline runs; exercises the per-cell failure path).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import signal
+import traceback
+from collections import deque
+from typing import Iterator
+
+from repro.campaign.spec import CampaignCell
+
+#: how long the parent waits on the result queue before checking worker
+#: liveness (wall-clock only; never surfaces in results)
+_POLL_INTERVAL = 0.2
+
+
+def failure_record(cell: CampaignCell, error: str) -> dict:
+    """The record a cell leaves behind when it didn't finish."""
+    return {
+        "cell": cell.cell_id,
+        "index": cell.index,
+        "status": "failed",
+        "protocol": cell.protocol,
+        "quality": cell.quality.get("name", "custom"),
+        "failure": cell.failure,
+        "seed": cell.seed,
+        "error": error,
+    }
+
+
+def safe_run(cell: CampaignCell) -> dict:
+    """Run one cell, converting any exception into a failure record."""
+    from repro.campaign.runner import run_cell
+
+    chaos = os.environ.get("SDT_CAMPAIGN_CHAOS_RAISE", "")
+    try:
+        if chaos and cell.cell_id == chaos:
+            raise RuntimeError("chaos: injected cell failure")
+        return run_cell(cell)
+    except Exception as exc:  # noqa: BLE001 - the sweep must survive
+        detail = traceback.format_exc(limit=-1).strip().splitlines()[-1]
+        return failure_record(cell, f"{type(exc).__name__}: {exc} ({detail})")
+
+
+def _worker_main(spec_dict: dict, task_q, result_q) -> None:
+    from repro.campaign.spec import CampaignSpec
+
+    cells = CampaignSpec.from_dict(spec_dict).expand()
+    chaos_kill = os.environ.get("SDT_CAMPAIGN_CHAOS_KILL", "")
+    while True:
+        index = task_q.get()
+        if index is None:
+            return
+        cell = cells[index]
+        if chaos_kill and cell.cell_id == chaos_kill:
+            os.kill(os.getpid(), signal.SIGKILL)
+        result_q.put((os.getpid(), index, safe_run(cell)))
+
+
+class _Worker:
+    __slots__ = ("proc", "task_q", "current")
+
+    def __init__(self, ctx, spec_dict: dict, result_q) -> None:
+        self.task_q = ctx.Queue()
+        self.current: int | None = None
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(spec_dict, self.task_q, result_q),
+            daemon=True,
+        )
+        self.proc.start()
+
+
+class CampaignPool:
+    """Shard cells across processes; tolerate worker death."""
+
+    def __init__(self, spec_dict: dict, workers: int) -> None:
+        if workers < 2:
+            raise ValueError("CampaignPool needs >= 2 workers; run inline")
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._spec_dict = spec_dict
+        self._num_workers = workers
+        self.workers_died = 0
+
+    def run(
+        self, cells: list[CampaignCell]
+    ) -> Iterator[tuple[int, dict]]:
+        """Yield ``(cell index, record)`` as cells finish (any order)."""
+        by_index = {cell.index: cell for cell in cells}
+        pending = deque(cell.index for cell in cells)
+        done: set[int] = set()
+        result_q = self._ctx.Queue()
+        workers = [
+            _Worker(self._ctx, self._spec_dict, result_q)
+            for _ in range(min(self._num_workers, max(1, len(pending))))
+        ]
+        outstanding = 0
+        try:
+            while pending or outstanding:
+                # hand a cell to every idle live worker
+                for worker in workers:
+                    if (
+                        pending
+                        and worker.current is None
+                        and worker.proc.is_alive()
+                    ):
+                        index = pending.popleft()
+                        worker.current = index
+                        worker.task_q.put(index)
+                        outstanding += 1
+                try:
+                    _pid, index, record = result_q.get(
+                        timeout=_POLL_INTERVAL
+                    )
+                except queue_mod.Empty:
+                    # no result: check for workers that died mid-cell
+                    for i, worker in enumerate(workers):
+                        if worker.proc.is_alive():
+                            continue
+                        if worker.current is not None:
+                            self.workers_died += 1
+                            dead_index = worker.current
+                            worker.current = None
+                            outstanding -= 1
+                            if dead_index not in done:
+                                done.add(dead_index)
+                                yield (
+                                    dead_index,
+                                    failure_record(
+                                        by_index[dead_index],
+                                        "worker died mid-cell",
+                                    ),
+                                )
+                        if pending or outstanding:
+                            workers[i] = _Worker(
+                                self._ctx, self._spec_dict, result_q
+                            )
+                    continue
+                owner = next(
+                    (w for w in workers if w.current == index), None
+                )
+                if owner is not None:
+                    # a dead worker's queued result can arrive after its
+                    # cell was failure-marked; only live ownership counts
+                    owner.current = None
+                    outstanding -= 1
+                if index not in done:
+                    done.add(index)
+                    yield (index, record)
+        finally:
+            for worker in workers:
+                if worker.proc.is_alive():
+                    worker.task_q.put(None)
+            for worker in workers:
+                worker.proc.join(timeout=2.0)
+                if worker.proc.is_alive():  # pragma: no cover - stuck worker
+                    worker.proc.terminate()

@@ -1,0 +1,234 @@
+"""Summarize campaign results: JSONL in, deterministic report out.
+
+The summary is rebuilt from cell records **sorted by cell index** and
+contains only modeled/simulated quantities (never wall times, PIDs, or
+paths), so the same spec + seed produces a byte-identical
+``report.json`` whether the sweep ran with one worker or eight — the
+determinism contract the acceptance test diffs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.util.errors import ConfigurationError
+
+SCHEMA_VERSION = 1
+
+
+def _stats(values: list[float]) -> dict:
+    if not values:
+        return {"n": 0, "mean": None, "max": None}
+    return {
+        "n": len(values),
+        "mean": round(sum(values) / len(values), 12),
+        "max": round(max(values), 12),
+    }
+
+
+def _delivery(records: list[dict], phase: str) -> dict:
+    sent = sum(r[phase]["traffic"]["messages_sent"] for r in records)
+    delivered = sum(
+        r[phase]["traffic"]["messages_delivered"] for r in records
+    )
+    return {
+        "messages_sent": sent,
+        "messages_delivered": delivered,
+        "packets_dropped": sum(
+            r[phase]["traffic"]["packets_dropped"] for r in records
+        ),
+        "packets_lost": sum(
+            r[phase]["traffic"]["packets_lost"] for r in records
+        ),
+    }
+
+
+def _group_summary(records: list[dict]) -> dict:
+    """Aggregates for one (protocol or quality) slice of ok cells."""
+    with_repair = [r for r in records if r.get("repair")]
+    out = {
+        "cells": len(records),
+        "initial_convergence_s": _stats(
+            [r["initial"]["convergence"]["time"] for r in records]
+        ),
+        "deployment_time_s": _stats(
+            [r["initial"]["deployment_time"] for r in records]
+        ),
+        "act_s": _stats(
+            [r["initial"]["traffic"]["act"] for r in records]
+        ),
+        "control_messages": sum(
+            r["initial"]["convergence"]["messages"] for r in records
+        ),
+        "traffic": _delivery(records, "initial"),
+    }
+    if with_repair:
+        modes: dict[str, int] = {}
+        for r in with_repair:
+            mode = r["repair"]["convergence"]["mode"]
+            modes[mode] = modes.get(mode, 0) + 1
+        out["repair"] = {
+            "cells": len(with_repair),
+            "convergence_s": _stats(
+                [r["repair"]["convergence"]["time"] for r in with_repair]
+            ),
+            "rounds": _stats(
+                [
+                    float(r["repair"]["convergence"]["rounds"])
+                    for r in with_repair
+                ]
+            ),
+            "control_messages": sum(
+                r["repair"]["convergence"]["messages"] for r in with_repair
+            ),
+            "modes": dict(sorted(modes.items())),
+            "converged": sum(
+                1
+                for r in with_repair
+                if r["repair"]["convergence"]["converged"]
+            ),
+            "traffic": _delivery(with_repair, "repair"),
+            # path-count deltas (2107.02932-style behaviour trend):
+            # how much reachability and path diversity the failure cost
+            "reachable_pairs_delta": sum(
+                r["repair"]["paths"]["reachable_pairs"]
+                - r["initial"]["paths"]["reachable_pairs"]
+                for r in with_repair
+            ),
+            "links_used_delta": sum(
+                r["repair"]["paths"]["links_used"]
+                - r["initial"]["paths"]["links_used"]
+                for r in with_repair
+            ),
+            "hops_delta": sum(
+                r["repair"]["paths"]["total_hops"]
+                - r["initial"]["paths"]["total_hops"]
+                for r in with_repair
+            ),
+        }
+    return out
+
+
+def summarize(spec_dict: dict, records: list[dict]) -> dict:
+    """Build the deterministic report from per-cell records."""
+    records = sorted(records, key=lambda r: r["index"])
+    ok = [r for r in records if r["status"] == "ok"]
+    failed = [r for r in records if r["status"] != "ok"]
+    protocols = sorted({r["protocol"] for r in records})
+    qualities = sorted({r["quality"] for r in records})
+    return {
+        "schema": SCHEMA_VERSION,
+        "campaign": spec_dict.get("name", "?"),
+        "seed": spec_dict.get("seed", 0),
+        "cells_total": len(records),
+        "cells_ok": len(ok),
+        "cells_failed": len(failed),
+        "failed_cells": [
+            {"cell": r["cell"], "error": r.get("error", "?")}
+            for r in failed
+        ],
+        "protocols": {
+            p: _group_summary([r for r in ok if r["protocol"] == p])
+            for p in protocols
+        },
+        "qualities": {
+            q: _group_summary([r for r in ok if r["quality"] == q])
+            for q in qualities
+        },
+    }
+
+
+# --- persistence -----------------------------------------------------------
+
+def load_results(out_dir: str | Path) -> tuple[dict, list[dict]]:
+    """Read back a results directory (``spec.json`` + ``results.jsonl``)."""
+    out = Path(out_dir)
+    spec_path = out / "spec.json"
+    results_path = out / "results.jsonl"
+    if not results_path.exists():
+        raise ConfigurationError(f"no results.jsonl under {out}")
+    spec_dict = (
+        json.loads(spec_path.read_text()) if spec_path.exists() else {}
+    )
+    records = []
+    for line_no, line in enumerate(
+        results_path.read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{results_path}:{line_no}: bad JSONL record: {exc}"
+            ) from None
+    return spec_dict, records
+
+
+# --- rendering -------------------------------------------------------------
+
+def _fmt_s(value) -> str:
+    return "-" if value is None else f"{value * 1e3:10.3f} ms"
+
+
+def render_report(report: dict) -> str:
+    lines = [
+        f"Campaign {report['campaign']!r} (seed {report['seed']}): "
+        f"{report['cells_ok']}/{report['cells_total']} cells ok, "
+        f"{report['cells_failed']} failed",
+        "",
+        f"{'protocol':<14} {'cells':>5} {'init conv':>13} "
+        f"{'repair conv':>13} {'repair mode':<22} {'msgs':>8} "
+        f"{'dropped':>8} {'lost':>6} {'deploy':>13}",
+    ]
+    for name, group in report["protocols"].items():
+        repair = group.get("repair")
+        repair_conv = (
+            _fmt_s(repair["convergence_s"]["mean"]) if repair else "-".rjust(13)
+        )
+        modes = (
+            ",".join(f"{k}:{v}" for k, v in repair["modes"].items())
+            if repair
+            else "-"
+        )
+        dropped = group["traffic"]["packets_dropped"] + (
+            repair["traffic"]["packets_dropped"] if repair else 0
+        )
+        lost = group["traffic"]["packets_lost"] + (
+            repair["traffic"]["packets_lost"] if repair else 0
+        )
+        messages = group["control_messages"] + (
+            repair["control_messages"] if repair else 0
+        )
+        lines.append(
+            f"{name:<14} {group['cells']:>5} "
+            f"{_fmt_s(group['initial_convergence_s']['mean']):>13} "
+            f"{repair_conv:>13} {modes:<22} {messages:>8} "
+            f"{dropped:>8} {lost:>6} "
+            f"{_fmt_s(group['deployment_time_s']['mean']):>13}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'quality':<14} {'cells':>5} {'delivered':>12} {'sent':>8} "
+        f"{'dropped':>8} {'lost':>6}"
+    )
+    for name, group in report["qualities"].items():
+        traffic = dict(group["traffic"])
+        repair = group.get("repair")
+        if repair:
+            for key in traffic:
+                traffic[key] += repair["traffic"][key]
+        lines.append(
+            f"{name:<14} {group['cells']:>5} "
+            f"{traffic['messages_delivered']:>12} "
+            f"{traffic['messages_sent']:>8} "
+            f"{traffic['packets_dropped']:>8} {traffic['packets_lost']:>6}"
+        )
+    if report["failed_cells"]:
+        lines.append("")
+        lines.append("failed cells:")
+        for item in report["failed_cells"]:
+            lines.append(f"  {item['cell']}: {item['error']}")
+    return "\n".join(lines)

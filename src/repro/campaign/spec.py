@@ -1,0 +1,236 @@
+"""Campaign specs: the JSON matrix a sweep expands.
+
+A campaign is a cross product::
+
+    topologies x protocols x link-quality profiles x failure scenarios
+
+Each combination is one **cell**, identified by a stable string id and
+a seed derived from ``(campaign seed, cell id)`` — so a cell computes
+identically whether it runs inline, in any worker process, or alone
+via ``--limit``. Expansion order (and therefore cell numbering) is the
+deterministic product order, never dict order of the JSON.
+
+Spec JSON shape (see ``examples/zoo_campaign.json``)::
+
+    {
+      "name": "zoo-full",
+      "seed": 20230923,
+      "topologies": [{"kind": "zoo", "names": "*"},
+                     {"kind": "fat-tree", "params": {"k": 4}}],
+      "protocols": ["precomputed", "distvec"],
+      "qualities": ["ideal", "lossy",
+                    {"name": "dsl", "bandwidth_rev": 0.25}],
+      "failures": ["none", "single-link"],
+      "traffic": {"hosts": 6, "bytes": 65536}
+    }
+
+``{"kind": "zoo", "names": "*"}`` expands to all 261 synthetic
+Topology-Zoo WANs; ``names`` may also be an explicit list.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.netsim.linkquality import LinkQualityProfile, quality_profile
+from repro.util.errors import ConfigurationError
+from repro.util.rng import derive_seed
+
+FAILURE_KINDS = ("none", "single-link", "dual-link")
+
+#: traffic defaults: hosts attached per (host-less) topology, message
+#: size per pair, ring pairing h_i -> h_(i+1)
+DEFAULT_TRAFFIC = {"hosts": 6, "bytes": 65536}
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One point of the matrix: everything a worker needs to run it."""
+
+    index: int
+    cell_id: str
+    topology: dict  # {"kind": ..., "params": {...}}
+    protocol: str
+    quality: dict  # LinkQualityProfile.to_dict() form
+    failure: str
+    seed: int
+    traffic: dict
+
+    def quality_profile(self) -> LinkQualityProfile:
+        return quality_profile(self.quality)
+
+
+@dataclass
+class CampaignSpec:
+    """A parsed, validated campaign."""
+
+    name: str
+    seed: int = 0
+    topologies: list = field(default_factory=list)
+    protocols: list = field(default_factory=list)
+    qualities: list = field(default_factory=list)
+    failures: list = field(default_factory=lambda: ["none"])
+    traffic: dict = field(default_factory=lambda: dict(DEFAULT_TRAFFIC))
+
+    # --- parsing ----------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        unknown = set(data) - {
+            "name", "seed", "topologies", "protocols", "qualities",
+            "failures", "traffic",
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"unknown campaign keys: {sorted(unknown)}"
+            )
+        for key in ("name", "topologies", "protocols", "qualities"):
+            if key not in data:
+                raise ConfigurationError(f"campaign missing {key!r}")
+        spec = cls(
+            name=str(data["name"]),
+            seed=int(data.get("seed", 0)),
+            topologies=list(data["topologies"]),
+            protocols=list(data["protocols"]),
+            qualities=list(data["qualities"]),
+            failures=list(data.get("failures", ["none"])),
+            traffic={**DEFAULT_TRAFFIC, **data.get("traffic", {})},
+        )
+        spec.validate()
+        return spec
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignSpec":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read campaign spec: {exc}") from None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"bad campaign JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def validate(self) -> None:
+        from repro.routing.protocols import registered_protocols
+
+        known = set(registered_protocols())
+        for proto in self.protocols:
+            if proto not in known:
+                raise ConfigurationError(
+                    f"unknown protocol {proto!r}; registered: {sorted(known)}"
+                )
+        for failure in self.failures:
+            if failure not in FAILURE_KINDS:
+                raise ConfigurationError(
+                    f"unknown failure scenario {failure!r}; "
+                    f"choose from {FAILURE_KINDS}"
+                )
+        for quality in self.qualities:
+            quality_profile(quality)  # raises on malformed profiles
+        if not self.topologies:
+            raise ConfigurationError("campaign has no topologies")
+        for tspec in self.topologies:
+            if not isinstance(tspec, dict) or "kind" not in tspec:
+                raise ConfigurationError(
+                    f"topology spec needs a 'kind': {tspec!r}"
+                )
+        if int(self.traffic["hosts"]) < 2:
+            raise ConfigurationError("traffic.hosts must be >= 2")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "topologies": self.topologies,
+            "protocols": self.protocols,
+            "qualities": self.qualities,
+            "failures": self.failures,
+            "traffic": self.traffic,
+        }
+
+    # --- expansion --------------------------------------------------------
+    def _topology_points(self) -> list[tuple[str, dict]]:
+        """(label, {"kind", "params"}) per concrete topology."""
+        points: list[tuple[str, dict]] = []
+        for tspec in self.topologies:
+            kind = tspec["kind"]
+            if kind == "zoo":
+                names = tspec.get("names", "*")
+                if names == "*":
+                    from repro.topology.zoo import zoo_catalog
+
+                    names = [e.name for e in zoo_catalog()]
+                for name in names:
+                    points.append(
+                        (f"zoo:{name}", {"kind": "zoo", "params": {"name": name}})
+                    )
+            else:
+                params = tspec.get("params", {})
+                label = tspec.get(
+                    "label",
+                    kind + (
+                        "(" + ",".join(
+                            f"{k}={params[k]}" for k in sorted(params)
+                        ) + ")"
+                        if params
+                        else ""
+                    ),
+                )
+                points.append((label, {"kind": kind, "params": params}))
+        return points
+
+    def _quality_points(self) -> list[tuple[str, dict]]:
+        points = []
+        for quality in self.qualities:
+            profile = quality_profile(quality)
+            points.append((profile.name, profile.to_dict()))
+        return points
+
+    def expand(self) -> list[CampaignCell]:
+        """The full, deterministically-ordered cell list."""
+        cells: list[CampaignCell] = []
+        index = 0
+        for tlabel, tspec in self._topology_points():
+            for proto in self.protocols:
+                for qlabel, qdict in self._quality_points():
+                    for failure in self.failures:
+                        cell_id = f"{tlabel}/{proto}/{qlabel}/{failure}"
+                        cells.append(
+                            CampaignCell(
+                                index=index,
+                                cell_id=cell_id,
+                                topology=tspec,
+                                protocol=proto,
+                                quality=qdict,
+                                failure=failure,
+                                seed=derive_seed(self.seed, "cell", cell_id),
+                                traffic=dict(self.traffic),
+                            )
+                        )
+                        index += 1
+        return cells
+
+
+def smoke_spec() -> CampaignSpec:
+    """The 6-topology x 2-protocol smoke campaign CI and the bench
+    suite run (mirrored by ``examples/smoke_campaign.json``)."""
+    return CampaignSpec.from_dict(smoke_spec_dict())
+
+
+def smoke_spec_dict() -> dict:
+    return {
+        "name": "smoke",
+        "seed": 20230923,
+        "topologies": [
+            {"kind": "zoo", "names": [
+                "Wan039", "Wan095", "Wan167", "Wan203",
+                "UsCarrier", "Uunet",
+            ]},
+        ],
+        "protocols": ["precomputed", "distvec"],
+        "qualities": ["ideal", "lossy"],
+        "failures": ["single-link"],
+        "traffic": {"hosts": 4, "bytes": 32768},
+    }

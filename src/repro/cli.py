@@ -22,6 +22,11 @@ Commands mirror what an SDT operator does with the real controller:
   (snapshot + commit journal) and summarize the reconstructed state
 * ``reconcile`` — deploy a config, optionally overwrite the switches
   from a recovered state directory, then audit + repair drift
+* ``campaign``  — matrix sweeps (DESIGN.md §10): ``campaign run
+  SPEC.json --workers N`` shards topologies x protocols x link
+  quality x failures across a process pool; ``campaign report DIR``
+  re-summarizes an existing results directory
+* ``bench``     — the benchmark suites (``--suite`` lists them)
 * ``tables``    — regenerate the paper's Table I / II / III as text
 * ``zoo``       — the synthetic Internet Topology Zoo summary
 * ``list``      — available topology kinds and workloads
@@ -717,6 +722,42 @@ def cmd_bench(args) -> int:
     )
 
 
+def cmd_campaign_run(args) -> int:
+    from repro.campaign import render_report, run_campaign
+    from repro.campaign.spec import CampaignSpec
+
+    spec = CampaignSpec.load(args.spec)
+
+    def progress(done: int, total: int, record: dict) -> None:
+        print(f"[{done}/{total}] {record['cell']}: {record['status']}")
+
+    report = run_campaign(
+        spec,
+        args.out,
+        workers=args.workers,
+        limit=args.limit,
+        progress=None if args.quiet else progress,
+    )
+    print()
+    print(render_report(report))
+    print(f"\nresults: {args.out}/results.jsonl  "
+          f"report: {args.out}/report.json")
+    return 0
+
+
+def cmd_campaign_report(args) -> int:
+    import json as _json
+
+    from repro.campaign import render_report, resummarize
+
+    report = resummarize(args.dir)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    return 0
+
+
 def cmd_tables(args) -> int:
     which = args.table
     if which in ("1", "all"):
@@ -939,27 +980,60 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(fn=cmd_reconcile)
 
+    from repro.bench import BENCH_SUITES  # the one suite list (no drift)
+
     p = sub.add_parser(
         "bench",
-        help="reconfiguration benchmark: cold deploy vs incremental",
+        help="benchmark suites: " + ", ".join(BENCH_SUITES),
     )
     p.add_argument("--quick", action="store_true",
                    help="CI subset of scenarios")
     p.add_argument("--repeats", type=int, default=3,
                    help="wall-time repeats, min taken (default 3)")
     p.add_argument("--out", default="BENCH_reconfig.json", metavar="PATH",
-                   help="JSON report path (default BENCH_reconfig.json)")
+                   help="JSON report path (default BENCH_<suite>.json)")
     p.add_argument("--baseline", default=None, metavar="PATH",
                    help="baseline JSON to gate against (exit 1 on "
                         "regression)")
     p.add_argument("--tolerance", type=float, default=0.25,
                    help="allowed regression fraction (default 0.25)")
     p.add_argument("--suite",
-                   choices=["reconfig", "multitenant", "scale", "recovery",
-                            "churn", "engineer"],
+                   choices=list(BENCH_SUITES),
                    default="reconfig",
-                   help="benchmark suite to run (default reconfig)")
+                   help="benchmark suite to run: "
+                        f"{', '.join(BENCH_SUITES)} (default reconfig)")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "campaign",
+        help="matrix sweeps: topologies x protocols x link quality "
+             "x failures (DESIGN.md §10)",
+    )
+    csub = p.add_subparsers(dest="campaign_cmd", required=True)
+
+    pc = csub.add_parser(
+        "run", help="expand a campaign spec and run every cell"
+    )
+    pc.add_argument("spec", help="campaign spec JSON "
+                                 "(e.g. examples/zoo_campaign.json)")
+    pc.add_argument("--out", default="campaign-out", metavar="DIR",
+                    help="results directory (default campaign-out)")
+    pc.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="worker processes (default "
+                         "$SDT_CAMPAIGN_WORKERS or inline)")
+    pc.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="run only the first N cells")
+    pc.add_argument("--quiet", action="store_true",
+                    help="suppress per-cell progress lines")
+    pc.set_defaults(fn=cmd_campaign_run)
+
+    pc = csub.add_parser(
+        "report", help="re-summarize an existing results directory"
+    )
+    pc.add_argument("dir", help="results directory from 'campaign run'")
+    pc.add_argument("--json", action="store_true",
+                    help="print the report as JSON instead of a table")
+    pc.set_defaults(fn=cmd_campaign_report)
 
     p = sub.add_parser("tables", help="regenerate paper tables")
     p.add_argument("table", choices=["1", "2", "3", "all"], default="all",

@@ -4,6 +4,12 @@ the "SDT" arm (physical switches, real OpenFlow pipelines)."""
 
 from repro.netsim.dcqcn import DcqcnParams, DcqcnRp
 from repro.netsim.engine import Simulator
+from repro.netsim.linkquality import (
+    QUALITY_PROFILES,
+    LinkQuality,
+    LinkQualityProfile,
+    quality_profile,
+)
 from repro.netsim.network import (
     Network,
     NetworkConfig,
@@ -26,6 +32,10 @@ __all__ = [
     "DcqcnParams",
     "DcqcnRp",
     "Simulator",
+    "LinkQuality",
+    "LinkQualityProfile",
+    "QUALITY_PROFILES",
+    "quality_profile",
     "Network",
     "NetworkConfig",
     "build_logical_network",

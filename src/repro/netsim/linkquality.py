@@ -1,0 +1,219 @@
+"""Link-quality models beyond up/down (Fig. 12 territory).
+
+The base simulator knows two link states: present or failed. Real WAN
+campaigns need the space in between — links that drop a fraction of
+packets, links whose propagation delay wobbles, links with asymmetric
+bandwidth (the classic DSL shape). A :class:`LinkQuality` bundles those
+three impairments; a :class:`LinkQualityProfile` assigns qualities to
+the links of a topology (one default plus per-link overrides) and plugs
+into :class:`~repro.netsim.network.NetworkConfig` so the builders bake
+the impairments into each port's :class:`~repro.netsim.port.PortConfig`.
+
+Determinism: loss and jitter draw from the transmitting node's seeded
+RNG stream, in event order — the same streams ECN marking already uses
+— so a campaign cell's packet trace is a pure function of its seed.
+Impairments of zero make **no** RNG draws, which keeps a
+``loss_rate=0`` run bit-identical to a run with no profile at all
+(asserted by a property test).
+
+Direction convention for asymmetry: ``bandwidth`` scales transmissions
+from the lexicographically smaller endpoint name toward the larger;
+``bandwidth_rev`` (when set) scales the opposite direction. With
+``bandwidth_rev`` unset the link is symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import MICROSECONDS
+
+__all__ = [
+    "LinkQuality",
+    "LinkQualityProfile",
+    "IDEAL",
+    "QUALITY_PROFILES",
+    "quality_profile",
+]
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Impairments for one link (both directions unless noted)."""
+
+    #: Bernoulli per-packet loss probability on the wire (after the
+    #: transmitter serializes the packet — the bytes are spent, the
+    #: receiver never sees them)
+    loss_rate: float = 0.0
+    #: maximum extra propagation delay in seconds; each delivery adds a
+    #: uniform draw from ``[0, jitter)``
+    jitter: float = 0.0
+    #: bandwidth scale (x line rate) for the smaller->larger direction
+    bandwidth: float = 1.0
+    #: bandwidth scale for the larger->smaller direction; ``None`` means
+    #: symmetric (same as ``bandwidth``)
+    bandwidth_rev: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if self.jitter < 0.0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
+        for scale in (self.bandwidth, self.bandwidth_rev):
+            if scale is not None and scale <= 0.0:
+                raise ConfigurationError(
+                    f"bandwidth scale must be > 0, got {scale}"
+                )
+
+    @property
+    def is_ideal(self) -> bool:
+        return (
+            self.loss_rate == 0.0
+            and self.jitter == 0.0
+            and self.bandwidth == 1.0
+            and (self.bandwidth_rev is None or self.bandwidth_rev == 1.0)
+        )
+
+    def rate_scale(self, src: str, dst: str) -> float:
+        """Bandwidth multiplier for the ``src -> dst`` direction."""
+        if self.bandwidth_rev is None or src < dst:
+            return self.bandwidth
+        return self.bandwidth_rev
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinkQuality":
+        known = {"loss_rate", "jitter", "bandwidth", "bandwidth_rev"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown link-quality keys: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
+IDEAL = LinkQuality()
+
+
+def _pair_key(a: str, b: str) -> tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class LinkQualityProfile:
+    """A named assignment of :class:`LinkQuality` to a topology's links.
+
+    ``lossless`` records which Fig. 12 mode the profile expects the
+    fabric in (PFC on/off); the network builders leave it to callers
+    (the campaign runner maps it onto ``NetworkConfig.pfc_enabled``).
+    """
+
+    name: str = "ideal"
+    default: LinkQuality = IDEAL
+    #: per-link overrides keyed by the unordered endpoint pair
+    overrides: tuple = ()
+    lossless: bool = True
+    _index: dict = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_index",
+            {_pair_key(a, b): q for (a, b), q in self.overrides},
+        )
+
+    def quality_for(self, a: str, b: str) -> LinkQuality:
+        return self._index.get(_pair_key(a, b), self.default)
+
+    @property
+    def is_ideal(self) -> bool:
+        return self.default.is_ideal and not self.overrides
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinkQualityProfile":
+        data = dict(data)
+        name = data.pop("name", "custom")
+        lossless = data.pop("lossless", True)
+        overrides_raw = data.pop("overrides", {})
+        overrides = tuple(
+            sorted(
+                (
+                    (tuple(key.split("|", 1)), LinkQuality.from_dict(val))
+                    for key, val in overrides_raw.items()
+                ),
+            )
+        )
+        for (pair, _q) in overrides:
+            if len(pair) != 2:
+                raise ConfigurationError(
+                    "override keys must look like 'nodeA|nodeB'"
+                )
+        default = LinkQuality.from_dict(data)
+        return cls(
+            name=name, default=default, overrides=overrides, lossless=lossless
+        )
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "lossless": self.lossless}
+        for fld in ("loss_rate", "jitter", "bandwidth"):
+            out[fld] = getattr(self.default, fld)
+        if self.default.bandwidth_rev is not None:
+            out["bandwidth_rev"] = self.default.bandwidth_rev
+        if self.overrides:
+            out["overrides"] = {
+                f"{a}|{b}": {
+                    "loss_rate": q.loss_rate,
+                    "jitter": q.jitter,
+                    "bandwidth": q.bandwidth,
+                    **(
+                        {"bandwidth_rev": q.bandwidth_rev}
+                        if q.bandwidth_rev is not None
+                        else {}
+                    ),
+                }
+                for (a, b), q in self.overrides
+            }
+        return out
+
+
+#: built-in profiles campaigns can reference by name
+QUALITY_PROFILES: dict[str, LinkQualityProfile] = {
+    "ideal": LinkQualityProfile(name="ideal"),
+    #: Fig. 12 lossy mode: PFC off, 1% wire loss
+    "lossy": LinkQualityProfile(
+        name="lossy", default=LinkQuality(loss_rate=0.01), lossless=False
+    ),
+    #: WAN-ish: light loss plus up to 5 us of delay jitter
+    "wan": LinkQualityProfile(
+        name="wan",
+        default=LinkQuality(loss_rate=0.001, jitter=5 * MICROSECONDS),
+        lossless=False,
+    ),
+    #: asymmetric last-mile shape: reverse direction at 25% rate
+    "asym": LinkQualityProfile(
+        name="asym",
+        default=LinkQuality(bandwidth=1.0, bandwidth_rev=0.25),
+        lossless=False,
+    ),
+}
+
+
+def quality_profile(spec) -> LinkQualityProfile:
+    """Resolve a profile from a name, a dict, or a ready profile."""
+    if isinstance(spec, LinkQualityProfile):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return QUALITY_PROFILES[spec]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown link-quality profile {spec!r}; "
+                f"built-ins: {sorted(QUALITY_PROFILES)}"
+            ) from None
+    if isinstance(spec, dict):
+        return LinkQualityProfile.from_dict(spec)
+    raise ConfigurationError(
+        f"cannot interpret link-quality spec {spec!r}"
+    )

@@ -17,10 +17,11 @@ differ in what a "switch" is:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 from repro.hardware.cluster import PhysicalCluster
+from repro.netsim.linkquality import LinkQuality, LinkQualityProfile
 
 if TYPE_CHECKING:  # avoid a runtime cycle: controller -> routing -> netsim
     from repro.core.controller.controller import Deployment
@@ -56,6 +57,10 @@ class NetworkConfig:
     #: Behaviour (ACT) is unchanged; only simulation cost grows, which is
     #: exactly the "simulator arm" of Table IV / Fig. 13.
     detail_flit_bytes: int | None = None
+    #: per-link impairments (loss / jitter / asymmetric bandwidth); the
+    #: logical builder honors per-link overrides, the SDT builder applies
+    #: the profile's default to every physical port
+    link_quality: LinkQualityProfile | None = None
     seed: int = 0
 
     def port_config(self, *, prop_delay: float | None = None) -> PortConfig:
@@ -65,6 +70,19 @@ class NetworkConfig:
             pfc_enabled=self.pfc_enabled,
             ecn_enabled=self.ecn_enabled,
             cut_through=self.cut_through,
+        )
+
+    def impaired_config(
+        self, base: PortConfig, quality: LinkQuality, src: str, dst: str
+    ) -> PortConfig:
+        """Bake one direction of a link's quality into a port config."""
+        if quality.is_ideal:
+            return base
+        return replace(
+            base,
+            rate=base.rate * quality.rate_scale(src, dst),
+            loss_rate=quality.loss_rate,
+            jitter=quality.jitter,
         )
 
 
@@ -90,6 +108,14 @@ class Network:
     def total_drops(self) -> int:
         return sum(
             p.drops
+            for node in (*self.switches.values(), *self.hosts.values())
+            for p in node.ports.values()
+        )
+
+    def total_lost(self) -> int:
+        """Packets corrupted on the wire by the link-quality model."""
+        return sum(
+            p.lost
             for node in (*self.switches.values(), *self.hosts.values())
             for p in node.ports.values()
         )
@@ -144,9 +170,17 @@ def build_logical_network(
     }
 
     pc = cfg.port_config()
+    profile = cfg.link_quality
+    if profile is not None and profile.is_ideal:
+        profile = None  # shared config fast path
     for link in topology.links:
         ends = []
-        for port in (link.a, link.b):
+        quality = (
+            profile.quality_for(link.a.node, link.b.node)
+            if profile is not None
+            else None
+        )
+        for port, other in ((link.a, link.b), (link.b, link.a)):
             node = (
                 switches[port.node]
                 if topology.is_switch(port.node)
@@ -155,7 +189,12 @@ def build_logical_network(
             # both switches and (multi-NIC) hosts number ports by the
             # logical port index + 1
             port_no = port.index + 1
-            node.add_port(port_no, pc)
+            pconf = (
+                pc
+                if quality is None
+                else cfg.impaired_config(pc, quality, port.node, other.node)
+            )
+            node.add_port(port_no, pconf)
             ends.append((node, port_no))
         _connect(*ends[0], *ends[1])
 
@@ -205,6 +244,18 @@ def build_sdt_network(
 
     pc_cable = cfg.port_config()
     pc_self = cfg.port_config(prop_delay=cfg.self_link_delay)
+    if cfg.link_quality is not None and not cfg.link_quality.is_ideal:
+        # physical cables don't map 1:1 onto logical links, so the SDT
+        # arm applies the profile's default symmetrically to every port
+        q = cfg.link_quality.default
+        pc_cable = replace(
+            pc_cable, rate=pc_cable.rate * q.bandwidth,
+            loss_rate=q.loss_rate, jitter=q.jitter,
+        )
+        pc_self = replace(
+            pc_self, rate=pc_self.rate * q.bandwidth,
+            loss_rate=q.loss_rate, jitter=q.jitter,
+        )
 
     hosts: dict[str, HostNode] = {}
     wired: set[tuple[str, int]] = set()

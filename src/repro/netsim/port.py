@@ -55,6 +55,12 @@ class PortConfig:
     #: DWRR weights per queue (defaults to equal); quantum = weight*MTU
     dwrr_weights: tuple = (1, 1, 1, 1, 1, 1, 1, 1)
     dwrr_quantum: int = 4096
+    # link-quality impairments (see repro.netsim.linkquality): Bernoulli
+    # wire loss after serialization, and uniform [0, jitter) extra
+    # propagation delay. Both at 0 make no RNG draws, so an unimpaired
+    # port is bit-identical to one built before these knobs existed.
+    loss_rate: float = 0.0
+    jitter: float = 0.0
 
 
 class OutPort:
@@ -63,7 +69,7 @@ class OutPort:
     __slots__ = (
         "sim", "owner", "port_no", "config", "peer", "peer_port",
         "queues", "qbytes", "paused", "busy", "tx_bytes", "tx_packets",
-        "drops", "pfc_pauses_sent", "_rng", "_ingress_of",
+        "drops", "lost", "pfc_pauses_sent", "_rng", "_ingress_of",
         "_deficit", "_rr_next",
     )
 
@@ -88,6 +94,7 @@ class OutPort:
         self.tx_bytes = 0
         self.tx_packets = 0
         self.drops = 0
+        self.lost = 0  # transmitted but corrupted on the wire (loss_rate)
         self.pfc_pauses_sent = 0
         self._rng = rng
         # DWRR state
@@ -205,6 +212,14 @@ class OutPort:
 
         self.sim.schedule(ser, tx_done)
 
+        # wire loss (link-quality model): the transmitter pays the full
+        # serialization either way, but a lost packet never arrives.
+        # Guard the draw so loss_rate=0 consumes nothing from the RNG
+        # stream ECN shares — bit-identical to the pre-quality path.
+        if cfg.loss_rate > 0.0 and self._rng.random() < cfg.loss_rate:
+            self.lost += 1
+            return
+
         # arrival at the peer: cut-through forwards after the header —
         # but hosts consume whole packets, so delivery to a host is
         # always at the tail (a message isn't complete at its header)
@@ -213,10 +228,11 @@ class OutPort:
             lead = min(ser, cfg.header_bytes / cfg.rate)
         else:
             lead = ser
+        delay = lead + cfg.prop_delay
+        if cfg.jitter > 0.0:
+            delay += cfg.jitter * self._rng.random()
         peer, peer_port = self.peer, self.peer_port
-        self.sim.schedule(
-            lead + cfg.prop_delay, lambda: peer.receive(peer_port, packet)
-        )
+        self.sim.schedule(delay, lambda: peer.receive(peer_port, packet))
 
     # --- introspection -----------------------------------------------------
     @property

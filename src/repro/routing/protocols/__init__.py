@@ -1,0 +1,74 @@
+"""Pluggable routing protocols for campaign sweeps.
+
+A protocol is anything satisfying :class:`RoutingProtocol`: it
+generates per-switch config, computes routes, repairs them after
+failures, and reports convergence in simulated time. Three plug-ins
+ship here:
+
+* ``precomputed`` — the repo's Table III strategies (fat-tree up/down,
+  dragonfly minimal, DOR, BFS fallback) pushed by the controller;
+  repair is up*/down* recomputation, convergence is the modeled
+  controller push time.
+* ``distvec`` — a distance-vector protocol run *by the switches*:
+  periodic advertisements, split horizon with poisoned reverse,
+  triggered updates on failure; convergence is measured in simulated
+  protocol time.
+* ``adaptive`` — egress re-selection at the failure's endpoints first
+  (promoting :mod:`repro.routing.adaptive`'s local-decision idea to a
+  general repair strategy), falling back to a global recompute when
+  local patching can't restore connectivity.
+
+Register your own with :func:`register_protocol`; campaign specs refer
+to protocols by name.
+"""
+
+from __future__ import annotations
+
+from repro.routing.protocols.base import (
+    ConvergenceReport,
+    RoutingOutcome,
+    RoutingProtocol,
+)
+from repro.util.errors import RoutingError
+
+__all__ = [
+    "ConvergenceReport",
+    "RoutingOutcome",
+    "RoutingProtocol",
+    "register_protocol",
+    "protocol",
+    "registered_protocols",
+]
+
+_REGISTRY: dict[str, type[RoutingProtocol]] = {}
+
+
+def register_protocol(cls: type[RoutingProtocol]) -> type[RoutingProtocol]:
+    """Class decorator: add ``cls`` to the by-name registry."""
+    name = cls.name
+    if not name or name == "abstract":
+        raise RoutingError(f"protocol {cls.__name__} needs a name")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def protocol(name: str, *, seed: int = 0, **kwargs) -> RoutingProtocol:
+    """Instantiate a registered protocol by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise RoutingError(
+            f"unknown routing protocol {name!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(seed=seed, **kwargs)
+
+
+def registered_protocols() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# built-ins register on import
+from repro.routing.protocols import adaptive as _adaptive  # noqa: E402,F401
+from repro.routing.protocols import distvec as _distvec  # noqa: E402,F401
+from repro.routing.protocols import precomputed as _precomputed  # noqa: E402,F401

@@ -1,0 +1,114 @@
+"""The repo's precomputed strategies, wrapped as a protocol plug-in.
+
+This is "SDN routing" in campaign terms: the controller computes the
+Table III strategy for the topology (fat-tree up/down, dragonfly
+minimal, DOR, BFS shortest-path fallback), pushes it as flow rules,
+and on failure recomputes with up*/down* (:func:`reroute_avoiding`).
+
+Convergence is the *controller's* story: failure detection (a
+port-down notification) plus the modeled flow-table push — the same
+``count x flow_install_latency + rtt`` per switch that
+``SDTController._estimated_install_time`` charges, maxed across
+switches because pushes go out in parallel.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.routing.protocols import register_protocol
+from repro.routing.protocols.base import (
+    ConvergenceReport,
+    RoutingOutcome,
+    RoutingProtocol,
+)
+from repro.routing.repair import reroute_avoiding
+from repro.routing.strategies import routes_for
+from repro.routing.table import RouteTable
+from repro.topology.graph import Topology
+from repro.util.units import MICROSECONDS, MILLISECONDS
+
+#: port-down signal latency (hardware LOS -> controller event)
+DETECTION_DELAY = 1 * MILLISECONDS
+#: per-flow-mod install latency / control RTT (ControlChannel defaults)
+FLOW_INSTALL_LATENCY = 250 * MICROSECONDS
+CONTROL_RTT = 1 * MILLISECONDS
+
+
+def modeled_push_time(routes: RouteTable) -> tuple[float, int]:
+    """(modeled install time, flow-mod count) for pushing ``routes``.
+
+    Per-switch pushes run in parallel; each switch pays one control RTT
+    plus its entry count times the install latency — the same model the
+    controller's deployment-time estimate uses.
+    """
+    per_switch: Counter[str] = Counter()
+    for switch, _dst, _vc, _hop in routes.entries():
+        per_switch[switch] += 1
+    if not per_switch:
+        return (CONTROL_RTT, 0)
+    worst = max(
+        count * FLOW_INSTALL_LATENCY + CONTROL_RTT
+        for count in per_switch.values()
+    )
+    return (worst, sum(per_switch.values()))
+
+
+@register_protocol
+class PrecomputedProtocol(RoutingProtocol):
+    """Controller-pushed Table III strategies; up*/down* repair."""
+
+    name = "precomputed"
+
+    def __init__(self, *, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self._strategy: str = "?"
+
+    def generate_config(self, topology: Topology) -> dict[str, dict]:
+        routes = routes_for(topology)
+        per_switch: Counter[str] = Counter()
+        for switch, _dst, _vc, _hop in routes.entries():
+            per_switch[switch] += 1
+        return {
+            switch: {
+                "protocol": "static",
+                "entries": per_switch.get(switch, 0),
+                "num_vcs": routes.num_vcs,
+            }
+            for switch in topology.switches
+        }
+
+    def initial_routes(self, topology: Topology) -> RoutingOutcome:
+        routes = routes_for(topology)
+        time, flow_mods = modeled_push_time(routes)
+        known = (
+            "bcube", "hyperbcube", "fat-tree", "dragonfly", "mesh",
+            "torus2d", "torus3d",
+        )
+        self._strategy = next(
+            (k for k in known if topology.name.startswith(k)),
+            "shortest-path",
+        )
+        return RoutingOutcome(
+            routes=routes,
+            convergence=ConvergenceReport(
+                time=time, rounds=1, messages=flow_mods, mode="cold"
+            ),
+            details={"strategy": self._strategy, "entries": len(routes)},
+        )
+
+    def repair_routes(
+        self, topology: Topology, failed_links: set[int]
+    ) -> RoutingOutcome:
+        routes = reroute_avoiding(topology, failed_links)
+        push_time, flow_mods = modeled_push_time(routes)
+        return RoutingOutcome(
+            routes=routes,
+            convergence=ConvergenceReport(
+                time=DETECTION_DELAY + push_time,
+                rounds=1,
+                messages=flow_mods,
+                mode="recomputed",
+            ),
+            details={"strategy": "updown-repair", "entries": len(routes)},
+        )

@@ -131,8 +131,12 @@ def build_zoo_topology(entry: ZooEntry, *, hosts_per_switch: int = 0) -> Topolog
     return topo
 
 
+@lru_cache(maxsize=1)
 def zoo_link_histogram() -> dict[str, int]:
-    """Cumulative feasibility bands used by Table II (sanity helper)."""
+    """Cumulative feasibility bands used by Table II (sanity helper).
+
+    Cached (callers hit it per-render): treat the dict as read-only.
+    """
     catalog = zoo_catalog()
     return {
         "<=64 links": sum(1 for e in catalog if e.num_links <= 64),

@@ -1,0 +1,77 @@
+"""Chaos: a SIGKILLed worker must not sink the sweep.
+
+The pool assigns one cell per worker at a time, so when a worker dies
+the parent knows exactly which cell it was holding: that cell is
+recorded as failed, a replacement worker spawns, and the sweep runs to
+completion with no hang and no lost JSONL lines.
+"""
+
+import json
+import signal
+from contextlib import contextmanager
+
+from repro.campaign import CampaignSpec, run_campaign
+
+
+@contextmanager
+def deadline(seconds: int):
+    """Fail loudly instead of hanging CI (no pytest-timeout here)."""
+
+    def boom(signum, frame):  # pragma: no cover - only fires on a hang
+        raise TimeoutError(f"sweep exceeded {seconds}s — pool hang?")
+
+    old = signal.signal(signal.SIGALRM, boom)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def pool_spec():
+    return CampaignSpec.from_dict(
+        {
+            "name": "chaos",
+            "seed": 5,
+            "topologies": [{"kind": "mesh2d", "params": {"x": 3, "y": 3}}],
+            "protocols": ["precomputed", "distvec"],
+            "qualities": ["ideal", "lossy"],
+            "failures": ["none", "single-link"],
+            "traffic": {"hosts": 3, "bytes": 8192},
+        }
+    )
+
+
+def test_sigkilled_worker_mid_cell_does_not_hang_the_sweep(
+    tmp_path, monkeypatch
+):
+    spec = pool_spec()
+    cells = spec.expand()
+    victim = cells[3].cell_id
+    monkeypatch.setenv("SDT_CAMPAIGN_CHAOS_KILL", victim)
+    with deadline(120):
+        report = run_campaign(spec, tmp_path / "out", workers=2)
+    assert report["cells_total"] == len(cells)
+    assert report["cells_failed"] == 1
+    assert report["failed_cells"] == [
+        {"cell": victim, "error": "worker died mid-cell"}
+    ]
+    assert report["cells_ok"] == len(cells) - 1
+    # no lost (or duplicated) JSONL lines
+    lines = (tmp_path / "out" / "results.jsonl").read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert sorted(r["index"] for r in records) == list(range(len(cells)))
+
+
+def test_worker_chaos_raise_is_per_cell_not_per_worker(
+    tmp_path, monkeypatch
+):
+    spec = pool_spec()
+    victim = spec.expand()[2].cell_id
+    monkeypatch.setenv("SDT_CAMPAIGN_CHAOS_RAISE", victim)
+    with deadline(120):
+        report = run_campaign(spec, tmp_path / "out", workers=2)
+    assert report["cells_failed"] == 1
+    assert report["failed_cells"][0]["cell"] == victim
+    assert "chaos" in report["failed_cells"][0]["error"]

@@ -1,0 +1,108 @@
+"""Campaign spec parsing, validation, and deterministic expansion."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec, smoke_spec, smoke_spec_dict
+from repro.util.errors import ConfigurationError
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def minimal_dict(**over):
+    base = {
+        "name": "t",
+        "seed": 1,
+        "topologies": [{"kind": "chain", "params": {"n": 3}}],
+        "protocols": ["precomputed"],
+        "qualities": ["ideal"],
+    }
+    base.update(over)
+    return base
+
+
+def test_rejects_unknown_keys():
+    with pytest.raises(ConfigurationError, match="unknown campaign keys"):
+        CampaignSpec.from_dict(minimal_dict(topo="x"))
+
+
+def test_requires_core_keys():
+    data = minimal_dict()
+    del data["protocols"]
+    with pytest.raises(ConfigurationError, match="protocols"):
+        CampaignSpec.from_dict(data)
+
+
+def test_rejects_unknown_protocol_failure_quality():
+    with pytest.raises(ConfigurationError, match="unknown protocol"):
+        CampaignSpec.from_dict(minimal_dict(protocols=["bgp"]))
+    with pytest.raises(ConfigurationError, match="failure"):
+        CampaignSpec.from_dict(minimal_dict(failures=["meteor"]))
+    with pytest.raises(ConfigurationError):
+        CampaignSpec.from_dict(minimal_dict(qualities=["perfect"]))
+    with pytest.raises(ConfigurationError, match="hosts"):
+        CampaignSpec.from_dict(minimal_dict(traffic={"hosts": 1}))
+
+
+def test_expansion_is_deterministic_product_order():
+    spec = CampaignSpec.from_dict(
+        minimal_dict(
+            protocols=["precomputed", "distvec"],
+            qualities=["ideal", "lossy"],
+            failures=["none", "single-link"],
+        )
+    )
+    cells = spec.expand()
+    assert len(cells) == 1 * 2 * 2 * 2
+    assert [c.index for c in cells] == list(range(8))
+    # product order: protocol varies slowest (after topology)
+    assert cells[0].cell_id == "chain(n=3)/precomputed/ideal/none"
+    assert cells[-1].cell_id == "chain(n=3)/distvec/lossy/single-link"
+    # same spec -> same ids and seeds, and seeds are distinct per cell
+    again = spec.expand()
+    assert [(c.cell_id, c.seed) for c in cells] == [
+        (c.cell_id, c.seed) for c in again
+    ]
+    assert len({c.seed for c in cells}) == len(cells)
+
+
+def test_zoo_star_expands_to_full_catalog():
+    from repro.topology.zoo import zoo_catalog
+
+    spec = CampaignSpec.from_dict(
+        minimal_dict(topologies=[{"kind": "zoo", "names": "*"}])
+    )
+    cells = spec.expand()
+    assert len(cells) == len(zoo_catalog())
+    assert cells[0].topology["kind"] == "zoo"
+
+
+def test_smoke_spec_matches_example_file():
+    """examples/smoke_campaign.json is the JSON face of smoke_spec():
+    CI runs the file, the bench suite runs the function — keep them
+    the same matrix."""
+    on_disk = json.loads(
+        (REPO / "examples" / "smoke_campaign.json").read_text()
+    )
+    assert on_disk == smoke_spec_dict()
+    assert len(smoke_spec().expand()) == 24
+
+
+def test_zoo_campaign_example_parses_and_spans_the_catalog():
+    from repro.topology.zoo import zoo_catalog
+
+    spec = CampaignSpec.load(REPO / "examples" / "zoo_campaign.json")
+    cells = spec.expand()
+    assert len(cells) == len(zoo_catalog()) * 3 * 2
+    assert len(spec.protocols) >= 2 and len(spec.qualities) >= 2
+
+
+def test_load_errors_are_configuration_errors(tmp_path):
+    with pytest.raises(ConfigurationError, match="cannot read"):
+        CampaignSpec.load(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    with pytest.raises(ConfigurationError, match="bad campaign JSON"):
+        CampaignSpec.load(bad)

@@ -1,0 +1,162 @@
+"""Link-quality models: profiles, asymmetry, and builder wiring."""
+
+import pytest
+
+from repro.netsim import (
+    LinkQuality,
+    LinkQualityProfile,
+    NetworkConfig,
+    QUALITY_PROFILES,
+    RoceTransport,
+    build_logical_network,
+    quality_profile,
+)
+from repro.routing import routes_for
+from repro.topology import chain
+from repro.util.errors import ConfigurationError
+from repro.util.units import gbps
+
+
+def test_quality_validation():
+    with pytest.raises(ConfigurationError):
+        LinkQuality(loss_rate=1.0)
+    with pytest.raises(ConfigurationError):
+        LinkQuality(loss_rate=-0.1)
+    with pytest.raises(ConfigurationError):
+        LinkQuality(jitter=-1e-9)
+    with pytest.raises(ConfigurationError):
+        LinkQuality(bandwidth=0.0)
+    with pytest.raises(ConfigurationError):
+        LinkQuality.from_dict({"loss": 0.5})  # typo'd key
+
+
+def test_ideal_flag():
+    assert LinkQuality().is_ideal
+    assert not LinkQuality(loss_rate=0.01).is_ideal
+    assert not LinkQuality(bandwidth_rev=0.5).is_ideal
+    assert LinkQuality(bandwidth_rev=1.0).is_ideal
+
+
+def test_asymmetric_rate_direction():
+    q = LinkQuality(bandwidth=1.0, bandwidth_rev=0.25)
+    # smaller->larger name gets `bandwidth`, reverse gets `bandwidth_rev`
+    assert q.rate_scale("a", "b") == 1.0
+    assert q.rate_scale("b", "a") == 0.25
+    # symmetric when bandwidth_rev unset
+    assert LinkQuality(bandwidth=0.5).rate_scale("b", "a") == 0.5
+
+
+def test_profile_overrides_unordered():
+    q = LinkQuality(loss_rate=0.1)
+    prof = LinkQualityProfile(
+        name="x", overrides=((("s0", "s1"), q),), lossless=False
+    )
+    assert prof.quality_for("s0", "s1") is q
+    assert prof.quality_for("s1", "s0") is q
+    assert prof.quality_for("s1", "s2").is_ideal
+    assert not prof.is_ideal  # overrides present
+
+
+def test_profile_round_trip():
+    prof = quality_profile(
+        {
+            "name": "dsl",
+            "bandwidth_rev": 0.25,
+            "lossless": False,
+            "overrides": {"s0|s1": {"loss_rate": 0.5}},
+        }
+    )
+    again = quality_profile(prof.to_dict())
+    assert again == prof
+    assert again.quality_for("s1", "s0").loss_rate == 0.5
+
+
+def test_builtin_profiles_resolve():
+    for name in QUALITY_PROFILES:
+        assert quality_profile(name).name == name
+    with pytest.raises(ConfigurationError):
+        quality_profile("nope")
+    with pytest.raises(ConfigurationError):
+        quality_profile(42)
+
+
+def test_impaired_config_bakes_direction():
+    cfg = NetworkConfig(link_rate=gbps(10))
+    base = cfg.port_config()
+    q = LinkQuality(loss_rate=0.01, jitter=1e-6, bandwidth_rev=0.25)
+    fwd = cfg.impaired_config(base, q, "s0", "s1")
+    rev = cfg.impaired_config(base, q, "s1", "s0")
+    assert fwd.rate == base.rate
+    assert rev.rate == base.rate * 0.25
+    assert fwd.loss_rate == rev.loss_rate == 0.01
+    assert fwd.jitter == rev.jitter == 1e-6
+    # ideal quality returns the shared config object untouched
+    assert cfg.impaired_config(base, LinkQuality(), "a", "b") is base
+
+
+def test_builder_wires_per_link_quality():
+    topo = chain(3)  # h0-s0-s1-s2-h2
+    prof = LinkQualityProfile(
+        name="mid-lossy",
+        overrides=((("s0", "s1"), LinkQuality(loss_rate=0.5)),),
+        lossless=False,
+    )
+    net = build_logical_network(
+        topo, routes_for(topo), NetworkConfig(link_quality=prof, seed=7)
+    )
+    # every port on the s0--s1 link is impaired, everything else isn't
+    impaired = [
+        p
+        for node in (*net.switches.values(), *net.hosts.values())
+        for p in node.ports.values()
+        if p.config.loss_rate > 0
+    ]
+    assert len(impaired) == 2
+    assert {p.owner.name for p in impaired} == {"s0", "s1"}
+
+
+def test_lossy_link_loses_packets_and_counts_them():
+    topo = chain(3)
+    prof = LinkQualityProfile(
+        name="mid-lossy",
+        overrides=((("s0", "s1"), LinkQuality(loss_rate=0.5)),),
+        lossless=False,
+    )
+    net = build_logical_network(
+        topo,
+        routes_for(topo),
+        NetworkConfig(link_quality=prof, pfc_enabled=False, seed=7),
+    )
+    tx = RoceTransport(net, "h0")
+    rx = RoceTransport(net, "h2")
+    tx.send("h2", 256_000)
+    net.sim.run()
+    assert net.total_lost() > 0
+    # no retransmit: what the wire ate never reaches the receiver
+    assert rx.bytes_received < 256_000
+
+
+def test_asymmetric_bandwidth_slows_reverse_direction():
+    topo = chain(2)  # h0-s0-s1-h1
+    # only the switch link is asymmetric, so the host cables don't
+    # bottleneck both directions equally
+    prof = quality_profile(
+        {
+            "name": "dsl",
+            "lossless": False,
+            "overrides": {"s0|s1": {"bandwidth": 1.0, "bandwidth_rev": 0.25}},
+        }
+    )
+
+    def act(src, dst):
+        net = build_logical_network(
+            topo,
+            routes_for(topo),
+            NetworkConfig(link_quality=prof, pfc_enabled=False, seed=1),
+        )
+        transports = {h: RoceTransport(net, h) for h in ("h0", "h1")}
+        transports[src].send(dst, 1_000_000)
+        return net.sim.run()
+
+    # h1->h0 rides the larger->smaller (throttled) direction
+    assert act("h1", "h0") > act("h0", "h1") * 2

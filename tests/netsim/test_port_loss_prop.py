@@ -1,0 +1,173 @@
+"""Properties of the wire-loss model (seeded, no hypothesis).
+
+Two invariants the campaign subsystem leans on:
+
+* **zero-impairment bit-identity** — a profile whose impairments are
+  all zero produces *exactly* the run a profile-less network produces
+  (same ACT, same event count, same per-port counters), because
+  ``loss_rate=0`` / ``jitter=0`` make no RNG draws at all;
+* **conservation** — on every transmit port, packets that arrive at
+  the peer equal ``tx_packets - lost``; nothing vanishes untallied,
+  and with zero loss everything sent is delivered.
+"""
+
+from __future__ import annotations
+
+from repro.netsim import (
+    NetworkConfig,
+    RoceTransport,
+    build_logical_network,
+    quality_profile,
+)
+from repro.routing import routes_for
+from tests.proptools import prop_cases, random_topology, seeded_cases
+
+SEED = 20230923
+
+
+def _traffic_hosts(topo):
+    return sorted(topo.hosts)[:4]
+
+
+def _run_ring(topo, cfg):
+    """Ring traffic; returns (act, events, fingerprint-of-everything)."""
+    routes = routes_for(topo)
+    net = build_logical_network(topo, routes, cfg)
+    hosts = _traffic_hosts(topo)
+    transports = {h: RoceTransport(net, h) for h in hosts}
+    for i, src in enumerate(hosts):
+        dst = hosts[(i + 1) % len(hosts)]
+        if src != dst and routes.has_route(topo.host_switch(src), dst):
+            transports[src].send(dst, 20_000)
+    act = net.sim.run(max_events=2_000_000)
+    ports = {
+        (node.name, pno): (p.tx_packets, p.tx_bytes, p.drops, p.lost)
+        for node in (*net.switches.values(), *net.hosts.values())
+        for pno, p in node.ports.items()
+    }
+    delivered = {
+        h: (t.messages_delivered, t.bytes_received)
+        for h, t in transports.items()
+    }
+    return act, net.sim.events_processed, ports, delivered
+
+
+def test_zero_impairment_profile_is_bit_identical():
+    """loss_rate=0 + jitter=0 + bandwidth=1 must not perturb anything —
+    not even via RNG draw order (the draws are guarded out)."""
+    cases = prop_cases(15)
+    # overrides force the builder down the per-link (non-fast-path)
+    # branch; the zero quality must still come out bit-identical
+    zero = {
+        "name": "zero",
+        "loss_rate": 0.0,
+        "jitter": 0.0,
+        "lossless": False,
+        "overrides": {"s0|s1": {"loss_rate": 0.0, "jitter": 0.0}},
+    }
+    for i, rng in seeded_cases(cases, SEED, "zero-loss"):
+        topo = random_topology(
+            rng, min_switches=2, max_switches=8, name=f"zl{i}"
+        )
+        if len(topo.hosts) < 2:
+            continue
+        seed = int(rng.integers(0, 2**31))
+        plain = _run_ring(
+            topo, NetworkConfig(pfc_enabled=False, seed=seed)
+        )
+        impaired = _run_ring(
+            topo,
+            NetworkConfig(
+                pfc_enabled=False,
+                seed=seed,
+                link_quality=quality_profile(zero),
+            ),
+        )
+        assert plain == impaired, f"case {i}: zero-impairment run diverged"
+
+
+def test_packet_conservation_per_port():
+    """For every port: arrivals at the peer == tx_packets - lost."""
+    cases = prop_cases(15)
+    for i, rng in seeded_cases(cases, SEED, "conservation"):
+        topo = random_topology(
+            rng, min_switches=2, max_switches=8, name=f"cons{i}"
+        )
+        if len(topo.hosts) < 2:
+            continue
+        loss = float(rng.uniform(0.0, 0.4))
+        cfg = NetworkConfig(
+            pfc_enabled=False,
+            seed=int(rng.integers(0, 2**31)),
+            link_quality=quality_profile(
+                {"name": "lossy", "loss_rate": loss, "lossless": False}
+            ),
+        )
+        routes = routes_for(topo)
+        net = build_logical_network(topo, routes, cfg)
+
+        # count arrivals per (receiving node, in_port)
+        arrivals: dict[tuple[str, int], int] = {}
+        def make_tap(name, inner):
+            def tap(in_port, packet):
+                arrivals[(name, in_port)] = arrivals.get((name, in_port), 0) + 1
+                return inner(in_port, packet)
+
+            return tap
+
+        for node in (*net.switches.values(), *net.hosts.values()):
+            node.receive = make_tap(node.name, node.receive)
+
+        hosts = _traffic_hosts(topo)
+        transports = {h: RoceTransport(net, h) for h in hosts}
+        sent = 0
+        for j, src in enumerate(hosts):
+            dst = hosts[(j + 1) % len(hosts)]
+            if src != dst and routes.has_route(topo.host_switch(src), dst):
+                transports[src].send(dst, 20_000)
+                sent += 1
+        net.sim.run(max_events=2_000_000)
+
+        for node in (*net.switches.values(), *net.hosts.values()):
+            for pno, port in node.ports.items():
+                if port.peer is None:
+                    continue
+                got = arrivals.get((port.peer.name, port.peer_port), 0)
+                assert got == port.tx_packets - port.lost, (
+                    f"case {i}: port {node.name}:{pno} sent "
+                    f"{port.tx_packets}, lost {port.lost}, "
+                    f"peer received {got}"
+                )
+
+        delivered = sum(t.messages_delivered for t in transports.values())
+        assert delivered <= sent
+        if net.total_lost() == 0 and net.total_drops() == 0:
+            assert delivered == sent, f"case {i}: loss-free run lost messages"
+
+
+def test_loss_free_network_delivers_everything():
+    """delivered == sent whenever nothing was lost or dropped (the
+    lossless arm of the conservation property, PFC on)."""
+    cases = prop_cases(10)
+    for i, rng in seeded_cases(cases, SEED, "lossfree"):
+        topo = random_topology(
+            rng, min_switches=2, max_switches=7, name=f"lf{i}"
+        )
+        if len(topo.hosts) < 2:
+            continue
+        act, _events, ports, delivered = _run_ring(
+            topo, NetworkConfig(seed=int(rng.integers(0, 2**31)))
+        )
+        assert all(lost == 0 for (_, _, _, lost) in ports.values())
+        total = sum(n for n, _bytes in delivered.values())
+        routes = routes_for(topo)
+        hosts = _traffic_hosts(topo)
+        expected = sum(
+            1
+            for j, src in enumerate(hosts)
+            if src != hosts[(j + 1) % len(hosts)]
+            and routes.has_route(
+                topo.host_switch(src), hosts[(j + 1) % len(hosts)]
+            )
+        )
+        assert total == expected, f"case {i}"

@@ -543,3 +543,54 @@ def test_cli_bench_engineer_suite_flag():
     args = build_parser().parse_args(["bench", "--suite", "engineer"])
     assert args.suite == "engineer"
     assert args.fn.__name__ == "cmd_bench"
+
+
+# --- campaign suite ---------------------------------------------------------
+
+def test_run_campaign_suite_shape_and_determinism():
+    from repro.bench import run_campaign_suite
+
+    report = run_campaign_suite(quick=True, repeats=1)
+    assert report["suite"] == "campaign"
+    assert report["cells_total"] == 24
+    assert set(report["protocols"]) == {"precomputed", "distvec"}
+    for group in report["protocols"].values():
+        assert group["messages_sent"] > 0
+        assert group["repair_convergence_mean_s"] > 0
+    again = run_campaign_suite(quick=True, repeats=1)
+    assert again["summary_sha256"] == report["summary_sha256"]
+
+
+def test_campaign_suite_matches_committed_baseline():
+    """benchmarks/baseline_campaign.json gates CI; regenerate it with
+    `repro bench --suite campaign --out benchmarks/baseline_campaign.json`
+    when a protocol/link-quality change is intentional."""
+    from repro.bench import compare_campaign_to_baseline, run_campaign_suite
+
+    with open("benchmarks/baseline_campaign.json") as fh:
+        baseline = json.load(fh)
+    report = run_campaign_suite(quick=True, repeats=1)
+    assert compare_campaign_to_baseline(report, baseline) == []
+
+
+def test_compare_campaign_catches_drift():
+    from repro.bench import compare_campaign_to_baseline, run_campaign_suite
+
+    report = run_campaign_suite(quick=True, repeats=1)
+    drifted = json.loads(json.dumps(report))
+    drifted["cells_ok"] -= 1
+    drifted["summary_sha256"] = "0" * 64
+    drifted["protocols"]["distvec"]["control_messages"] += 1
+    problems = compare_campaign_to_baseline(report, drifted)
+    assert any("cells_ok" in p for p in problems)
+    assert any("summary hash" in p for p in problems)
+    assert any("distvec.control_messages" in p for p in problems)
+
+
+def test_bench_suites_is_the_single_list():
+    from repro.bench import BENCH_SUITES, _SUITE_IMPL
+
+    assert tuple(_SUITE_IMPL) == BENCH_SUITES
+    assert "campaign" in BENCH_SUITES
+    args = build_parser().parse_args(["bench", "--suite", "campaign"])
+    assert args.suite == "campaign"

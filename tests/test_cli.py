@@ -257,3 +257,83 @@ def test_engineer_rejects_bad_traffic_spec(ring_config, capsys):
     ])
     assert rc != 0
     assert "error" in capsys.readouterr().err.lower()
+
+
+# --- campaign ----------------------------------------------------------------
+
+@pytest.fixture()
+def campaign_spec_path(tmp_path):
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps({
+        "name": "cli-smoke",
+        "seed": 9,
+        "topologies": [{"kind": "mesh2d", "params": {"x": 3, "y": 3}}],
+        "protocols": ["precomputed", "distvec"],
+        "qualities": ["ideal"],
+        "failures": ["single-link"],
+        "traffic": {"hosts": 3, "bytes": 8192},
+    }))
+    return path
+
+
+def test_campaign_run_and_report(campaign_spec_path, tmp_path, capsys):
+    out_dir = tmp_path / "results"
+    rc = main([
+        "campaign", "run", str(campaign_spec_path),
+        "--out", str(out_dir), "--workers", "1",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[1/2]" in out and "[2/2]" in out  # progress lines
+    assert "2/2 cells ok" in out
+    assert (out_dir / "results.jsonl").exists()
+    assert (out_dir / "report.json").exists()
+
+    assert main(["campaign", "report", str(out_dir)]) == 0
+    assert "distvec" in capsys.readouterr().out
+
+    assert main(["campaign", "report", str(out_dir), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["cells_ok"] == 2
+
+
+def test_campaign_run_quiet_and_limit(campaign_spec_path, tmp_path, capsys):
+    rc = main([
+        "campaign", "run", str(campaign_spec_path),
+        "--out", str(tmp_path / "r"), "--limit", "1", "--quiet",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[1/" not in out
+    assert "1/1 cells ok" in out
+
+
+def test_campaign_bad_spec_is_a_clean_error(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    rc = main(["campaign", "run", str(missing), "--out", str(tmp_path / "o")])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_campaign_report_needs_results(tmp_path, capsys):
+    rc = main(["campaign", "report", str(tmp_path)])
+    assert rc == 2
+    assert "results.jsonl" in capsys.readouterr().err
+
+
+def test_bench_suite_choices_track_bench_module():
+    """--suite must enumerate exactly repro.bench.BENCH_SUITES — the
+    README/help drift this guards against came from hand-copied lists."""
+    from repro.bench import BENCH_SUITES
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    bench = next(
+        a
+        for p in parser._subparsers._group_actions
+        for name, sub in p.choices.items()
+        if name == "bench"
+        for a in sub._actions
+        if a.dest == "suite"
+    )
+    assert tuple(bench.choices) == BENCH_SUITES

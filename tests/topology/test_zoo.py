@@ -69,3 +69,10 @@ def test_wan_sizes_plausible():
     assert 12 <= median <= 30
     for e in zoo_catalog():
         assert e.num_links >= e.num_switches - 1  # connected
+
+
+def test_catalog_and_histogram_are_cached():
+    # both are hit per-render (tables, campaign expansion): the second
+    # call must return the very same object, not a recomputation
+    assert zoo_catalog() is zoo_catalog()
+    assert zoo_link_histogram() is zoo_link_histogram()
